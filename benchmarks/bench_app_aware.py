@@ -1,0 +1,17 @@
+"""Benchmark: regenerate the §4.4 app-aware-vs-resource-log comparison."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import app_aware
+
+
+def test_app_aware(benchmark):
+    result = run_once(benchmark, app_aware.run)
+    benchmark.extra_info["log_based_cores_added"] = round(
+        result["log_based"]["cores_added"], 1
+    )
+    benchmark.extra_info["app_aware_cores_added"] = round(
+        result["app_aware"]["cores_added"], 1
+    )
+    print("\n" + app_aware.render(result))
+    assert (result["app_aware"]["cores_added"]
+            < result["log_based"]["cores_added"])

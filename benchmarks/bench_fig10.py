@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Fig 10 (controller throughput vs threads)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig10
+
+
+def test_fig10(benchmark, scenario):
+    result = run_once(
+        benchmark,
+        lambda: fig10.run(scenario, threads=(1, 2, 4, 8, 10), max_events=6000),
+    )
+    for r in result["results"]:
+        benchmark.extra_info[f"threads_{r.n_threads}"] = round(
+            r.throughput_vs_peak, 2
+        )
+    print("\n" + fig10.render(result))
+    ratios = [r.throughput_vs_peak for r in result["results"]]
+    assert ratios[-1] > ratios[0]  # scales with threads

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Fig 3 (time-shifted demand peaks)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig3
+
+
+def bench_fig3(benchmark):
+    result = run_once(benchmark, fig3.run)
+    peaks = result["peak_utc_hour"]
+    benchmark.extra_info.update({f"peak_utc_{c}": round(h, 2) for c, h in peaks.items()})
+    print("\n" + fig3.render(result))
+    assert peaks["JP"] < peaks["HK"] < peaks["IN"]
+
+
+def test_fig3(benchmark):
+    bench_fig3(benchmark)

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Fig 4 (peak-aware backup toy example)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig4
+
+
+def test_fig4(benchmark):
+    result = run_once(benchmark, fig4.run)
+    benchmark.extra_info["baseline_total"] = result["baseline_sum"]
+    benchmark.extra_info["peak_aware_total"] = result["peak_aware_sum"]
+    print("\n" + fig4.render(result))
+    assert result["peak_aware_sum"] < result["baseline_sum"]

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig 7 (forecast overlay, growth, coverage)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig7
+
+
+def test_fig7(benchmark):
+    result = run_once(benchmark, fig7.run)
+    coverage = result["fig7c"]["call_coverage"]
+    benchmark.extra_info["top_0.1pct_coverage"] = round(coverage[0.001], 3)
+    benchmark.extra_info["top_1pct_coverage"] = round(coverage[0.01], 3)
+    print("\n" + fig7.render(result))
+    assert coverage[0.01] > coverage[0.001]

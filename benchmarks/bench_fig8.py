@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig 8 (participant join CDF)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig8
+
+
+def test_fig8(benchmark, scenario):
+    result = run_once(benchmark, lambda: fig8.run(scenario))
+    benchmark.extra_info["joined_at_300s"] = round(
+        result["fraction_joined_at_300s"], 3
+    )
+    print("\n" + fig8.render(result))
+    assert 0.7 <= result["fraction_joined_at_300s"] <= 0.95

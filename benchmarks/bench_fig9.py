@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Fig 9 (forecast error CDFs over configs)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig9
+
+
+def test_fig9(benchmark, scenario):
+    result = run_once(benchmark, lambda: fig9.run(scenario))
+    summary = result["summary"]
+    benchmark.extra_info["median_nrmse"] = round(
+        summary["median_normalized_rmse"], 3
+    )
+    benchmark.extra_info["median_nmae"] = round(
+        summary["median_normalized_mae"], 3
+    )
+    print("\n" + fig9.render(result))
+    assert summary["median_normalized_rmse"] < 0.4

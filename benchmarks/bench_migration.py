@@ -1,0 +1,16 @@
+"""Benchmark: regenerate the §6.4 migration-frequency experiment."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import migration
+
+
+def test_migration(benchmark, scenario):
+    result = run_once(benchmark, lambda: migration.run(scenario))
+    benchmark.extra_info["sb_migration_rate"] = round(
+        result["sb_migration_rate"], 4
+    )
+    benchmark.extra_info["lf_migration_rate"] = round(
+        result["lf_migration_rate"], 4
+    )
+    print("\n" + migration.render(result))
+    assert result["sb_migration_rate"] < 0.12

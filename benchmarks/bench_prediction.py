@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the §8 call-config prediction experiment."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import prediction
+
+
+def test_prediction(benchmark):
+    result = run_once(benchmark, prediction.run)
+    benchmark.extra_info["model_rmse"] = round(result["model_rmse"], 2)
+    benchmark.extra_info["baseline_rmse"] = round(result["baseline_rmse"], 2)
+    print("\n" + prediction.render(result))
+    assert result["model_rmse"] < result["baseline_rmse"]

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate the §8 predictive-selection comparison."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import predictive
+
+
+def test_predictive_selection(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: predictive.run(n_series=60, occurrences=8, with_backup=False),
+    )
+    benchmark.extra_info["standard_migrations"] = round(
+        result["standard_migration_rate"], 4
+    )
+    benchmark.extra_info["predictive_migrations"] = round(
+        result["predictive_migration_rate"], 4
+    )
+    print("\n" + predictive.render(result))
+    assert (result["predictive_migration_rate"]
+            <= result["standard_migration_rate"])

@@ -1,0 +1,42 @@
+"""Scalability: LP solve time as the instance grows.
+
+§6.6 demonstrates the *controller's* scalability (Fig 10,
+bench_fig10.py); this bench covers the offline side — how provisioning
+LP time scales with the number of call configs, which is exactly why the
+paper optimizes over call configs instead of individual calls (§5.1's
+"30x fewer configs than calls").
+"""
+
+import pytest
+
+from repro.core.types import make_slots
+from repro.provisioning.demand import PlacementData
+from repro.provisioning.formulation import ScenarioLP
+from repro.topology.builder import Topology
+from repro.workload.arrivals import DemandModel
+from repro.workload.configs import generate_population
+from repro.workload.diurnal import DiurnalModel
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return Topology.default()
+
+
+@pytest.mark.parametrize("n_configs", [30, 60, 120])
+def test_f0_lp_scaling(benchmark, topology, n_configs):
+    population = generate_population(topology.world, n_configs=n_configs,
+                                     seed=61)
+    demand = DemandModel(
+        topology.world, population, DiurnalModel(),
+        calls_per_slot_at_peak=200.0,
+    ).expected(make_slots(86400.0))
+    placement = PlacementData(topology, demand.configs)
+    benchmark.extra_info["n_configs"] = demand.n_configs
+    benchmark.extra_info["n_slots"] = demand.n_slots
+
+    result = benchmark.pedantic(
+        lambda: ScenarioLP(placement, demand).solve(),
+        rounds=2, iterations=1, warmup_rounds=0,
+    )
+    assert result.cores

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Table 1 (relative media loads)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table1
+
+
+def test_table1(benchmark):
+    result = run_once(benchmark, table1.run)
+    print("\n" + table1.render(result))
+    for media, checks in result["within_paper_ranges"].items():
+        assert all(checks.values())

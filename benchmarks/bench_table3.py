@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table 3 (the headline RR/LF/SB comparison)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table3
+
+
+def test_table3(benchmark, scenario):
+    result = run_once(benchmark, lambda: table3.run(scenario, max_link_scenarios=3))
+    headline = result["headline"]
+    benchmark.extra_info["sb_cost_saving_vs_rr"] = round(
+        headline["sb_cost_saving_vs_rr"], 3
+    )
+    benchmark.extra_info["sb_cost_saving_vs_lf"] = round(
+        headline["sb_cost_saving_vs_lf"], 3
+    )
+    print("\n" + table3.render(result))
+    rows = result["normalized"][True]
+    assert rows["switchboard"]["Cost"] < 1.0
+    assert rows["switchboard"]["Cost"] < rows["locality_first"]["Cost"]

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table 4 (forecast-vs-truth provisioning deltas)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table4
+
+
+def test_table4(benchmark, scenario):
+    result = run_once(benchmark, lambda: table4.run(scenario))
+    print("\n" + table4.render(result))
+    for key, row in result["deltas"].items():
+        benchmark.extra_info[f"{key}/cores"] = round(row["cores_delta"], 3)
+        assert abs(row["cores_delta"]) < 0.5

@@ -1,0 +1,14 @@
+"""Benchmark: the cost-vs-ACL-threshold ablation."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import threshold_sweep
+
+
+def test_threshold_sweep(benchmark, small_scenario):
+    result = run_once(benchmark, lambda: threshold_sweep.run(small_scenario))
+    for threshold, rel in result["relative_cost"].items():
+        benchmark.extra_info[f"cost_at_{int(threshold)}ms"] = round(rel, 3)
+    print("\n" + threshold_sweep.render(result))
+    # Tighter latency bounds can only cost more.
+    costs = [result["relative_cost"][t] for t in sorted(result["relative_cost"])]
+    assert all(a >= b - 1e-6 for a, b in zip(costs, costs[1:]))

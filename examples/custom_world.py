@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Bring your own deployment: custom topology + server fleet.
+
+Shows the two adoption-oriented layers:
+
+1. define *your* world (countries, DCs, prices) as a JSON-able document
+   and load it with ``topology_from_dict`` — here, a small European
+   operator with three DCs;
+2. provision with Switchboard, then realize the plan as actual MP server
+   pools (``MPServerFleet``), host the busiest slot's calls, and drill a
+   server failure.
+
+Run:  python examples/custom_world.py
+"""
+
+from repro import Switchboard, generate_population
+from repro.core import make_slots
+from repro.mpservers import MPServerFleet
+from repro.topology import topology_from_dict
+from repro.workload import DemandModel
+
+EURO_OPERATOR = {
+    "version": 1,
+    "countries": [
+        {"code": "GB", "name": "United Kingdom", "lat": 51.51, "lon": -0.13,
+         "utc_offset_h": 0.0, "region": "emea", "user_weight": 5.0},
+        {"code": "DE", "name": "Germany", "lat": 50.11, "lon": 8.68,
+         "utc_offset_h": 1.0, "region": "emea", "user_weight": 4.0},
+        {"code": "PL", "name": "Poland", "lat": 52.23, "lon": 21.01,
+         "utc_offset_h": 1.0, "region": "emea", "user_weight": 2.0},
+        {"code": "ES", "name": "Spain", "lat": 40.42, "lon": -3.70,
+         "utc_offset_h": 1.0, "region": "emea", "user_weight": 2.5},
+    ],
+    "datacenters": [
+        {"dc_id": "dc-london", "country_code": "GB", "core_cost": 1.10,
+         "lat": 51.51, "lon": -0.13},
+        {"dc_id": "dc-frankfurt", "country_code": "DE", "core_cost": 1.00,
+         "lat": 50.11, "lon": 8.68},
+        {"dc_id": "dc-warsaw", "country_code": "PL", "core_cost": 0.90,
+         "lat": 52.23, "lon": 21.01},
+    ],
+    "wan": {"dc_degree": 2, "country_homing": 2},
+}
+
+
+def main() -> None:
+    topology = topology_from_dict(EURO_OPERATOR)
+    print(f"Custom world: {len(topology.world)} countries, "
+          f"{len(topology.fleet)} DCs, {len(topology.wan.links)} links")
+
+    population = generate_population(topology.world, n_configs=40, seed=9)
+    demand = DemandModel(
+        topology.world, population, calls_per_slot_at_peak=120.0
+    ).expected(make_slots(86400.0))
+
+    controller = Switchboard(topology, max_link_scenarios=2)
+    capacity = controller.provision(demand, with_backup=True)
+    print(f"Provisioned {capacity.total_cores():.0f} cores, "
+          f"{capacity.total_wan_gbps(topology):.2f} Gbps inter-country WAN "
+          "(survives any single DC/link failure)")
+
+    # Realize the plan as MP server pools and host the busiest cell.
+    fleet = MPServerFleet(capacity)
+    print(f"Server fleet: {fleet.total_servers} MP servers "
+          f"({fleet.total_cores():.0f} raw cores)")
+
+    plan = controller.allocate(demand, capacity).plan
+    (slot, config), cell = max(plan.shares.items(),
+                               key=lambda item: max(item[1].values()))
+    dc_id, count = max(cell.items(), key=lambda kv: kv[1])
+    for i in range(int(count)):
+        fleet.host_call(f"call-{i}", dc_id, config)
+    pool = fleet.pool(dc_id)
+    print(f"\nHosted {pool.call_count} calls of {config} at {dc_id}: "
+          f"pool utilization {pool.used_cores / pool.total_cores:.0%}, "
+          f"spread {pool.utilization_spread():.2f}")
+
+    # Drill: kill the busiest server; calls respread within the pool.
+    victim = max(pool.servers, key=lambda s: s.used_cores)
+    stranded = pool.fail_server(victim.server_id)
+    print(f"Failed {victim.server_id}: {len(stranded)} calls stranded "
+          f"(0 means the pool absorbed the failure); "
+          f"{len(pool.servers)} servers remain")
+
+
+if __name__ == "__main__":
+    main()

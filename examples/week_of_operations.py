@@ -1,0 +1,34 @@
+#!/usr/bin/env python3
+"""Operate the service for ten days: the Fig 6 loop end to end.
+
+Three bootstrap days of closest-DC placement build up call records; then
+Switchboard takes over — nightly forecasts, twice-weekly re-provisioning,
+per-call real-time selection — and the daily dashboard shows migrations,
+overflow, latency, and capacity changes.
+
+Run:  python examples/week_of_operations.py
+"""
+
+from repro import ServiceSimulator, Topology, generate_population
+from repro.workload import DemandModel
+
+
+def main() -> None:
+    topology = Topology.default()
+    population = generate_population(topology.world, n_configs=50, seed=17)
+    model = DemandModel(topology.world, population, calls_per_slot_at_peak=50.0)
+
+    simulator = ServiceSimulator(
+        topology, model,
+        bootstrap_days=3,
+        reprovision_every=3,
+        capacity_cushion=1.25,
+    )
+    report = simulator.run(n_days=10)
+    print(report.summary())
+    print(f"\nrecords accumulated: {len(simulator.db)} calls, "
+          f"{len(simulator.db.configs())} distinct configs")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 660 editable
+installs (``pip install -e .`` with build isolation) cannot build.  This
+shim lets ``python setup.py develop`` / legacy pip editable installs work;
+all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,26 @@
+"""MP server allocation: offline daily plan + real-time selector (§5.3-5.4)."""
+
+from repro.allocation.offline import AllocationOptimizer, AllocationOutcome
+from repro.allocation.predictive import (
+    PredictiveSelector,
+    compare_selectors,
+    series_hint_fn,
+)
+from repro.allocation.plan import AllocationPlan
+from repro.allocation.realtime import (
+    RealTimeSelector,
+    SelectionOutcome,
+    SelectorStats,
+)
+
+__all__ = [
+    "AllocationOptimizer",
+    "AllocationOutcome",
+    "AllocationPlan",
+    "PredictiveSelector",
+    "RealTimeSelector",
+    "SelectionOutcome",
+    "SelectorStats",
+    "compare_selectors",
+    "series_hint_fn",
+]

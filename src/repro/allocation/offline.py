@@ -1,0 +1,137 @@
+"""The offline daily allocation LP (§5.3 "Allocation plan", Eq 10).
+
+Runs once per day with the *provisioned capacities fixed*: choose the DC
+shares ``S_tcx`` that minimize total ACL (Eq 10) subject to the capacity
+already provisioned.  Because cost is fixed at this stage, the latency
+objective is primary here; the paper describes it as a secondary objective
+added to the provisioning LP, which is equivalent once ``CP``/``NP`` are
+pinned at their provisioned values.
+
+Realized demand can exceed what was provisioned for (forecast error), so
+every capacity constraint carries an expensive *overflow* slack: the LP
+always solves, and the overflow total reports how far reality outran the
+plan — the quantity a production system would alarm on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.core.types import CallConfig
+from repro.allocation.plan import AllocationPlan
+from repro.provisioning.demand import PlacementData
+from repro.provisioning.lp import LinearProgram
+from repro.provisioning.planner import CapacityPlan
+from repro.workload.arrivals import Demand
+
+#: Objective price of one unit of overflow (cores or Gbps).  It only needs
+#: to dominate any achievable ACL coefficient (ms values are < 1e3).
+_OVERFLOW_PENALTY = 1e7
+
+#: Sub-millisecond objective bonus for placing a config at the DC the
+#: real-time selector will guess (closest to the majority country, which
+#: is where the first joiner almost always is).  Among DCs whose ACL
+#: differs by less than this, the plan prefers the guess DC — avoiding
+#: migrations that would buy less than half a millisecond (§5.4/§6.4).
+_GUESS_ALIGNMENT_BONUS_MS = 0.5
+
+
+@dataclass
+class AllocationOutcome:
+    """The plan plus how much capacity overflow it needed."""
+
+    plan: AllocationPlan
+    compute_overflow_cores: float
+    network_overflow_gbps: float
+    objective_acl_sum: float
+
+    @property
+    def overflowed(self) -> bool:
+        return self.compute_overflow_cores > 1e-6 or self.network_overflow_gbps > 1e-6
+
+
+class AllocationOptimizer:
+    """Builds and solves the daily allocation LP against fixed capacity."""
+
+    def __init__(self, placement: PlacementData, capacity: CapacityPlan):
+        self.placement = placement
+        self.capacity = capacity
+
+    def allocate(self, demand: Demand) -> AllocationOutcome:
+        lp = LinearProgram()
+        compute_rows: Dict[Tuple[int, str], int] = {}
+        network_rows: Dict[Tuple[int, str], int] = {}
+        overflow_keys = []
+
+        for t in range(demand.n_slots):
+            for j, config in enumerate(demand.configs):
+                count = demand.counts[t, j]
+                if count <= 0:
+                    continue
+                completeness_row = lp.equal.new_row(count)
+                guess_dc = self.placement.topology.closest_dc(
+                    config.majority_country
+                )
+                for option in self.placement.options(config):
+                    objective = option.acl_ms
+                    if option.dc_id == guess_dc:
+                        objective -= _GUESS_ALIGNMENT_BONUS_MS
+                    col = lp.variables.add(
+                        ("S", t, j, option.dc_id), objective=objective
+                    )
+                    lp.equal.add_term(completeness_row, col, 1.0)
+
+                    row = compute_rows.get((t, option.dc_id))
+                    if row is None:
+                        cap = self.capacity.cores.get(option.dc_id, 0.0)
+                        row = lp.less_equal.new_row(cap)
+                        over_key = ("over_cp", t, option.dc_id)
+                        over_col = lp.variables.add(over_key, objective=_OVERFLOW_PENALTY)
+                        overflow_keys.append(over_key)
+                        lp.less_equal.add_term(row, over_col, -1.0)
+                        compute_rows[(t, option.dc_id)] = row
+                    lp.less_equal.add_term(row, col, option.cores_per_call)
+
+                    for link_id, gbps in option.link_gbps.items():
+                        row = network_rows.get((t, link_id))
+                        if row is None:
+                            cap = self.capacity.link_gbps.get(link_id, 0.0)
+                            row = lp.less_equal.new_row(cap)
+                            over_key = ("over_np", t, link_id)
+                            over_col = lp.variables.add(
+                                over_key, objective=_OVERFLOW_PENALTY
+                            )
+                            overflow_keys.append(over_key)
+                            lp.less_equal.add_term(row, over_col, -1.0)
+                            network_rows[(t, link_id)] = row
+                        lp.less_equal.add_term(row, col, gbps)
+
+        solution = lp.solve(description="daily allocation LP")
+
+        shares: Dict[Tuple[int, CallConfig], Dict[str, float]] = {}
+        acl_sum = 0.0
+        configs = demand.configs
+        compute_overflow = 0.0
+        network_overflow = 0.0
+        for key, value in solution.values.items():
+            if value <= 1e-9:
+                continue
+            if key[0] == "S":
+                _, t, j, dc_id = key
+                shares.setdefault((t, configs[j]), {})[dc_id] = value
+            elif key[0] == "over_cp":
+                compute_overflow += value
+            elif key[0] == "over_np":
+                network_overflow += value
+        for (t, config), cell in shares.items():
+            for option in self.placement.options(config):
+                if option.dc_id in cell:
+                    acl_sum += option.acl_ms * cell[option.dc_id]
+
+        return AllocationOutcome(
+            plan=AllocationPlan(slots=list(demand.slots), shares=shares),
+            compute_overflow_cores=compute_overflow,
+            network_overflow_gbps=network_overflow,
+            objective_acl_sum=acl_sum,
+        )

@@ -1,0 +1,88 @@
+"""The allocation plan: per-slot, per-config DC shares (§5.3 end).
+
+The offline allocation stage emits, "for every time-slot in the subsequent
+day, and for every call config, what fraction of calls in the call config
+should be placed on each DC".  The LP's shares are fractional; the
+real-time selector needs integer *slots* ("place 80 of the 100 calls of
+((JP-4, ID-2), video) in Japan, 10 in Singapore, 10 in India"), so the
+plan also supports largest-remainder integerization, which preserves the
+per-cell totals exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.errors import SolverError
+from repro.core.types import CallConfig, TimeSlot
+
+PlanCell = Dict[str, float]
+
+
+@dataclass
+class AllocationPlan:
+    """Fractional DC shares per (slot index, call config)."""
+
+    slots: List[TimeSlot]
+    shares: Dict[Tuple[int, CallConfig], PlanCell]
+
+    def cell(self, slot_index: int, config: CallConfig) -> Optional[PlanCell]:
+        return self.shares.get((slot_index, config))
+
+    def planned_calls(self) -> float:
+        return sum(sum(cell.values()) for cell in self.shares.values())
+
+    def slot_index_of(self, t_s: float) -> int:
+        """Slot index for an absolute trace time (clamped to the grid)."""
+        if not self.slots:
+            raise SolverError("plan has no slots")
+        duration = self.slots[0].duration_s
+        origin = self.slots[0].start_s
+        index = int((t_s - origin) // duration)
+        return min(max(index, 0), len(self.slots) - 1)
+
+    def integerized(self) -> Dict[Tuple[int, CallConfig], Dict[str, int]]:
+        """Largest-remainder rounding of every cell.
+
+        Each cell's integer counts sum to ``round(sum(fractions))`` so no
+        call slots are silently created or destroyed.
+        """
+        result: Dict[Tuple[int, CallConfig], Dict[str, int]] = {}
+        for key, cell in self.shares.items():
+            total = int(round(sum(cell.values())))
+            floors = {dc: int(math.floor(v)) for dc, v in cell.items()}
+            assigned = sum(floors.values())
+            remainders = sorted(
+                cell, key=lambda dc: (cell[dc] - floors[dc], dc), reverse=True
+            )
+            for dc in remainders:
+                if assigned >= total:
+                    break
+                floors[dc] += 1
+                assigned += 1
+            result[key] = {dc: count for dc, count in floors.items() if count > 0}
+        return result
+
+    def mean_acl_ms(self, acl_of) -> float:
+        """Plan-weighted mean ACL; ``acl_of(dc_id, config) -> ms``."""
+        weighted, total = 0.0, 0.0
+        for (_, config), cell in self.shares.items():
+            for dc_id, count in cell.items():
+                weighted += acl_of(dc_id, config) * count
+                total += count
+        if total == 0:
+            raise SolverError("empty allocation plan")
+        return weighted / total
+
+    def dc_call_share(self) -> Dict[str, float]:
+        """Fraction of all planned calls hosted per DC (diagnostics)."""
+        per_dc: Dict[str, float] = {}
+        for cell in self.shares.values():
+            for dc_id, count in cell.items():
+                per_dc[dc_id] = per_dc.get(dc_id, 0.0) + count
+        total = sum(per_dc.values())
+        if total == 0:
+            raise SolverError("empty allocation plan")
+        return {dc_id: count / total for dc_id, count in per_dc.items()}

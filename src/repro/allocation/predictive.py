@@ -1,0 +1,125 @@
+"""Prediction-assisted real-time MP selection (§8's application).
+
+"If Switchboard could accurately predict the config for each new incoming
+call, it could potentially eliminate inter-DC migrations."  This module is
+that integration: a selector that, for recurring calls, asks a
+config-prediction hint *at call start* — before anyone but the first
+joiner is present — and places the call where the plan wants the
+*predicted* config, instead of guessing the DC closest to the first
+joiner.  When the prediction is right (or close enough that the planned DC
+coincides), the A-second reconciliation finds the call already in place
+and no migration happens.
+
+Ad-hoc calls (no hint available) fall through to the standard §5.4 path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional
+
+from repro.core.types import Call, CallConfig
+from repro.core.units import DEFAULT_FREEZE_WINDOW_S
+from repro.allocation.plan import AllocationPlan
+from repro.allocation.realtime import RealTimeSelector
+from repro.prediction.predictor import CallConfigPredictor
+from repro.workload.series import MeetingSeries
+
+#: A hint provider: maps a just-started call to its predicted config, or
+#: ``None`` when no prediction is available (ad-hoc calls, cold series).
+ConfigHintFn = Callable[[Call], Optional[CallConfig]]
+
+
+class PredictiveSelector(RealTimeSelector):
+    """RealTimeSelector that consults a config hint at call start."""
+
+    def __init__(self, topology, plan: AllocationPlan, hint_fn: ConfigHintFn,
+                 freeze_window_s: float = DEFAULT_FREEZE_WINDOW_S):
+        super().__init__(topology, plan, freeze_window_s)
+        self._hint_fn = hint_fn
+        self.hinted_calls = 0
+        self.hint_placements = 0
+
+    def initial_dc(self, call: Call) -> str:
+        """Place hinted calls where the plan wants the predicted config.
+
+        The slot is *not* debited here — debiting happens once, at the
+        freeze point, against the config that actually materialized; the
+        hint only improves the initial guess.
+        """
+        hint = self._hint_fn(call)
+        if hint is None:
+            return super().initial_dc(call)
+        self.hinted_calls += 1
+        slot_index = self.plan.slot_index_of(call.start_s)
+        cell = self._remaining.get((slot_index, hint))
+        if cell:
+            open_dcs = [dc for dc, slots in cell.items() if slots > 0]
+            if open_dcs:
+                self.hint_placements += 1
+                return min(
+                    open_dcs,
+                    key=lambda dc: (self.topology.acl_ms(dc, hint), dc),
+                )
+        # No plan slots for the predicted config: best local guess for it.
+        self.hint_placements += 1
+        return self.topology.closest_dc(hint.majority_country)
+
+    @property
+    def hint_rate(self) -> float:
+        return self.hinted_calls / self.stats.calls if self.stats.calls else 0.0
+
+
+def series_hint_fn(series_index: Dict[str, MeetingSeries],
+                   predictor: CallConfigPredictor,
+                   min_history: int = 3) -> ConfigHintFn:
+    """Build a hint function from trained series histories.
+
+    A call ``<series>#<k>`` is predicted from the attendance history
+    strictly before occurrence *k* (matching the paper's "at least 3 past
+    occurrences" requirement).  The per-country expected counts are
+    rounded to a config; media comes from the series.
+    """
+    def hint(call: Call) -> Optional[CallConfig]:
+        if call.series_id is None:
+            return None
+        series = series_index.get(call.series_id)
+        if series is None or "#" not in call.call_id:
+            return None
+        try:
+            occurrence = int(call.call_id.rsplit("#", 1)[1])
+        except ValueError:
+            return None
+        if occurrence < min_history or occurrence > series.n_occurrences:
+            return None
+        counts = predictor.predict_config_counts(series, occurrence)
+        spread = {country: int(round(v)) for country, v in counts.items()
+                  if round(v) >= 1}
+        if not spread:
+            return None
+        return CallConfig.build(spread, series.media)
+
+    return hint
+
+
+def compare_selectors(topology, plan: AllocationPlan, calls: Iterable[Call],
+                      hint_fn: ConfigHintFn,
+                      freeze_window_s: float = DEFAULT_FREEZE_WINDOW_S
+                      ) -> Dict[str, float]:
+    """Run the standard and predictive selectors over the same calls.
+
+    Returns both migration rates plus the predictive selector's hint
+    statistics — the §8 "reduce inter-DC migrations" comparison.
+    """
+    calls = list(calls)
+    standard = RealTimeSelector(topology, plan, freeze_window_s)
+    standard.process_trace(calls)
+    predictive = PredictiveSelector(topology, plan, hint_fn, freeze_window_s)
+    predictive.process_trace(calls)
+    return {
+        "standard_migration_rate": standard.stats.migration_rate,
+        "predictive_migration_rate": predictive.stats.migration_rate,
+        "hint_rate": predictive.hint_rate,
+        "standard_mean_acl_ms": standard.stats.mean_acl_ms,
+        "predictive_mean_acl_ms": predictive.stats.mean_acl_ms,
+        "n_calls": float(standard.stats.calls),
+    }

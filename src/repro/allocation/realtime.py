@@ -1,0 +1,137 @@
+"""The real-time MP selector (§5.4).
+
+When the first participant joins, the full call config is unknown; the
+selector therefore:
+
+(a) assigns the call to the DC **closest to the first joiner** — correct
+    for the ~95% of calls whose majority ends up in the first joiner's
+    country;
+(b) at ``A = 300 s`` the config freezes; the call is tallied against the
+    precomputed plan by debiting one slot for its config at the assigned
+    DC;
+(c) if the plan has no slot for this config at the assigned DC, the call
+    **migrates** to a DC that does (the undesirable-but-unavoidable case
+    §6.4 quantifies at 1.53%); configs the plan never anticipated go to
+    the DC closest to their majority country.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.core.errors import CapacityError
+from repro.core.types import Call, CallConfig
+from repro.core.units import DEFAULT_FREEZE_WINDOW_S
+from repro.allocation.plan import AllocationPlan
+from repro.topology.builder import Topology
+
+
+@dataclass(frozen=True)
+class SelectionOutcome:
+    """What happened to one call."""
+
+    call_id: str
+    initial_dc: str
+    final_dc: str
+    migrated: bool
+    planned: bool        # the final DC came from the plan (vs fallback)
+    acl_ms: float
+
+
+@dataclass
+class SelectorStats:
+    """Running §6.4-style statistics."""
+
+    calls: int = 0
+    migrations: int = 0
+    unplanned: int = 0
+    overflow: int = 0
+    acl_sum_ms: float = 0.0
+
+    @property
+    def migration_rate(self) -> float:
+        return self.migrations / self.calls if self.calls else 0.0
+
+    @property
+    def mean_acl_ms(self) -> float:
+        return self.acl_sum_ms / self.calls if self.calls else 0.0
+
+
+class RealTimeSelector:
+    """Assigns each new call to a DC, honouring the precomputed plan."""
+
+    def __init__(self, topology: Topology, plan: AllocationPlan,
+                 freeze_window_s: float = DEFAULT_FREEZE_WINDOW_S):
+        if freeze_window_s <= 0:
+            raise CapacityError("freeze window must be positive")
+        self.topology = topology
+        self.plan = plan
+        self.freeze_window_s = freeze_window_s
+        self._remaining: Dict[Tuple[int, CallConfig], Dict[str, int]] = (
+            plan.integerized()
+        )
+        self.stats = SelectorStats()
+
+    # ------------------------------------------------------------------
+    # the two decision points of §5.4
+    # ------------------------------------------------------------------
+    def initial_dc(self, call: Call) -> str:
+        """(a): closest DC to the first joiner."""
+        return self.topology.closest_dc(call.first_joiner.country)
+
+    def final_dc(self, call: Call, initial_dc: str) -> Tuple[str, bool, bool]:
+        """(b)+(c): settle against the plan once the config is known.
+
+        Returns ``(dc, planned, overflowed)``.
+        """
+        config = call.config(self.freeze_window_s)
+        slot_index = self.plan.slot_index_of(call.start_s)
+        cell = self._remaining.get((slot_index, config))
+        if cell is None:
+            # Unanticipated config: closest DC to the majority (§5.4 b).
+            return self.topology.closest_dc(config.majority_country), False, False
+
+        if cell.get(initial_dc, 0) > 0:
+            cell[initial_dc] -= 1
+            return initial_dc, True, False
+
+        open_dcs = [dc for dc, slots in cell.items() if slots > 0]
+        if open_dcs:
+            # Prefer the lowest-ACL DC among those with slots remaining.
+            best = min(
+                open_dcs,
+                key=lambda dc: (self.topology.acl_ms(dc, config), dc),
+            )
+            cell[best] -= 1
+            return best, True, False
+
+        # Slot exhaustion: more calls of this config arrived than planned.
+        # Stay at the initial DC and count the overflow.
+        return initial_dc, True, True
+
+    def process_call(self, call: Call) -> SelectionOutcome:
+        initial = self.initial_dc(call)
+        final, planned, overflowed = self.final_dc(call, initial)
+        migrated = final != initial
+        acl = self.topology.acl_ms(final, call.config())
+
+        self.stats.calls += 1
+        self.stats.acl_sum_ms += acl
+        if migrated:
+            self.stats.migrations += 1
+        if not planned:
+            self.stats.unplanned += 1
+        if overflowed:
+            self.stats.overflow += 1
+        return SelectionOutcome(
+            call_id=call.call_id,
+            initial_dc=initial,
+            final_dc=final,
+            migrated=migrated,
+            planned=planned,
+            acl_ms=acl,
+        )
+
+    def process_trace(self, calls: Iterable[Call]) -> List[SelectionOutcome]:
+        return [self.process_call(call) for call in calls]

@@ -1,0 +1,14 @@
+"""Baseline strategies (§3): Round-Robin and Locality-First."""
+
+from repro.baselines.base import ProvisioningStrategy, UsageCalculator
+from repro.baselines.locality_first import LocalityFirstStrategy
+from repro.baselines.resource_log import ResourceLogProvisioner
+from repro.baselines.round_robin import RoundRobinStrategy
+
+__all__ = [
+    "LocalityFirstStrategy",
+    "ProvisioningStrategy",
+    "ResourceLogProvisioner",
+    "RoundRobinStrategy",
+    "UsageCalculator",
+]

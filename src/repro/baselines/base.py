@@ -1,0 +1,173 @@
+"""Shared machinery for provisioning/allocation strategies.
+
+A :class:`ProvisioningStrategy` turns a demand matrix into (a) a
+fractional allocation plan and (b) provisioned capacity, with and without
+backup.  The two baselines (§3) and Switchboard all expose this interface
+so the Table 3 experiment can sweep them uniformly.
+
+Baselines provision backup the pre-Switchboard way:
+
+* **compute** — serving peaks first, then *dedicated* backup on top from
+  the §3.2 LP (Eqs 1-2), applied per region because a failed DC's calls
+  can only fail over to DCs in the same region;
+* **network** — the peak over failure scenarios of the link usage induced
+  by the strategy's own failover behaviour (redistribute / re-rank /
+  reroute), which is the "redundancy for links on both paths" of Fig 5.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.errors import TopologyError
+from repro.core.types import CallConfig
+from repro.core.units import mbps_to_gbps
+from repro.allocation.plan import AllocationPlan
+from repro.provisioning.backup_lp import solve_backup_lp
+from repro.provisioning.planner import CapacityPlan
+from repro.topology.builder import Topology
+from repro.topology.geo import REGIONS
+from repro.workload.arrivals import Demand
+from repro.workload.media import MediaLoadModel
+
+
+class UsageCalculator:
+    """Computes the compute/network usage a share assignment induces."""
+
+    def __init__(self, topology: Topology, load_model: Optional[MediaLoadModel] = None):
+        self.topology = topology
+        self.load_model = load_model if load_model is not None else MediaLoadModel()
+        self._link_cache: Dict[Tuple[CallConfig, str, Optional[str]], Optional[Dict[str, float]]] = {}
+
+    def call_cores(self, config: CallConfig) -> float:
+        return self.load_model.call_cores(config)
+
+    def call_link_gbps(self, config: CallConfig, dc_id: str,
+                       failed_link: Optional[str] = None
+                       ) -> Optional[Dict[str, float]]:
+        """Per-call Gbps on each link; ``None`` if unreachable."""
+        key = (config, dc_id, failed_link)
+        if key in self._link_cache:
+            return self._link_cache[key]
+        per_leg = mbps_to_gbps(self.load_model.leg_mbps(config))
+        loads: Dict[str, float] = {}
+        reachable = True
+        for country, count in config.spread:
+            try:
+                path = self.topology.wan.path(dc_id, country, exclude_link=failed_link)
+            except TopologyError:
+                reachable = False
+                break
+            for link_id in path:
+                loads[link_id] = loads.get(link_id, 0.0) + per_leg * count
+        result = loads if reachable else None
+        self._link_cache[key] = result
+        return result
+
+    def peaks(self, plan: AllocationPlan, demand: Demand,
+              failed_link: Optional[str] = None
+              ) -> Tuple[Dict[str, float], Dict[str, float]]:
+        """Peak cores per DC and peak Gbps per link under a plan.
+
+        Per-slot usage is accumulated, then the per-DC / per-link maxima
+        over slots are returned — the quantities that drive provisioning
+        cost (§6.1).
+        """
+        n_slots = len(plan.slots)
+        dc_usage: Dict[str, np.ndarray] = {}
+        link_usage: Dict[str, np.ndarray] = {}
+        for (t, config), cell in plan.shares.items():
+            cores = self.call_cores(config)
+            for dc_id, count in cell.items():
+                if count <= 0:
+                    continue
+                if dc_id not in dc_usage:
+                    dc_usage[dc_id] = np.zeros(n_slots)
+                dc_usage[dc_id][t] += cores * count
+                links = self.call_link_gbps(config, dc_id, failed_link)
+                if links is None:
+                    raise TopologyError(
+                        f"plan hosts {config} at {dc_id} but it is unreachable"
+                    )
+                for link_id, gbps in links.items():
+                    if link_id not in link_usage:
+                        link_usage[link_id] = np.zeros(n_slots)
+                    link_usage[link_id][t] += gbps * count
+        return (
+            {dc: float(usage.max()) for dc, usage in dc_usage.items()},
+            {link: float(usage.max()) for link, usage in link_usage.items()},
+        )
+
+
+class ProvisioningStrategy(abc.ABC):
+    """Interface every scheme (RR, LF, Switchboard) implements."""
+
+    name: str = "abstract"
+
+    def __init__(self, topology: Topology, load_model: Optional[MediaLoadModel] = None):
+        self.topology = topology
+        self.usage = UsageCalculator(topology, load_model)
+
+    @abc.abstractmethod
+    def allocation_plan(self, demand: Demand,
+                        failed_dc: Optional[str] = None) -> AllocationPlan:
+        """Fractional shares for the demand, optionally with a DC failed."""
+
+    def plan_without_backup(self, demand: Demand) -> CapacityPlan:
+        plan = self.allocation_plan(demand)
+        cores, links = self.usage.peaks(plan, demand)
+        return CapacityPlan(cores=cores, link_gbps=links)
+
+    def plan_with_backup(self, demand: Demand,
+                         max_link_scenarios: Optional[int] = None) -> CapacityPlan:
+        base_plan = self.allocation_plan(demand)
+        serving_cores, link_peaks = self.usage.peaks(base_plan, demand)
+
+        # Compute backup: §3.2 LP per region over serving peaks.  Every DC
+        # of the region is a candidate backup site even if the strategy
+        # serves nothing there (LF concentrates serving on few DCs, but a
+        # failed DC's calls can fail over to any region sibling).
+        cores = dict(serving_cores)
+        for region in REGIONS:
+            region_dcs = [dc.dc_id for dc in self.topology.fleet.in_region(region)]
+            serving_in_region = {
+                dc_id: serving_cores.get(dc_id, 0.0) for dc_id in region_dcs
+            }
+            if len(region_dcs) < 2 or sum(serving_in_region.values()) <= 0:
+                continue
+            backup = solve_backup_lp(serving_in_region)
+            for dc_id, extra in backup.items():
+                if extra > 0:
+                    cores[dc_id] = cores.get(dc_id, 0.0) + extra
+
+        # Network backup: worst-case link peaks over failure scenarios.
+        links = dict(link_peaks)
+        for dc_id in self.topology.fleet.ids:
+            if dc_id not in serving_cores:
+                continue
+            failover = self.allocation_plan(demand, failed_dc=dc_id)
+            _, failover_links = self.usage.peaks(failover, demand)
+            for link_id, gbps in failover_links.items():
+                links[link_id] = max(links.get(link_id, 0.0), gbps)
+
+        link_candidates = [
+            link for link in self.topology.wan.links
+            if link.link_id in link_peaks and not self.topology.wan.is_bridge(link.link_id)
+        ]
+        link_candidates.sort(key=lambda link: (-link.unit_cost, link.link_id))
+        if max_link_scenarios is not None:
+            link_candidates = link_candidates[:max_link_scenarios]
+        for link in link_candidates:
+            _, rerouted = self.usage.peaks(base_plan, demand, failed_link=link.link_id)
+            for link_id, gbps in rerouted.items():
+                links[link_id] = max(links.get(link_id, 0.0), gbps)
+
+        return CapacityPlan(cores=cores, link_gbps=links)
+
+    def mean_acl_ms(self, demand: Demand) -> float:
+        """Demand-weighted mean ACL of the strategy's allocation."""
+        plan = self.allocation_plan(demand)
+        return plan.mean_acl_ms(lambda dc, config: self.topology.acl_ms(dc, config))

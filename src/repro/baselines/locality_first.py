@@ -1,0 +1,44 @@
+"""The Locality-First baseline (§3.2).
+
+Server allocation: every call goes to the DC with the lowest average call
+latency for its config — the latency-optimal policy of [21, 23, 24, 39].
+
+Capacity: each DC must absorb the *local peak* of the sub-region it is
+closest to; the sum of time-shifted local peaks exceeds the global peak,
+so LF provisions more serving compute than RR, and its skewed serving
+distribution inflates the dedicated backup required by the §3.2 LP — the
+paper's India-at-75% example.  In exchange, WAN usage and latency are
+minimal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.types import CallConfig
+from repro.allocation.plan import AllocationPlan
+from repro.baselines.base import ProvisioningStrategy
+from repro.workload.arrivals import Demand
+
+
+class LocalityFirstStrategy(ProvisioningStrategy):
+    """Min-ACL allocation; failover re-ranks to the next-best DC."""
+
+    name = "locality_first"
+
+    def allocation_plan(self, demand: Demand,
+                        failed_dc: Optional[str] = None) -> AllocationPlan:
+        exclude = (failed_dc,) if failed_dc else ()
+        best: Dict[CallConfig, str] = {}
+        shares: Dict = {}
+        for t in range(demand.n_slots):
+            for j, config in enumerate(demand.configs):
+                count = demand.counts[t, j]
+                if count <= 0:
+                    continue
+                dc_id = best.get(config)
+                if dc_id is None:
+                    dc_id = self.topology.best_dc(config, exclude=exclude)
+                    best[config] = dc_id
+                shares[(t, config)] = {dc_id: count}
+        return AllocationPlan(slots=list(demand.slots), shares=shares)

@@ -1,0 +1,77 @@
+"""The Round-Robin baseline (§3.1).
+
+Server allocation: equal-weight round-robin over the DCs in the call's
+region — in expectation, every region DC hosts an equal share of every
+config's calls, which is exactly the fractional plan built here.
+
+Capacity: RR's load equalization minimizes both serving compute (the
+region's total peak split evenly) and dedicated backup (each surviving DC
+picks up ``1/(n-1)`` of the failed DC's load).  The cost is WAN bandwidth
+and latency: spraying calls to far-off DCs inflates both — the weaknesses
+Table 3 quantifies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.types import CallConfig
+from repro.allocation.plan import AllocationPlan
+from repro.baselines.base import ProvisioningStrategy
+from repro.workload.arrivals import Demand
+
+
+class RoundRobinStrategy(ProvisioningStrategy):
+    """Round-robin allocation across the region's DCs.
+
+    The paper's baseline uses equal weights ("it helps equalize load
+    across the sites, thereby minimizing the need for backup compute
+    capacity"); §3.1 notes a *weighted* variant is possible — pass
+    ``weights`` (dc id -> relative share) to model, e.g., DCs of unequal
+    size.  Unlisted DCs default to weight 1.
+    """
+
+    name = "round_robin"
+
+    def __init__(self, topology, load_model=None,
+                 weights: Optional[Dict[str, float]] = None):
+        super().__init__(topology, load_model)
+        self.weights = dict(weights) if weights else {}
+        if any(w < 0 for w in self.weights.values()):
+            raise ValueError("RR weights must be non-negative")
+
+    def _weight(self, dc_id: str) -> float:
+        return self.weights.get(dc_id, 1.0)
+
+    def _region_dcs(self, config: CallConfig,
+                    failed_dc: Optional[str]) -> Tuple[str, ...]:
+        dcs = [
+            dc_id for dc_id in self.topology.region_dcs_for(config)
+            if dc_id != failed_dc and self._weight(dc_id) > 0
+        ]
+        if not dcs:
+            # The region's only DC failed (or all weights zero): fall back
+            # to the fleet.
+            dcs = [dc_id for dc_id in self.topology.fleet.ids if dc_id != failed_dc]
+        return tuple(dcs)
+
+    def allocation_plan(self, demand: Demand,
+                        failed_dc: Optional[str] = None) -> AllocationPlan:
+        shares: Dict = {}
+        for t in range(demand.n_slots):
+            for j, config in enumerate(demand.configs):
+                count = demand.counts[t, j]
+                if count <= 0:
+                    continue
+                dcs = self._region_dcs(config, failed_dc)
+                total_weight = sum(self._weight(dc_id) for dc_id in dcs)
+                if total_weight <= 0:  # fleet fallback with zero weights
+                    total_weight = float(len(dcs))
+                    cell = {dc_id: count / total_weight for dc_id in dcs}
+                else:
+                    cell = {
+                        dc_id: count * self._weight(dc_id) / total_weight
+                        for dc_id in dcs
+                    }
+                shares[(t, config)] = cell
+        return AllocationPlan(slots=list(demand.slots), shares=shares)

@@ -1,0 +1,23 @@
+"""Real-time controller runtime: events, service, trace replay (§6.6)."""
+
+from repro.controller.events import (
+    ControllerEvent,
+    EventType,
+    event_stream,
+    events_of_call,
+    peak_event_rate,
+)
+from repro.controller.replay import ReplayEngine, ReplayResult
+from repro.controller.service import ControllerService, ServiceStats
+
+__all__ = [
+    "ControllerEvent",
+    "ControllerService",
+    "EventType",
+    "ReplayEngine",
+    "ReplayResult",
+    "ServiceStats",
+    "event_stream",
+    "events_of_call",
+    "peak_event_rate",
+]

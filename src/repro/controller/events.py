@@ -1,0 +1,113 @@
+"""Controller event stream: what the service sees in real time.
+
+The controller benchmark (§6.6) replays a 24-hour trace of "millions of
+calls and events (participants joining and media changes)".  This module
+turns a :class:`~repro.workload.trace.CallTrace` into that event stream:
+``CALL_START`` when the first participant joins, ``PARTICIPANT_JOIN`` for
+each later joiner, ``MEDIA_CHANGE`` when someone escalates the call's
+media, ``CONFIG_FREEZE`` at A seconds (the §5.4 decision point), and
+``CALL_END``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.errors import WorkloadError
+from repro.core.types import Call, MediaType
+from repro.core.units import DEFAULT_FREEZE_WINDOW_S
+from repro.workload.trace import CallTrace
+
+
+class EventType(enum.Enum):
+    CALL_START = "call_start"
+    PARTICIPANT_JOIN = "participant_join"
+    MEDIA_CHANGE = "media_change"
+    CONFIG_FREEZE = "config_freeze"
+    CALL_END = "call_end"
+
+
+@dataclass(frozen=True)
+class ControllerEvent:
+    """One timestamped event, sorted by (time, call, type)."""
+
+    t_s: float
+    event_type: EventType
+    call_id: str
+    country: Optional[str] = None
+    media: Optional[MediaType] = None
+    call: Optional[Call] = None
+
+
+def events_of_call(call: Call,
+                   freeze_window_s: float = DEFAULT_FREEZE_WINDOW_S
+                   ) -> List[ControllerEvent]:
+    """The event sequence a single call produces."""
+    if not call.participants:
+        raise WorkloadError(f"call {call.call_id} has no participants")
+    events: List[ControllerEvent] = []
+    first = call.first_joiner
+    events.append(ControllerEvent(
+        t_s=call.start_s,
+        event_type=EventType.CALL_START,
+        call_id=call.call_id,
+        country=first.country,
+        call=call,
+    ))
+    seen_media = MediaType.AUDIO
+    for participant in call.participants:
+        t = call.start_s + participant.join_offset_s
+        if participant is not first:
+            events.append(ControllerEvent(
+                t_s=t,
+                event_type=EventType.PARTICIPANT_JOIN,
+                call_id=call.call_id,
+                country=participant.country,
+            ))
+        if participant.media.rank > seen_media.rank:
+            seen_media = participant.media
+            events.append(ControllerEvent(
+                t_s=t,
+                event_type=EventType.MEDIA_CHANGE,
+                call_id=call.call_id,
+                media=participant.media,
+            ))
+    events.append(ControllerEvent(
+        t_s=call.start_s + freeze_window_s,
+        event_type=EventType.CONFIG_FREEZE,
+        call_id=call.call_id,
+        call=call,
+    ))
+    events.append(ControllerEvent(
+        t_s=call.end_s,
+        event_type=EventType.CALL_END,
+        call_id=call.call_id,
+    ))
+    return events
+
+
+def event_stream(trace: CallTrace,
+                 freeze_window_s: float = DEFAULT_FREEZE_WINDOW_S
+                 ) -> List[ControllerEvent]:
+    """All events of a trace in time order."""
+    events: List[ControllerEvent] = []
+    for call in trace:
+        events.extend(events_of_call(call, freeze_window_s))
+    events.sort(key=lambda e: (e.t_s, e.call_id, e.event_type.value))
+    return events
+
+
+def peak_event_rate(events: List[ControllerEvent], window_s: float = 60.0) -> float:
+    """Peak events/second over fixed windows — the trace's "peak load".
+
+    Fig 10 normalizes controller throughput to the peak traffic seen in
+    the trace; this is that denominator.
+    """
+    if not events:
+        raise WorkloadError("no events")
+    counts = {}
+    for event in events:
+        counts[int(event.t_s // window_s)] = counts.get(int(event.t_s // window_s), 0) + 1
+    return max(counts.values()) / window_s

@@ -1,0 +1,102 @@
+"""Trace replay and the Fig 10 throughput benchmark.
+
+Replays a controller event stream through N writer threads against the
+latency-simulating kvstore, as fast as the store allows (§6.6 replays 24
+hours of trace, so replay is *not* realtime-paced).  Per-call event order
+is preserved — events of one call always execute in sequence on a
+deterministic thread (sharding by call id), matching how a production
+controller partitions calls across workers; different calls proceed
+concurrently.
+
+Throughput is reported both raw (events/s) and normalized to the trace's
+peak event rate — Fig 10's y-axis ("can we support 1.4x today's peak?").
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.errors import SwitchboardError
+from repro.controller.events import ControllerEvent, peak_event_rate
+from repro.controller.service import ControllerService
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of one replay run."""
+
+    n_threads: int
+    n_events: int
+    wall_time_s: float
+    events_per_s: float
+    peak_trace_rate: float
+    throughput_vs_peak: float
+    migration_rate: float
+
+
+class ReplayEngine:
+    """Shards events over writer threads and measures throughput."""
+
+    def __init__(self, service: ControllerService):
+        self.service = service
+
+    def replay(self, events: List[ControllerEvent], n_threads: int = 1,
+               peak_rate: Optional[float] = None) -> ReplayResult:
+        if n_threads < 1:
+            raise SwitchboardError("need at least one writer thread")
+        if not events:
+            raise SwitchboardError("no events to replay")
+
+        queues: List["queue.Queue[Optional[ControllerEvent]]"] = [
+            queue.Queue() for _ in range(n_threads)
+        ]
+        # Shard by call id: per-call ordering is preserved because the
+        # input list is time-sorted and each queue is FIFO.
+        for event in events:
+            queues[hash(event.call_id) % n_threads].put(event)
+        for q in queues:
+            q.put(None)  # sentinel
+
+        errors: List[BaseException] = []
+        error_lock = threading.Lock()
+
+        def worker(q: "queue.Queue[Optional[ControllerEvent]]") -> None:
+            while True:
+                event = q.get()
+                if event is None:
+                    return
+                try:
+                    self.service.handle(event)
+                except BaseException as exc:  # surface, don't swallow
+                    with error_lock:
+                        errors.append(exc)
+                    return
+
+        threads = [
+            threading.Thread(target=worker, args=(q,), daemon=True) for q in queues
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - start
+        if errors:
+            raise SwitchboardError(f"replay worker failed: {errors[0]!r}") from errors[0]
+
+        if peak_rate is None:
+            peak_rate = peak_event_rate(events)
+        events_per_s = len(events) / wall if wall > 0 else float("inf")
+        return ReplayResult(
+            n_threads=n_threads,
+            n_events=len(events),
+            wall_time_s=wall,
+            events_per_s=events_per_s,
+            peak_trace_rate=peak_rate,
+            throughput_vs_peak=events_per_s / peak_rate,
+            migration_rate=self.service.migration_rate,
+        )

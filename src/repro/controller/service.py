@@ -1,0 +1,144 @@
+"""The real-time controller service: selector + state store, wired.
+
+This is the component §6.6 benchmarks: it consumes controller events,
+drives the §5.4 real-time MP selector, and persists every state change to
+the (Redis-like) kvstore — the writes whose throughput Fig 10 measures.
+It is deliberately thread-safe: the replay engine fans events out over a
+worker pool exactly as the production controller fans them over Redis
+writer threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.errors import SwitchboardError
+from repro.core.units import DEFAULT_FREEZE_WINDOW_S
+from repro.allocation.plan import AllocationPlan
+from repro.allocation.realtime import RealTimeSelector
+from repro.controller.events import ControllerEvent, EventType
+from repro.kvstore.client import ControllerStateClient
+from repro.kvstore.store import InMemoryKVStore
+from repro.topology.builder import Topology
+
+
+@dataclass
+class ServiceStats:
+    """Counters the controller exposes (all under one lock)."""
+
+    calls_started: int = 0
+    calls_ended: int = 0
+    joins: int = 0
+    media_changes: int = 0
+    migrations: int = 0
+    events_processed: int = 0
+
+
+class ControllerService:
+    """Processes the event stream, updating selector state and the store."""
+
+    def __init__(self, topology: Topology, plan: AllocationPlan,
+                 store: Optional[InMemoryKVStore] = None,
+                 freeze_window_s: float = DEFAULT_FREEZE_WINDOW_S,
+                 fleet: Optional["MPServerFleet"] = None):
+        """``fleet`` optionally lands every call on an actual MP server
+        (the intra-DC layer): admitted at call start, moved on migration,
+        released at call end.  Server admission failures propagate as
+        CapacityError — a fleet sized from the capacity plan should never
+        hit them."""
+        self.topology = topology
+        self.selector = RealTimeSelector(topology, plan, freeze_window_s)
+        self.store = store if store is not None else InMemoryKVStore()
+        self.client = ControllerStateClient(self.store)
+        self.fleet = fleet
+        self.stats = ServiceStats()
+        self._lock = threading.Lock()
+        self._assigned: Dict[str, str] = {}
+
+    def handle(self, event: ControllerEvent) -> None:
+        """Process one event.  Safe to call from multiple threads."""
+        handler = {
+            EventType.CALL_START: self._on_start,
+            EventType.PARTICIPANT_JOIN: self._on_join,
+            EventType.MEDIA_CHANGE: self._on_media,
+            EventType.CONFIG_FREEZE: self._on_freeze,
+            EventType.CALL_END: self._on_end,
+        }.get(event.event_type)
+        if handler is None:
+            raise SwitchboardError(f"unknown event type {event.event_type}")
+        handler(event)
+        with self._lock:
+            self.stats.events_processed += 1
+
+    # ------------------------------------------------------------------
+    def _on_start(self, event: ControllerEvent) -> None:
+        if event.call is None or event.country is None:
+            raise SwitchboardError("CALL_START event missing call/country")
+        with self._lock:
+            initial = self.selector.initial_dc(event.call)
+            self._assigned[event.call_id] = initial
+            self.stats.calls_started += 1
+            if self.fleet is not None:
+                # Admit on a server with the only config known at start —
+                # the first joiner alone; usage is trued up at the freeze.
+                self.fleet.host_call(
+                    event.call_id, initial,
+                    event.call.config(freeze_after_s=1e-9),
+                )
+        self.client.open_call(event.call_id, initial, event.country)
+
+    def _on_join(self, event: ControllerEvent) -> None:
+        if event.country is None:
+            raise SwitchboardError("PARTICIPANT_JOIN event missing country")
+        with self._lock:
+            self.stats.joins += 1
+        self.client.record_join(event.call_id, event.country)
+
+    def _on_media(self, event: ControllerEvent) -> None:
+        if event.media is None:
+            raise SwitchboardError("MEDIA_CHANGE event missing media")
+        with self._lock:
+            self.stats.media_changes += 1
+        self.client.record_media(event.call_id, event.media)
+
+    def _on_freeze(self, event: ControllerEvent) -> None:
+        if event.call is None:
+            raise SwitchboardError("CONFIG_FREEZE event missing call")
+        with self._lock:
+            initial = self._assigned.get(event.call_id)
+            if initial is None:
+                return  # call already ended before its freeze point
+            final, _planned, _overflow = self.selector.final_dc(event.call, initial)
+            migrated = final != initial
+            if migrated:
+                self.stats.migrations += 1
+                self._assigned[event.call_id] = final
+        if self.fleet is not None:
+            # True-up server usage to the frozen config — and move DCs if
+            # the reconciliation migrated the call.  (migrate_call to the
+            # same DC is exactly a release + re-admit.)
+            with self._lock:
+                self.fleet.migrate_call(
+                    event.call_id, final,
+                    event.call.config(self.selector.freeze_window_s),
+                )
+        if migrated:
+            self.client.migrate_call(event.call_id, final)
+
+    def _on_end(self, event: ControllerEvent) -> None:
+        with self._lock:
+            self._assigned.pop(event.call_id, None)
+            self.stats.calls_ended += 1
+            if self.fleet is not None:
+                self.fleet.end_call(event.call_id)
+        self.client.close_call(event.call_id)
+
+    # ------------------------------------------------------------------
+    @property
+    def migration_rate(self) -> float:
+        with self._lock:
+            if self.stats.calls_started == 0:
+                raise SwitchboardError("no calls processed")
+            return self.stats.migrations / self.stats.calls_started

@@ -1,0 +1,55 @@
+"""Core domain types, units, and errors shared across the library."""
+
+from repro.core.errors import (
+    CapacityError,
+    ForecastError,
+    InfeasibleError,
+    RecordError,
+    SolverError,
+    SwitchboardError,
+    TopologyError,
+    WorkloadError,
+)
+from repro.core.types import (
+    Call,
+    CallConfig,
+    CallLeg,
+    MediaType,
+    Participant,
+    TimeSlot,
+    make_slots,
+    slot_of,
+)
+from repro.core.units import (
+    DEFAULT_FREEZE_WINDOW_S,
+    DEFAULT_LATENCY_THRESHOLD_MS,
+    DEFAULT_SLOT_S,
+    gbps_to_mbps,
+    mbps_to_gbps,
+    normalize,
+)
+
+__all__ = [
+    "Call",
+    "CallConfig",
+    "CallLeg",
+    "CapacityError",
+    "DEFAULT_FREEZE_WINDOW_S",
+    "DEFAULT_LATENCY_THRESHOLD_MS",
+    "DEFAULT_SLOT_S",
+    "ForecastError",
+    "InfeasibleError",
+    "MediaType",
+    "Participant",
+    "RecordError",
+    "SolverError",
+    "SwitchboardError",
+    "TimeSlot",
+    "TopologyError",
+    "WorkloadError",
+    "gbps_to_mbps",
+    "make_slots",
+    "mbps_to_gbps",
+    "normalize",
+    "slot_of",
+]

@@ -1,0 +1,104 @@
+"""Shared experiment scenario: the synthetic stand-in for Teams data.
+
+Every experiment builds from the same :class:`Scenario` bundle — topology,
+config population, demand model, expected/sampled demand, and (lazily) a
+full call trace — so that results across tables and figures describe one
+coherent world, the way the paper's experiments all describe one service.
+
+Three size presets:
+
+* ``small``  — unit-test scale (seconds end to end);
+* ``default`` — benchmark/experiment scale (the numbers in
+  EXPERIMENTS.md);
+* ``large``  — stress scale for the scalability checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.errors import SwitchboardError
+from repro.core.types import TimeSlot, make_slots
+from repro.core.units import DEFAULT_SLOT_S
+from repro.topology.builder import Topology
+from repro.workload.arrivals import Demand, DemandModel
+from repro.workload.configs import ConfigPopulation, generate_population
+from repro.workload.diurnal import DiurnalModel
+from repro.workload.media import MediaLoadModel
+from repro.workload.trace import CallTrace, TraceGenerator
+
+#: Size presets: (n_configs, calls_per_slot_at_peak, horizon_days).
+_PRESETS: Dict[str, Dict[str, float]] = {
+    "small": {"n_configs": 40, "calls_per_slot": 60, "days": 1},
+    "default": {"n_configs": 120, "calls_per_slot": 300, "days": 1},
+    "large": {"n_configs": 400, "calls_per_slot": 1200, "days": 1},
+}
+
+
+@dataclass
+class Scenario:
+    """One coherent synthetic world + workload."""
+
+    name: str
+    topology: Topology
+    population: ConfigPopulation
+    demand_model: DemandModel
+    slots: List[TimeSlot]
+    expected_demand: Demand
+    load_model: MediaLoadModel = field(default_factory=MediaLoadModel)
+    seed: int = 11
+    _sampled: Optional[Demand] = None
+    _trace: Optional[CallTrace] = None
+
+    @property
+    def sampled_demand(self) -> Demand:
+        """Poisson-realized demand (the "ground truth" call counts)."""
+        if self._sampled is None:
+            self._sampled = self.demand_model.sample(self.slots, seed=self.seed)
+        return self._sampled
+
+    @property
+    def trace(self) -> CallTrace:
+        """Individual calls expanded from the sampled demand."""
+        if self._trace is None:
+            self._trace = TraceGenerator(seed=self.seed + 1).generate(
+                self.sampled_demand
+            )
+        return self._trace
+
+    def history_demand(self, days: int, seed_offset: int = 100) -> Demand:
+        """A multi-day sampled history for forecasting experiments."""
+        if days < 1:
+            raise SwitchboardError("need at least one history day")
+        slots = make_slots(days * 86400.0, DEFAULT_SLOT_S)
+        return self.demand_model.sample(slots, seed=self.seed + seed_offset)
+
+
+def build_scenario(size: str = "default", seed: int = 11,
+                   topology: Optional[Topology] = None) -> Scenario:
+    """Construct the standard scenario at a given size preset."""
+    if size not in _PRESETS:
+        raise SwitchboardError(
+            f"unknown size {size!r}; choose from {sorted(_PRESETS)}"
+        )
+    preset = _PRESETS[size]
+    topo = topology if topology is not None else Topology.default()
+    population = generate_population(
+        topo.world, n_configs=int(preset["n_configs"]), seed=seed
+    )
+    demand_model = DemandModel(
+        topo.world, population, DiurnalModel(),
+        calls_per_slot_at_peak=float(preset["calls_per_slot"]),
+    )
+    slots = make_slots(preset["days"] * 86400.0, DEFAULT_SLOT_S)
+    expected = demand_model.expected(slots)
+    return Scenario(
+        name=size,
+        topology=topo,
+        population=population,
+        demand_model=demand_model,
+        slots=slots,
+        expected_demand=expected,
+        seed=seed,
+    )

@@ -1,0 +1,104 @@
+"""Export figure-ready CSV data for every plot-shaped experiment.
+
+The offline environment has no plotting stack, so each figure experiment
+exposes its series as rows; this module writes them as CSV files a user
+can plot with anything.  ``python -m repro.experiments.figdata OUTDIR``
+writes one file per figure.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments import fig3, fig7, fig8, fig9
+from repro.experiments.common import Scenario, build_scenario
+
+
+def _write(path: str, header: Sequence[str], rows: Sequence[Sequence]) -> None:
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+
+
+def export_fig3(outdir: str) -> str:
+    """Per-slot normalized demand per country (one column each)."""
+    result = fig3.run()
+    countries = list(result["normalized_demand"])
+    hours = result["slot_utc_hours"]
+    rows = [
+        [hour] + [result["normalized_demand"][c][i] for c in countries]
+        for i, hour in enumerate(hours)
+    ]
+    path = os.path.join(outdir, "fig3_demand_curves.csv")
+    _write(path, ["utc_hour"] + countries, rows)
+    return path
+
+
+def export_fig7a(outdir: str) -> str:
+    """Forecast-vs-truth overlay for the top config."""
+    result = fig7.run_forecast_overlay()
+    rows = list(zip(range(len(result["truth"])), result["truth"],
+                    result["forecast"]))
+    path = os.path.join(outdir, "fig7a_forecast_overlay.csv")
+    _write(path, ["slot", "truth", "forecast"], rows)
+    return path
+
+
+def export_fig7c(outdir: str) -> str:
+    """Top-N coverage curve."""
+    result = fig7.run_coverage()
+    rows = [
+        [fraction, coverage, result["participant_coverage"][fraction]]
+        for fraction, coverage in result["call_coverage"].items()
+    ]
+    path = os.path.join(outdir, "fig7c_coverage.csv")
+    _write(path, ["top_fraction", "call_coverage", "participant_coverage"], rows)
+    return path
+
+
+def export_fig8(outdir: str, scenario: Optional[Scenario] = None) -> str:
+    """Participant join CDF."""
+    result = fig8.run(scenario)
+    path = os.path.join(outdir, "fig8_join_cdf.csv")
+    _write(path, ["seconds_since_start", "fraction_joined"], result["cdf"])
+    return path
+
+
+def export_fig9(outdir: str, scenario: Optional[Scenario] = None) -> str:
+    """Forecast error CDFs (RMSE and MAE interleaved by metric column)."""
+    result = fig9.run(scenario)
+    rows = (
+        [["rmse", value, frac] for value, frac in result["rmse_cdf"]]
+        + [["mae", value, frac] for value, frac in result["mae_cdf"]]
+    )
+    path = os.path.join(outdir, "fig9_error_cdfs.csv")
+    _write(path, ["metric", "normalized_error", "cdf"], rows)
+    return path
+
+
+def export_all(outdir: str, scenario: Optional[Scenario] = None) -> List[str]:
+    """Write every figure's CSV; returns the paths written."""
+    os.makedirs(outdir, exist_ok=True)
+    scn = scenario if scenario is not None else build_scenario("small")
+    return [
+        export_fig3(outdir),
+        export_fig7a(outdir),
+        export_fig7c(outdir),
+        export_fig8(outdir, scn),
+        export_fig9(outdir, scn),
+    ]
+
+
+def main() -> int:
+    outdir = sys.argv[1] if len(sys.argv) > 1 else "figdata"
+    for path in export_all(outdir):
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""§8: predicting the call config of recurring meetings.
+
+Train the MOMC + logistic-regression predictor on the attendance history
+of recurring meeting series, predict the per-country participant counts
+of unseen instances, and compare against the previous-instance baseline.
+The paper reports model RMSE 0.97 / MAE 0.90 against baseline 24.90 /
+23.60 — the baseline collapses on large meetings and on attendees with
+non-trivial temporal patterns (e.g. biweekly attendees of weekly series),
+both of which the synthetic series substrate includes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.prediction.predictor import CallConfigPredictor
+from repro.topology.builder import Topology
+from repro.workload.series import generate_series
+
+
+def run(topology: Optional[Topology] = None,
+        n_series: int = 300, occurrences: int = 14,
+        train_fraction: float = 0.8, seed: int = 31) -> Dict[str, object]:
+    topo = topology if topology is not None else Topology.default()
+    all_series = generate_series(topo.world, n_series=n_series,
+                                 occurrences=occurrences, seed=seed)
+    split = int(train_fraction * len(all_series))
+    train, test = all_series[:split], all_series[split:]
+
+    predictor = CallConfigPredictor().fit(train)
+    summary = predictor.evaluate(test, eval_last=2)
+    return {
+        "model_rmse": summary.model_rmse,
+        "model_mae": summary.model_mae,
+        "baseline_rmse": summary.baseline_rmse,
+        "baseline_mae": summary.baseline_mae,
+        "rmse_improvement": summary.baseline_rmse / summary.model_rmse,
+        "n_instances": summary.n_instances,
+        "n_train_series": len(train),
+        "n_test_series": len(test),
+    }
+
+
+def render(result: Dict[str, object]) -> str:
+    return "\n".join([
+        f"§8 — call-config prediction ({result['n_instances']} unseen "
+        f"instances from {result['n_test_series']} held-out series):",
+        f"  MOMC+LR:  RMSE={result['model_rmse']:.2f} "
+        f"MAE={result['model_mae']:.2f} (paper: 0.97 / 0.90)",
+        f"  baseline: RMSE={result['baseline_rmse']:.2f} "
+        f"MAE={result['baseline_mae']:.2f} (paper: 24.90 / 23.60)",
+        f"  model beats the previous-instance baseline by "
+        f"{result['rmse_improvement']:.1f}x on RMSE",
+    ])
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

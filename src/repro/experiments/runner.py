@@ -1,0 +1,96 @@
+"""CLI: regenerate every table and figure of the paper in one run.
+
+``switchboard-experiments`` (installed via pyproject) or
+``python -m repro.experiments.runner``.  Pass experiment names to run a
+subset; ``--size small`` shrinks the shared scenario for a quick pass.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, Tuple
+
+from repro.experiments import (
+    app_aware, fig3, fig4, fig7, fig8, fig9, fig10,
+    migration, prediction, predictive, table1, table3, table4,
+    threshold_sweep,
+)
+from repro.experiments.common import build_scenario
+
+#: name -> (needs_scenario, run, render)
+_EXPERIMENTS: Dict[str, Tuple[bool, Callable, Callable]] = {
+    "fig3": (False, lambda scn: fig3.run(), fig3.render),
+    "fig4": (False, lambda scn: fig4.run(), fig4.render),
+    "table1": (False, lambda scn: table1.run(), table1.render),
+    "fig7": (False, lambda scn: fig7.run(), fig7.render),
+    "table3": (True, lambda scn: table3.run(scn), table3.render),
+    "table4": (True, lambda scn: table4.run(scn), table4.render),
+    "fig8": (True, lambda scn: fig8.run(scn), fig8.render),
+    "fig9": (True, lambda scn: fig9.run(scn), fig9.render),
+    "migration": (True, lambda scn: migration.run(scn), migration.render),
+    "fig10": (True, lambda scn: fig10.run(scn), fig10.render),
+    "prediction": (False, lambda scn: prediction.run(), prediction.render),
+    "predictive": (False, lambda scn: predictive.run(), predictive.render),
+    "app_aware": (False, lambda scn: app_aware.run(), app_aware.render),
+    "threshold_sweep": (True, lambda scn: threshold_sweep.run(scn),
+                        threshold_sweep.render),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the Switchboard paper's tables and figures."
+    )
+    parser.add_argument(
+        "experiments", nargs="*", default=[],
+        help=f"subset to run (default: all of {', '.join(_EXPERIMENTS)})",
+    )
+    parser.add_argument("--size", default="default",
+                        choices=("small", "default", "large"),
+                        help="shared scenario size preset")
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also dump raw results as JSON to PATH")
+    args = parser.parse_args(argv)
+
+    chosen = args.experiments or list(_EXPERIMENTS)
+    unknown = [name for name in chosen if name not in _EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {', '.join(unknown)}")
+
+    scenario = None
+    if any(_EXPERIMENTS[name][0] for name in chosen):
+        scenario = build_scenario(args.size, seed=args.seed)
+
+    collected = {}
+    for name in chosen:
+        _, run, render = _EXPERIMENTS[name]
+        start = time.time()
+        result = run(scenario)
+        elapsed = time.time() - start
+        print(f"\n=== {name} ({elapsed:.1f}s) " + "=" * max(0, 58 - len(name)))
+        print(render(result))
+        collected[name] = result
+
+    if args.json:
+        import json
+
+        with open(args.json, "w") as handle:
+            json.dump(collected, handle, indent=1, default=_jsonable)
+        print(f"\nraw results written to {args.json}")
+    return 0
+
+
+def _jsonable(value):
+    """Best-effort JSON coercion for experiment payloads."""
+    if hasattr(value, "__dict__"):
+        return {k: v for k, v in vars(value).items() if not k.startswith("_")}
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    return str(value)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

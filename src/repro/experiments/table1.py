@@ -1,0 +1,54 @@
+"""Table 1: relative compute and network load by media type.
+
+The paper reports ranges (audio 1x/1x; screen-share 1-2x CL, 10-20x NL,
+ratio 10-15x; video 2-4x CL, 30-40x NL, ratio 15-20x).  Our media load
+model is calibrated inside every range; this experiment prints the table
+and checks each cell against the paper's bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.workload.media import MediaLoadModel
+
+#: The paper's ranges: media -> metric -> (low, high).
+PAPER_RANGES: Dict[str, Dict[str, Tuple[float, float]]] = {
+    "audio": {"CL": (1.0, 1.0), "NL": (1.0, 1.0), "NL/CL": (1.0, 1.0)},
+    "screen_share": {"CL": (1.0, 2.0), "NL": (10.0, 20.0), "NL/CL": (10.0, 15.0)},
+    "video": {"CL": (2.0, 4.0), "NL": (30.0, 40.0), "NL/CL": (15.0, 20.0)},
+}
+
+
+def run(load_model: MediaLoadModel = None) -> Dict[str, object]:
+    model = load_model if load_model is not None else MediaLoadModel()
+    table = model.relative_table()
+    in_range = {
+        media: {
+            metric: PAPER_RANGES[media][metric][0] - 1e-9
+            <= value <= PAPER_RANGES[media][metric][1] + 1e-9
+            for metric, value in row.items()
+        }
+        for media, row in table.items()
+    }
+    return {"table": table, "within_paper_ranges": in_range}
+
+
+def render(result: Dict[str, object]) -> str:
+    lines = ["Table 1 — relative loads by media type (audio = 1x):"]
+    lines.append(f"{'media':<14}{'CL':>8}{'NL':>8}{'NL/CL':>8}  in paper range")
+    for media, row in result["table"].items():
+        ok = all(result["within_paper_ranges"][media].values())
+        lines.append(
+            f"{media:<14}{row['CL']:>8.2f}{row['NL']:>8.2f}"
+            f"{row['NL/CL']:>8.2f}  {'yes' if ok else 'NO'}"
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

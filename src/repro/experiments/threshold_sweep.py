@@ -1,0 +1,73 @@
+"""Sensitivity of cost to the ACL threshold (the 120 ms design choice).
+
+The paper constrains one-way ACL to 120 ms "based on our experience of
+running the service" (§5.3).  This ablation sweeps the threshold and
+provisions Switchboard at each value: tighter bounds shrink every
+config's candidate DC set, forcing locality and losing peak-sharing
+opportunities (cost up); looser bounds widen the sets with diminishing
+returns.  The interesting output is the cost-latency frontier around the
+paper's chosen point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.common import Scenario, build_scenario
+from repro.switchboard import Switchboard
+
+DEFAULT_THRESHOLDS_MS = (10.0, 20.0, 30.0, 45.0, 60.0, 120.0)
+
+
+def run(scenario: Optional[Scenario] = None,
+        thresholds_ms: Sequence[float] = DEFAULT_THRESHOLDS_MS
+        ) -> Dict[str, object]:
+    scn = scenario if scenario is not None else build_scenario("default")
+    demand = scn.expected_demand
+    rows: List[Dict[str, float]] = []
+    for threshold in thresholds_ms:
+        controller = Switchboard(
+            scn.topology, scn.load_model,
+            latency_threshold_ms=threshold, max_link_scenarios=0,
+        )
+        capacity = controller.provision(demand, with_backup=False)
+        acl = controller.mean_acl_with_capacity(demand, capacity)
+        rows.append({
+            "threshold_ms": threshold,
+            "total_cost": capacity.cost(scn.topology),
+            "total_cores": capacity.total_cores(),
+            "total_wan_gbps": capacity.total_wan_gbps(scn.topology),
+            "mean_acl_ms": acl,
+        })
+    baseline = next(
+        (r for r in rows if r["threshold_ms"] == 120.0), rows[-1]
+    )
+    return {
+        "rows": rows,
+        "cost_at_120_ms": baseline["total_cost"],
+        "relative_cost": {
+            r["threshold_ms"]: r["total_cost"] / baseline["total_cost"]
+            for r in rows
+        },
+    }
+
+
+def render(result: Dict[str, object]) -> str:
+    lines = ["Ablation — cost vs ACL threshold (paper picks 120 ms):"]
+    lines.append(f"{'LAT_th':>8}{'cost vs 120ms':>15}{'cores':>9}"
+                 f"{'WAN Gbps':>10}{'mean ACL':>10}")
+    for row in result["rows"]:
+        rel = result["relative_cost"][row["threshold_ms"]]
+        lines.append(
+            f"{row['threshold_ms']:>6.0f}ms{rel:>15.2f}{row['total_cores']:>9.1f}"
+            f"{row['total_wan_gbps']:>10.2f}{row['mean_acl_ms']:>8.1f}ms"
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""Call-count forecasting (§5.2, §6.5): Holt-Winters from scratch."""
+
+from repro.forecasting.evaluation import (
+    ForecastErrors,
+    error_cdf,
+    forecast_errors,
+    median_of,
+    summarize_errors,
+)
+from repro.forecasting.forecaster import CallCountForecaster, ConfigForecast
+from repro.forecasting.holt_winters import (
+    HoltWintersFit,
+    fit_auto,
+    fit_fallback,
+    fit_holt_winters,
+)
+
+__all__ = [
+    "CallCountForecaster",
+    "ConfigForecast",
+    "ForecastErrors",
+    "HoltWintersFit",
+    "error_cdf",
+    "fit_auto",
+    "fit_fallback",
+    "fit_holt_winters",
+    "forecast_errors",
+    "median_of",
+    "summarize_errors",
+]

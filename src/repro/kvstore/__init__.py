@@ -1,0 +1,11 @@
+"""Redis-like in-memory key-value store substrate (§6.6)."""
+
+from repro.kvstore.client import ControllerStateClient
+from repro.kvstore.store import InMemoryKVStore, KVStoreError, LatencyProfile
+
+__all__ = [
+    "ControllerStateClient",
+    "InMemoryKVStore",
+    "KVStoreError",
+    "LatencyProfile",
+]

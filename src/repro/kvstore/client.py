@@ -1,0 +1,85 @@
+"""Typed client facade over the kvstore for controller state.
+
+Defines the key schema the controller uses, so that the raw store never
+leaks stringly-typed keys into the controller logic:
+
+* ``call:{id}``            — hash: assigned DC, media, spread so far;
+* ``slots:{t}:{config}``   — hash: remaining plan slots per DC;
+* ``dcload:{dc}``          — counter: live calls per DC.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.types import CallConfig, MediaType
+from repro.kvstore.store import InMemoryKVStore
+
+
+class ControllerStateClient:
+    """What the real controller would do against Redis, typed."""
+
+    def __init__(self, store: InMemoryKVStore):
+        self._store = store
+
+    # -- per-call state -------------------------------------------------
+    def open_call(self, call_id: str, dc_id: str, first_country: str) -> None:
+        self._store.hset(f"call:{call_id}", "dc", dc_id)
+        self._store.hset(f"call:{call_id}", "media", MediaType.AUDIO.value)
+        self._store.hincrby(f"call:{call_id}:spread", first_country, 1)
+        self._store.incr(f"dcload:{dc_id}")
+
+    def record_join(self, call_id: str, country: str) -> None:
+        self._store.hincrby(f"call:{call_id}:spread", country, 1)
+
+    def record_media(self, call_id: str, media: MediaType) -> None:
+        current = self._store.hget(f"call:{call_id}", "media")
+        if current is not None:
+            escalated = MediaType(current).escalate(media)
+            self._store.hset(f"call:{call_id}", "media", escalated.value)
+        else:
+            self._store.hset(f"call:{call_id}", "media", media.value)
+
+    def call_dc(self, call_id: str) -> Optional[str]:
+        return self._store.hget(f"call:{call_id}", "dc")
+
+    def migrate_call(self, call_id: str, new_dc: str) -> None:
+        old_dc = self._store.hget(f"call:{call_id}", "dc")
+        self._store.hset(f"call:{call_id}", "dc", new_dc)
+        if old_dc is not None:
+            self._store.decr(f"dcload:{old_dc}")
+        self._store.incr(f"dcload:{new_dc}")
+
+    def close_call(self, call_id: str) -> None:
+        dc_id = self._store.hget(f"call:{call_id}", "dc")
+        if dc_id is not None:
+            self._store.decr(f"dcload:{dc_id}")
+        self._store.delete(f"call:{call_id}")
+        self._store.delete(f"call:{call_id}:spread")
+
+    def observed_config(self, call_id: str) -> Optional[CallConfig]:
+        """The config as accumulated so far from join/media events."""
+        spread = self._store.hgetall(f"call:{call_id}:spread")
+        if not spread:
+            return None
+        media_raw = self._store.hget(f"call:{call_id}", "media")
+        media = MediaType(media_raw) if media_raw else MediaType.AUDIO
+        return CallConfig.build(spread, media)
+
+    # -- plan slot accounting (§5.4 b) -----------------------------------
+    def init_slots(self, slot_index: int, config: CallConfig,
+                   per_dc: Dict[str, int]) -> None:
+        key = f"slots:{slot_index}:{config}"
+        for dc_id, count in per_dc.items():
+            self._store.hset(key, dc_id, count)
+
+    def debit_slot(self, slot_index: int, config: CallConfig, dc_id: str) -> int:
+        """Debit one plan slot; returns the remaining count (may go < 0)."""
+        return self._store.hincrby(f"slots:{slot_index}:{config}", dc_id, -1)
+
+    def remaining_slots(self, slot_index: int, config: CallConfig) -> Dict[str, int]:
+        return self._store.hgetall(f"slots:{slot_index}:{config}")
+
+    # -- load ------------------------------------------------------------
+    def dc_load(self, dc_id: str) -> int:
+        return self._store.get(f"dcload:{dc_id}") or 0

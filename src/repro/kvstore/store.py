@@ -1,0 +1,196 @@
+"""An in-process, thread-safe, Redis-like key-value store.
+
+The paper's controller keeps call state (the evolving call config, slot
+tallies) in Azure Redis and measures per-write latencies of 0.3–4.2 ms
+(§6.6).  Offline we substitute this store: the same string/hash/counter
+operations, a global lock for Redis's single-threaded atomicity semantics,
+and an optional simulated network round-trip *outside* the lock — so, as
+with real Redis pipelining from multiple clients, writer threads overlap
+their network time and throughput scales with the thread count.  That
+scaling is precisely what Fig 10 measures.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.errors import SwitchboardError
+
+
+class KVStoreError(SwitchboardError):
+    """A kvstore operation was used against the wrong value type."""
+
+
+class LatencyProfile:
+    """Simulated per-operation network latency, sampled per call.
+
+    Defaults reproduce the paper's observed write-latency range: lognormal
+    with median ~1 ms, clipped to [0.3 ms, 4.2 ms].
+    """
+
+    def __init__(self, median_ms: float = 1.0, sigma: float = 0.6,
+                 floor_ms: float = 0.3, ceil_ms: float = 4.2, seed: int = 99):
+        if not 0 <= floor_ms <= ceil_ms:
+            raise KVStoreError("invalid latency bounds")
+        self._mu = np.log(median_ms) if median_ms > 0 else 0.0
+        self._sigma = sigma
+        self._floor = floor_ms
+        self._ceil = ceil_ms
+        self._rng = np.random.default_rng(seed)
+        self._lock = threading.Lock()
+
+    def sample_ms(self) -> float:
+        with self._lock:
+            raw = float(self._rng.lognormal(self._mu, self._sigma))
+        return min(max(raw, self._floor), self._ceil)
+
+
+class InMemoryKVStore:
+    """Redis-semantics store: atomic ops, optional simulated latency."""
+
+    def __init__(self, latency: Optional[LatencyProfile] = None):
+        self._data: Dict[str, Any] = {}
+        self._lock = threading.Lock()
+        self._latency = latency
+        self._op_count = 0
+        self._op_latencies_ms: List[float] = []
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _simulate_network(self) -> float:
+        """Block for a sampled round-trip; returns the latency in ms."""
+        if self._latency is None:
+            return 0.0
+        delay_ms = self._latency.sample_ms()
+        # Sleeping outside the data lock releases the GIL, so concurrent
+        # clients overlap their waits exactly as real network I/O would.
+        time.sleep(delay_ms / 1000.0)
+        return delay_ms
+
+    def _record_op(self, latency_ms: float) -> None:
+        with self._lock:
+            self._op_count += 1
+            if len(self._op_latencies_ms) < 1_000_000:
+                self._op_latencies_ms.append(latency_ms)
+
+    # ------------------------------------------------------------------
+    # string ops
+    # ------------------------------------------------------------------
+    def set(self, key: str, value: Any) -> None:
+        latency = self._simulate_network()
+        with self._lock:
+            self._data[key] = value
+        self._record_op(latency)
+
+    def get(self, key: str) -> Optional[Any]:
+        latency = self._simulate_network()
+        with self._lock:
+            value = self._data.get(key)
+        self._record_op(latency)
+        return value
+
+    def delete(self, key: str) -> bool:
+        latency = self._simulate_network()
+        with self._lock:
+            existed = self._data.pop(key, None) is not None
+        self._record_op(latency)
+        return existed
+
+    def exists(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    # ------------------------------------------------------------------
+    # counters
+    # ------------------------------------------------------------------
+    def incr(self, key: str, amount: int = 1) -> int:
+        latency = self._simulate_network()
+        with self._lock:
+            current = self._data.get(key, 0)
+            if not isinstance(current, int):
+                raise KVStoreError(f"INCR on non-integer key {key!r}")
+            current += amount
+            self._data[key] = current
+        self._record_op(latency)
+        return current
+
+    def decr(self, key: str, amount: int = 1) -> int:
+        return self.incr(key, -amount)
+
+    # ------------------------------------------------------------------
+    # hashes
+    # ------------------------------------------------------------------
+    def hset(self, key: str, field: str, value: Any) -> None:
+        latency = self._simulate_network()
+        with self._lock:
+            table = self._data.setdefault(key, {})
+            if not isinstance(table, dict):
+                raise KVStoreError(f"HSET on non-hash key {key!r}")
+            table[field] = value
+        self._record_op(latency)
+
+    def hget(self, key: str, field: str) -> Optional[Any]:
+        latency = self._simulate_network()
+        with self._lock:
+            table = self._data.get(key)
+            if table is None:
+                value = None
+            elif not isinstance(table, dict):
+                raise KVStoreError(f"HGET on non-hash key {key!r}")
+            else:
+                value = table.get(field)
+        self._record_op(latency)
+        return value
+
+    def hgetall(self, key: str) -> Dict[str, Any]:
+        latency = self._simulate_network()
+        with self._lock:
+            table = self._data.get(key, {})
+            if not isinstance(table, dict):
+                raise KVStoreError(f"HGETALL on non-hash key {key!r}")
+            snapshot = dict(table)
+        self._record_op(latency)
+        return snapshot
+
+    def hincrby(self, key: str, field: str, amount: int = 1) -> int:
+        latency = self._simulate_network()
+        with self._lock:
+            table = self._data.setdefault(key, {})
+            if not isinstance(table, dict):
+                raise KVStoreError(f"HINCRBY on non-hash key {key!r}")
+            current = table.get(field, 0)
+            if not isinstance(current, int):
+                raise KVStoreError(f"HINCRBY on non-integer field {key!r}.{field!r}")
+            current += amount
+            table[field] = current
+        self._record_op(latency)
+        return current
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def op_count(self) -> int:
+        with self._lock:
+            return self._op_count
+
+    def latency_stats_ms(self) -> Tuple[float, float, float]:
+        """(min, median, max) of simulated op latencies."""
+        with self._lock:
+            samples = list(self._op_latencies_ms)
+        if not samples:
+            return (0.0, 0.0, 0.0)
+        samples.sort()
+        return samples[0], samples[len(samples) // 2], samples[-1]
+
+    def flush(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)

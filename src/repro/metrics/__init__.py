@@ -1,0 +1,35 @@
+"""Evaluation metrics (§6.1): ACL, capacity peaks, cost, comparisons."""
+
+from repro.metrics.capacity import (
+    capacity_diff,
+    capacity_summary,
+    per_dc_cores,
+    per_region_cores,
+)
+from repro.metrics.cost import cost_breakdown
+from repro.metrics.latency import (
+    acl_percentiles,
+    fraction_within_threshold,
+    mean_acl_of_outcomes,
+)
+from repro.metrics.report import (
+    SchemeMetrics,
+    comparison_table,
+    evaluate_strategy,
+    render_table,
+)
+
+__all__ = [
+    "SchemeMetrics",
+    "acl_percentiles",
+    "capacity_diff",
+    "capacity_summary",
+    "comparison_table",
+    "cost_breakdown",
+    "evaluate_strategy",
+    "fraction_within_threshold",
+    "mean_acl_of_outcomes",
+    "per_dc_cores",
+    "per_region_cores",
+    "render_table",
+]

@@ -1,0 +1,62 @@
+"""Capacity metrics (§6.1 metrics 2-3): peak cores and WAN Gbps."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.provisioning.planner import CapacityPlan
+from repro.topology.builder import Topology
+
+
+def capacity_summary(plan: CapacityPlan, topology: Topology) -> Dict[str, float]:
+    """The §6.1 capacity metrics for one plan."""
+    return {
+        "total_cores": plan.total_cores(),
+        "total_wan_gbps": plan.total_wan_gbps(topology),
+        "total_all_links_gbps": sum(plan.link_gbps.values()),
+        "n_dcs_used": sum(1 for v in plan.cores.values() if v > 1e-9),
+        "n_links_used": sum(1 for v in plan.link_gbps.values() if v > 1e-9),
+    }
+
+
+def per_dc_cores(plan: CapacityPlan, topology: Topology) -> Dict[str, float]:
+    """Cores per DC, with zero rows for unused DCs (stable reporting)."""
+    return {dc_id: plan.cores.get(dc_id, 0.0) for dc_id in topology.fleet.ids}
+
+
+def per_region_cores(plan: CapacityPlan, topology: Topology) -> Dict[str, float]:
+    """Cores aggregated per region — where the capacity physically sits."""
+    totals: Dict[str, float] = {}
+    for dc_id, cores in plan.cores.items():
+        region = topology.fleet.dc(dc_id).region
+        totals[region] = totals.get(region, 0.0) + cores
+    return totals
+
+
+def capacity_diff(old: CapacityPlan, new: CapacityPlan) -> Dict[str, Dict[str, float]]:
+    """What changes between two provisioning rounds.
+
+    The paper notes provisioning runs every few months and "the cloud
+    provider may need to change the amount of compute and network
+    provisioned at each DC and network path from time to time" — this is
+    that change order: per-DC core deltas and per-link Gbps deltas
+    (positive = add capacity, negative = reclaim).
+    """
+    cores = {
+        dc_id: new.cores.get(dc_id, 0.0) - old.cores.get(dc_id, 0.0)
+        for dc_id in sorted(set(old.cores) | set(new.cores))
+    }
+    links = {
+        link_id: new.link_gbps.get(link_id, 0.0) - old.link_gbps.get(link_id, 0.0)
+        for link_id in sorted(set(old.link_gbps) | set(new.link_gbps))
+    }
+    return {
+        "cores": {k: v for k, v in cores.items() if abs(v) > 1e-9},
+        "link_gbps": {k: v for k, v in links.items() if abs(v) > 1e-9},
+        "totals": {
+            "cores_added": sum(v for v in cores.values() if v > 0),
+            "cores_reclaimed": -sum(v for v in cores.values() if v < 0),
+            "gbps_added": sum(v for v in links.values() if v > 0),
+            "gbps_reclaimed": -sum(v for v in links.values() if v < 0),
+        },
+    }

@@ -1,0 +1,19 @@
+"""Cost metrics (§6.1 metric 4): what the provisioned capacity costs."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.provisioning.planner import CapacityPlan
+from repro.topology.builder import Topology
+
+
+def cost_breakdown(plan: CapacityPlan, topology: Topology) -> Dict[str, float]:
+    """Total cost split into its compute and network components (Eq 3)."""
+    compute = sum(topology.dc_cost(dc) * v for dc, v in plan.cores.items())
+    network = sum(topology.wan_cost(l) * v for l, v in plan.link_gbps.items())
+    return {
+        "compute_cost": compute,
+        "network_cost": network,
+        "total_cost": compute + network,
+    }

@@ -1,0 +1,41 @@
+"""Latency metrics (§6.1 metric 1): ACL and mean ACL.
+
+The ACL of a call is the mean one-way latency over its call legs; the
+experiments report the mean ACL across all calls.  Helpers here operate on
+allocation plans (fractional calls) and on real-time selection outcomes
+(individual calls).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.core.errors import SwitchboardError
+from repro.allocation.realtime import SelectionOutcome
+
+
+def mean_acl_of_outcomes(outcomes: Sequence[SelectionOutcome]) -> float:
+    """Mean ACL over individually-selected calls."""
+    if not outcomes:
+        raise SwitchboardError("no selection outcomes")
+    return float(np.mean([outcome.acl_ms for outcome in outcomes]))
+
+
+def acl_percentiles(outcomes: Sequence[SelectionOutcome],
+                    percentiles: Iterable[float] = (50, 90, 99)) -> List[float]:
+    """ACL distribution tail (useful beyond the paper's mean)."""
+    if not outcomes:
+        raise SwitchboardError("no selection outcomes")
+    values = [outcome.acl_ms for outcome in outcomes]
+    return [float(np.percentile(values, p)) for p in percentiles]
+
+
+def fraction_within_threshold(outcomes: Sequence[SelectionOutcome],
+                              threshold_ms: float = 120.0) -> float:
+    """Fraction of calls meeting the ACL bound (the Eq 4 target)."""
+    if not outcomes:
+        raise SwitchboardError("no selection outcomes")
+    within = sum(1 for outcome in outcomes if outcome.acl_ms <= threshold_ms)
+    return within / len(outcomes)

@@ -1,0 +1,17 @@
+"""Intra-DC MP server substrate: pools, placement policies, fleet."""
+
+from repro.mpservers.fleet import MPServerFleet
+from repro.mpservers.pool import (
+    DEFAULT_SERVER_CORES,
+    ServerPool,
+    servers_for_cores,
+)
+from repro.mpservers.server import MPServer
+
+__all__ = [
+    "DEFAULT_SERVER_CORES",
+    "MPServer",
+    "MPServerFleet",
+    "ServerPool",
+    "servers_for_cores",
+]

@@ -1,0 +1,84 @@
+"""Fleet manager: realize a capacity plan as server pools, host calls.
+
+Bridges the DC-level :class:`~repro.provisioning.planner.CapacityPlan` to
+actual machines: one :class:`ServerPool` per DC, sized for the plan's
+cores, plus the call-level admit/release path the controller drives after
+the §5.4 selector has chosen the DC.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.errors import CapacityError
+from repro.core.types import CallConfig
+from repro.mpservers.pool import DEFAULT_SERVER_CORES, ServerPool, servers_for_cores
+from repro.provisioning.planner import CapacityPlan
+from repro.workload.media import MediaLoadModel
+
+
+class MPServerFleet:
+    """All pools of the deployment, built from a capacity plan."""
+
+    def __init__(self, capacity: CapacityPlan,
+                 server_cores: float = DEFAULT_SERVER_CORES,
+                 policy: str = "least_loaded",
+                 utilization_target: float = 0.9,
+                 load_model: Optional[MediaLoadModel] = None):
+        self.load_model = load_model if load_model is not None else MediaLoadModel()
+        self.pools: Dict[str, ServerPool] = {}
+        for dc_id, cores in sorted(capacity.cores.items()):
+            n_servers = servers_for_cores(cores, server_cores,
+                                          utilization_target)
+            self.pools[dc_id] = ServerPool(
+                dc_id, n_servers, server_cores, policy, utilization_target
+            )
+        self._dc_by_call: Dict[str, str] = {}
+
+    def pool(self, dc_id: str) -> ServerPool:
+        try:
+            return self.pools[dc_id]
+        except KeyError:
+            raise CapacityError(f"no server pool in {dc_id}") from None
+
+    @property
+    def total_servers(self) -> int:
+        return sum(len(pool.servers) for pool in self.pools.values())
+
+    def total_cores(self) -> float:
+        return sum(pool.total_cores for pool in self.pools.values())
+
+    # ------------------------------------------------------------------
+    # call lifecycle (what the controller calls after DC selection)
+    # ------------------------------------------------------------------
+    def host_call(self, call_id: str, dc_id: str, config: CallConfig) -> str:
+        """Admit a call in its selected DC; returns the server id."""
+        cores = self.load_model.call_cores(config)
+        server = self.pool(dc_id).place(call_id, cores)
+        self._dc_by_call[call_id] = dc_id
+        return server.server_id
+
+    def migrate_call(self, call_id: str, new_dc: str, config: CallConfig) -> str:
+        """Inter-DC migration: release at the old DC, admit at the new."""
+        old_dc = self._dc_by_call.get(call_id)
+        if old_dc is None:
+            raise CapacityError(f"call {call_id} not hosted anywhere")
+        self.pool(old_dc).release(call_id)
+        del self._dc_by_call[call_id]
+        return self.host_call(call_id, new_dc, config)
+
+    def end_call(self, call_id: str) -> None:
+        dc_id = self._dc_by_call.pop(call_id, None)
+        if dc_id is None:
+            raise CapacityError(f"call {call_id} not hosted anywhere")
+        self.pool(dc_id).release(call_id)
+
+    def dc_of(self, call_id: str) -> Optional[str]:
+        return self._dc_by_call.get(call_id)
+
+    def utilization(self) -> Dict[str, float]:
+        """Fraction of each pool's raw cores in use."""
+        return {
+            dc_id: (pool.used_cores / pool.total_cores if pool.total_cores else 0.0)
+            for dc_id, pool in self.pools.items()
+        }

@@ -1,0 +1,166 @@
+"""Per-DC server pools and intra-DC placement policies.
+
+Three classic policies (the intra-DC selection literature the paper cites
+— Maglev/Ananta-era load balancing — reduces to variants of these for
+stateful session placement):
+
+* ``least_loaded`` — the server with the most free cores (best balance,
+  needs global state);
+* ``round_robin``  — cycle the pool (stateless-ish, worst fragmentation);
+* ``power_of_two`` — pick the less-loaded of two random servers (the
+  classic latency/balance compromise).
+
+The pool also answers the provisioning-to-hardware question: how many
+servers realize a DC's planned cores (:func:`servers_for_cores`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.errors import CapacityError
+from repro.mpservers.server import MPServer
+
+#: Cores per MP server: a mid-size VM/host dedicated to media processing.
+DEFAULT_SERVER_CORES = 16.0
+
+
+def servers_for_cores(cores: float, server_cores: float = DEFAULT_SERVER_CORES,
+                      utilization_target: float = 0.9) -> int:
+    """Servers needed to realize ``cores`` of planned capacity."""
+    if cores < 0 or server_cores <= 0:
+        raise CapacityError("cores must be >= 0 and server size positive")
+    if cores == 0:
+        return 0
+    usable = server_cores * utilization_target
+    return int(math.ceil(cores / usable - 1e-12))
+
+
+class ServerPool:
+    """All MP servers of one DC plus a placement policy."""
+
+    POLICIES = ("least_loaded", "round_robin", "power_of_two")
+
+    def __init__(self, dc_id: str, n_servers: int,
+                 server_cores: float = DEFAULT_SERVER_CORES,
+                 policy: str = "least_loaded",
+                 utilization_target: float = 0.9,
+                 seed: int = 83):
+        if n_servers < 0:
+            raise CapacityError("n_servers must be >= 0")
+        if policy not in self.POLICIES:
+            raise CapacityError(
+                f"unknown policy {policy!r}; choose from {self.POLICIES}"
+            )
+        self.dc_id = dc_id
+        self.policy = policy
+        self.servers: List[MPServer] = [
+            MPServer(f"{dc_id}/mp-{i:04d}", dc_id, server_cores,
+                     utilization_target)
+            for i in range(n_servers)
+        ]
+        self._by_call: Dict[str, MPServer] = {}
+        self._rr_cursor = 0
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    # capacity accounting
+    # ------------------------------------------------------------------
+    @property
+    def total_cores(self) -> float:
+        return sum(server.core_capacity for server in self.servers)
+
+    @property
+    def used_cores(self) -> float:
+        return sum(server.used_cores for server in self.servers)
+
+    @property
+    def free_cores(self) -> float:
+        return sum(max(0.0, server.free_cores) for server in self.servers)
+
+    @property
+    def call_count(self) -> int:
+        return len(self._by_call)
+
+    def utilization_spread(self) -> float:
+        """Max-min server utilization: the balance metric policies differ on."""
+        if not self.servers:
+            return 0.0
+        values = [server.utilization for server in self.servers]
+        return max(values) - min(values)
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+    def _candidates(self, cores: float) -> List[MPServer]:
+        return [server for server in self.servers if server.fits(cores)]
+
+    def _pick(self, cores: float) -> Optional[MPServer]:
+        fitting = self._candidates(cores)
+        if not fitting:
+            return None
+        if self.policy == "least_loaded":
+            return max(fitting, key=lambda s: (s.free_cores, s.server_id))
+        if self.policy == "round_robin":
+            n = len(self.servers)
+            for step in range(n):
+                server = self.servers[(self._rr_cursor + step) % n]
+                if server.fits(cores):
+                    self._rr_cursor = (self._rr_cursor + step + 1) % n
+                    return server
+            return None
+        # power_of_two: the less-loaded of two uniformly random fitting
+        # servers (sampling from fitting keeps the policy admission-safe).
+        if len(fitting) == 1:
+            return fitting[0]
+        a, b = self._rng.choice(len(fitting), size=2, replace=False)
+        return max(fitting[a], fitting[b], key=lambda s: s.free_cores)
+
+    def place(self, call_id: str, cores: float) -> MPServer:
+        """Place a call on a server; raises CapacityError when full."""
+        if call_id in self._by_call:
+            raise CapacityError(f"call {call_id} already placed in {self.dc_id}")
+        server = self._pick(cores)
+        if server is None:
+            raise CapacityError(
+                f"{self.dc_id}: no server fits {cores:.2f} cores "
+                f"({self.free_cores:.1f} total free across "
+                f"{len(self.servers)} servers)"
+            )
+        server.admit(call_id, cores)
+        self._by_call[call_id] = server
+        return server
+
+    def release(self, call_id: str) -> None:
+        server = self._by_call.pop(call_id, None)
+        if server is None:
+            raise CapacityError(f"call {call_id} not placed in {self.dc_id}")
+        server.release(call_id)
+
+    def server_of(self, call_id: str) -> Optional[MPServer]:
+        return self._by_call.get(call_id)
+
+    def fail_server(self, server_id: str) -> Dict[str, float]:
+        """Fail one server; displaced calls are re-placed on survivors.
+
+        Returns the calls that could **not** be re-placed (capacity
+        exhausted) — the candidates for inter-DC failover.
+        """
+        target = next(
+            (s for s in self.servers if s.server_id == server_id), None
+        )
+        if target is None:
+            raise CapacityError(f"unknown server {server_id} in {self.dc_id}")
+        displaced = target.drain()
+        self.servers.remove(target)
+        stranded: Dict[str, float] = {}
+        for call_id, cores in displaced.items():
+            del self._by_call[call_id]
+            try:
+                self.place(call_id, cores)
+            except CapacityError:
+                stranded[call_id] = cores
+        return stranded

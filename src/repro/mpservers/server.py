@@ -1,0 +1,93 @@
+"""Individual MP servers: the machines the provisioned cores live on.
+
+The paper provisions *cores per DC* and scopes intra-DC server selection
+out ("well-studied [20, 33]", §2.2) — but the service still runs on
+servers: the capacity plan must be translated into server counts, and the
+real-time path must land each call on a specific machine.  This package
+is that substrate.
+
+A server hosts calls up to its core capacity, with a utilization target
+below 100% (production machines keep headroom for media burst); calls
+are whole units — a call never splits across servers, which is what makes
+this bin-packing rather than fluid allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.core.errors import CapacityError
+
+
+@dataclass
+class MPServer:
+    """One media-processing server in one DC."""
+
+    server_id: str
+    dc_id: str
+    core_capacity: float
+    utilization_target: float = 0.9
+    _calls: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.core_capacity <= 0:
+            raise CapacityError(f"{self.server_id}: capacity must be positive")
+        if not 0 < self.utilization_target <= 1:
+            raise CapacityError(
+                f"{self.server_id}: utilization target must be in (0, 1]"
+            )
+
+    @property
+    def usable_cores(self) -> float:
+        return self.core_capacity * self.utilization_target
+
+    @property
+    def used_cores(self) -> float:
+        return sum(self._calls.values())
+
+    @property
+    def free_cores(self) -> float:
+        return self.usable_cores - self.used_cores
+
+    @property
+    def call_count(self) -> int:
+        return len(self._calls)
+
+    @property
+    def utilization(self) -> float:
+        return self.used_cores / self.core_capacity
+
+    def fits(self, cores: float) -> bool:
+        return cores <= self.free_cores + 1e-12
+
+    def admit(self, call_id: str, cores: float) -> None:
+        """Admit a call; rejects double-admission and capacity overruns."""
+        if cores <= 0:
+            raise CapacityError(f"call {call_id}: cores must be positive")
+        if call_id in self._calls:
+            raise CapacityError(f"call {call_id} already on {self.server_id}")
+        if not self.fits(cores):
+            raise CapacityError(
+                f"{self.server_id}: {cores:.2f} cores do not fit "
+                f"({self.free_cores:.2f} free)"
+            )
+        self._calls[call_id] = cores
+
+    def release(self, call_id: str) -> float:
+        """Release a call; returns the cores it held."""
+        try:
+            return self._calls.pop(call_id)
+        except KeyError:
+            raise CapacityError(
+                f"call {call_id} not on {self.server_id}"
+            ) from None
+
+    def hosts(self, call_id: str) -> bool:
+        return call_id in self._calls
+
+    def drain(self) -> Dict[str, float]:
+        """Evict everything (server failure); returns the displaced calls."""
+        displaced = dict(self._calls)
+        self._calls.clear()
+        return displaced

@@ -1,0 +1,154 @@
+"""JSON-safe serialization for plans and capacity.
+
+In production the pieces of Switchboard run in different places: the
+provisioning LP runs offline every few months, the allocation plan is
+computed daily, and the real-time selector consumes it from shared storage
+(Redis in the paper's deployment).  These helpers make
+:class:`CapacityPlan` and :class:`AllocationPlan` round-trip through plain
+JSON-able dicts so that hand-off is explicit and testable.
+
+Call configs serialize to their canonical string form
+(``"((IN-2, JP-1), audio)"``) and parse back exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, List
+
+from repro.core.errors import SwitchboardError
+from repro.core.types import CallConfig, MediaType, TimeSlot
+from repro.allocation.plan import AllocationPlan
+from repro.provisioning.planner import CapacityPlan
+
+_CONFIG_RE = re.compile(r"^\(\((?P<spread>[^)]+)\), (?P<media>[a-z_]+)\)$")
+_SPREAD_ITEM_RE = re.compile(r"^(?P<country>[A-Za-z]+)-(?P<count>\d+)$")
+
+#: Schema version embedded in every serialized blob.
+FORMAT_VERSION = 1
+
+
+def config_to_string(config: CallConfig) -> str:
+    """Canonical string form (matches ``str(config)``)."""
+    return str(config)
+
+
+def config_from_string(text: str) -> CallConfig:
+    """Parse the canonical string form back into a CallConfig."""
+    match = _CONFIG_RE.match(text.strip())
+    if match is None:
+        raise SwitchboardError(f"unparseable call config {text!r}")
+    spread: Dict[str, int] = {}
+    for item in match.group("spread").split(","):
+        item_match = _SPREAD_ITEM_RE.match(item.strip())
+        if item_match is None:
+            raise SwitchboardError(f"unparseable spread item {item!r} in {text!r}")
+        spread[item_match.group("country")] = int(item_match.group("count"))
+    try:
+        media = MediaType(match.group("media"))
+    except ValueError:
+        raise SwitchboardError(
+            f"unknown media type {match.group('media')!r} in {text!r}"
+        ) from None
+    return CallConfig.build(spread, media)
+
+
+# ----------------------------------------------------------------------
+# CapacityPlan
+# ----------------------------------------------------------------------
+def capacity_plan_to_dict(plan: CapacityPlan) -> Dict[str, Any]:
+    """Serialize capacities (scenario provenance is not persisted)."""
+    return {
+        "version": FORMAT_VERSION,
+        "kind": "capacity_plan",
+        "cores": dict(plan.cores),
+        "link_gbps": dict(plan.link_gbps),
+    }
+
+
+def capacity_plan_from_dict(data: Dict[str, Any]) -> CapacityPlan:
+    _check_header(data, "capacity_plan")
+    cores = {str(k): float(v) for k, v in data["cores"].items()}
+    links = {str(k): float(v) for k, v in data["link_gbps"].items()}
+    if any(v < 0 for v in cores.values()) or any(v < 0 for v in links.values()):
+        raise SwitchboardError("negative capacity in serialized plan")
+    return CapacityPlan(cores=cores, link_gbps=links)
+
+
+# ----------------------------------------------------------------------
+# AllocationPlan
+# ----------------------------------------------------------------------
+def allocation_plan_to_dict(plan: AllocationPlan) -> Dict[str, Any]:
+    cells: List[Dict[str, Any]] = []
+    for (slot_index, config), cell in sorted(
+        plan.shares.items(), key=lambda item: (item[0][0], str(item[0][1]))
+    ):
+        cells.append({
+            "slot": slot_index,
+            "config": config_to_string(config),
+            "shares": dict(cell),
+        })
+    return {
+        "version": FORMAT_VERSION,
+        "kind": "allocation_plan",
+        "slots": [
+            {"index": s.index, "start_s": s.start_s, "duration_s": s.duration_s}
+            for s in plan.slots
+        ],
+        "cells": cells,
+    }
+
+
+def allocation_plan_from_dict(data: Dict[str, Any]) -> AllocationPlan:
+    _check_header(data, "allocation_plan")
+    slots = [
+        TimeSlot(int(s["index"]), float(s["start_s"]), float(s["duration_s"]))
+        for s in data["slots"]
+    ]
+    shares = {}
+    for cell in data["cells"]:
+        slot_index = int(cell["slot"])
+        if not 0 <= slot_index < len(slots):
+            raise SwitchboardError(f"cell references unknown slot {slot_index}")
+        config = config_from_string(cell["config"])
+        shares[(slot_index, config)] = {
+            str(dc): float(count) for dc, count in cell["shares"].items()
+        }
+    return AllocationPlan(slots=slots, shares=shares)
+
+
+# ----------------------------------------------------------------------
+# JSON convenience
+# ----------------------------------------------------------------------
+def dump_capacity_plan(plan: CapacityPlan, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(capacity_plan_to_dict(plan), handle, indent=1)
+
+
+def load_capacity_plan(path: str) -> CapacityPlan:
+    with open(path) as handle:
+        return capacity_plan_from_dict(json.load(handle))
+
+
+def dump_allocation_plan(plan: AllocationPlan, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(allocation_plan_to_dict(plan), handle, indent=1)
+
+
+def load_allocation_plan(path: str) -> AllocationPlan:
+    with open(path) as handle:
+        return allocation_plan_from_dict(json.load(handle))
+
+
+def _check_header(data: Dict[str, Any], kind: str) -> None:
+    if not isinstance(data, dict):
+        raise SwitchboardError("serialized plan must be a dict")
+    if data.get("kind") != kind:
+        raise SwitchboardError(
+            f"expected kind {kind!r}, got {data.get('kind')!r}"
+        )
+    if data.get("version") != FORMAT_VERSION:
+        raise SwitchboardError(
+            f"unsupported format version {data.get('version')!r}"
+        )

@@ -1,0 +1,18 @@
+"""Call-config prediction for recurring meetings (§8): MOMC + logistic."""
+
+from repro.prediction.logistic import LogisticRegression
+from repro.prediction.momc import MOMCConfig, MultiOrderMarkovChain
+from repro.prediction.predictor import (
+    CallConfigPredictor,
+    EvaluationSummary,
+    PredictionErrors,
+)
+
+__all__ = [
+    "CallConfigPredictor",
+    "EvaluationSummary",
+    "LogisticRegression",
+    "MOMCConfig",
+    "MultiOrderMarkovChain",
+    "PredictionErrors",
+]

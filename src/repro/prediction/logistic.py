@@ -1,0 +1,90 @@
+"""Logistic regression from scratch (numpy batch gradient descent).
+
+The second stage of the §8 predictor: "We feed the output of the MOMC
+apparatus into a logistic regression that predicts the desired binary —
+the attendance of that particular participant in the upcoming instance."
+L2-regularized, full-batch gradient descent with feature standardization;
+deliberately dependency-free beyond numpy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.errors import ForecastError
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    # Clip to keep exp() finite; gradients saturate there anyway.
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -35.0, 35.0)))
+
+
+class LogisticRegression:
+    """Binary classifier: P(y=1 | x) = sigmoid(w.x + b)."""
+
+    def __init__(self, learning_rate: float = 0.5, n_iterations: int = 400,
+                 l2: float = 1e-3):
+        if learning_rate <= 0 or n_iterations < 1 or l2 < 0:
+            raise ForecastError("invalid training hyperparameters")
+        self.learning_rate = learning_rate
+        self.n_iterations = n_iterations
+        self.l2 = l2
+        self.weights: Optional[np.ndarray] = None
+        self.bias: float = 0.0
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+
+    def _standardize(self, x: np.ndarray, fit: bool) -> np.ndarray:
+        if fit:
+            self._mean = x.mean(axis=0)
+            std = x.std(axis=0)
+            std[std < 1e-12] = 1.0
+            self._std = std
+        if self._mean is None or self._std is None:
+            raise ForecastError("model not fitted")
+        return (x - self._mean) / self._std
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LogisticRegression":
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if x.ndim != 2 or y.ndim != 1 or len(x) != len(y):
+            raise ForecastError(f"bad training shapes x={x.shape} y={y.shape}")
+        if len(x) == 0:
+            raise ForecastError("empty training set")
+        if not set(np.unique(y)).issubset({0.0, 1.0}):
+            raise ForecastError("labels must be binary")
+
+        xs = self._standardize(x, fit=True)
+        n, d = xs.shape
+        self.weights = np.zeros(d)
+        self.bias = float(np.log((y.mean() + 1e-9) / (1 - y.mean() + 1e-9)))
+        for _ in range(self.n_iterations):
+            p = _sigmoid(xs @ self.weights + self.bias)
+            error = p - y
+            grad_w = xs.T @ error / n + self.l2 * self.weights
+            grad_b = float(error.mean())
+            self.weights -= self.learning_rate * grad_w
+            self.bias -= self.learning_rate * grad_b
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        if self.weights is None:
+            raise ForecastError("model not fitted")
+        x = np.asarray(x, dtype=float)
+        single = x.ndim == 1
+        if single:
+            x = x[None, :]
+        xs = self._standardize(x, fit=False)
+        p = _sigmoid(xs @ self.weights + self.bias)
+        return p[0] if single else p
+
+    def predict(self, x: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        return (self.predict_proba(x) >= threshold).astype(int)
+
+    def log_loss(self, x: np.ndarray, y: np.ndarray) -> float:
+        p = self.predict_proba(x)
+        y = np.asarray(y, dtype=float)
+        eps = 1e-12
+        return float(-(y * np.log(p + eps) + (1 - y) * np.log(1 - p + eps)).mean())

@@ -1,0 +1,112 @@
+"""Variable-length multi-order Markov chains over attendance histories.
+
+§8: "a variable length multi-order Markov chains (MOMC) setup to capture
+temporal predispositions in terms of attendance that a participant
+exhibits over the past few instances."  For a binary attendance history
+this module estimates, per participant, the empirical probability of
+attending conditioned on the last *k* bits, for every order ``k`` up to a
+maximum — with Laplace smoothing so short histories stay usable.  The
+per-order probabilities become the feature vector the logistic regression
+consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.errors import ForecastError
+
+
+@dataclass(frozen=True)
+class MOMCConfig:
+    """Hyperparameters of the MOMC feature extractor."""
+
+    max_order: int = 3
+    smoothing: float = 1.0  # Laplace alpha
+
+    def __post_init__(self) -> None:
+        if self.max_order < 1:
+            raise ForecastError("max order must be >= 1")
+        if self.smoothing <= 0:
+            raise ForecastError("smoothing must be positive")
+
+
+class MultiOrderMarkovChain:
+    """Per-participant MOMC fitted on one attendance history."""
+
+    def __init__(self, history: Sequence[int], config: MOMCConfig = MOMCConfig()):
+        bits = [int(b) for b in history]
+        if any(b not in (0, 1) for b in bits):
+            raise ForecastError("attendance history must be binary")
+        self.history = bits
+        self.config = config
+        # counts[k][context] = (attended, total) for order-k contexts.
+        self._counts: List[Dict[Tuple[int, ...], Tuple[int, int]]] = [
+            {} for _ in range(config.max_order)
+        ]
+        self._fit()
+
+    def _fit(self) -> None:
+        bits = self.history
+        for k in range(1, self.config.max_order + 1):
+            table = self._counts[k - 1]
+            for t in range(k, len(bits)):
+                context = tuple(bits[t - k:t])
+                attended, total = table.get(context, (0, 0))
+                table[context] = (attended + bits[t], total + 1)
+
+    def order_probability(self, order: int, context: Tuple[int, ...]) -> float:
+        """Smoothed P(attend | context) for one order."""
+        if not 1 <= order <= self.config.max_order:
+            raise ForecastError(f"order {order} out of range")
+        if len(context) != order:
+            raise ForecastError(f"context {context} is not order {order}")
+        attended, total = self._counts[order - 1].get(context, (0, 0))
+        alpha = self.config.smoothing
+        return (attended + alpha) / (total + 2 * alpha)
+
+    def features(self) -> np.ndarray:
+        """Feature vector for predicting the *next* instance.
+
+        Per order k: the smoothed P(attend | the actual last k bits).
+        Plus the overall attendance rate and the last two raw bits —
+        giving the downstream logistic regression both the learned
+        transition structure and the raw recency signal.
+        """
+        bits = self.history
+        features: List[float] = []
+        for k in range(1, self.config.max_order + 1):
+            if len(bits) >= k:
+                context = tuple(bits[-k:])
+                features.append(self.order_probability(k, context))
+            else:
+                features.append(0.5)
+        rate = float(np.mean(bits)) if bits else 0.5
+        last1 = float(bits[-1]) if len(bits) >= 1 else 0.5
+        last2 = float(bits[-2]) if len(bits) >= 2 else 0.5
+        features.extend([rate, last1, last2])
+        return np.array(features)
+
+    @staticmethod
+    def feature_count(config: MOMCConfig = MOMCConfig()) -> int:
+        return config.max_order + 3
+
+    def predict_next(self) -> float:
+        """Back-off point prediction without the regression layer.
+
+        Uses the highest order whose context was actually observed often
+        enough; mainly for tests and as a lightweight fallback.
+        """
+        bits = self.history
+        for k in range(min(self.config.max_order, len(bits)), 0, -1):
+            context = tuple(bits[-k:])
+            _, total = self._counts[k - 1].get(context, (0, 0))
+            if total >= 2:
+                return self.order_probability(k, context)
+        # Smoothed overall rate: never exactly 0 or 1 even for degenerate
+        # histories, so downstream log-odds stay finite.
+        alpha = self.config.smoothing
+        return (sum(bits) + alpha) / (len(bits) + 2 * alpha)

@@ -1,0 +1,170 @@
+"""The §8 call-config predictor: MOMC features -> logistic regression.
+
+Training: every (series, member, occurrence >= warmup) becomes one sample
+— MOMC features over the member's history *before* that occurrence, label
+= did they attend it.  Prediction: per-member attendance for the next
+instance, aggregated into per-country participant counts — the predicted
+call config.
+
+Evaluation mirrors the paper: RMSE/MAE between predicted and ground-truth
+per-country counts of the config, against the previous-instance baseline
+(the baseline "predicted the call config simply based on the previous call
+instance", which is maximally wrong for alternating attendees and noisy
+for large rosters).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.errors import ForecastError
+from repro.prediction.logistic import LogisticRegression
+from repro.prediction.momc import MOMCConfig, MultiOrderMarkovChain
+from repro.workload.series import MeetingSeries
+
+#: Occurrences skipped at the start of each history: the paper only uses
+#: series "with at least 3 past occurrences".
+_WARMUP = 3
+
+
+@dataclass
+class PredictionErrors:
+    """Count errors of one predicted instance, per the §8 methodology."""
+
+    rmse: float
+    mae: float
+
+
+@dataclass
+class EvaluationSummary:
+    """Averages over all evaluated instances (the numbers §8 reports)."""
+
+    model_rmse: float
+    model_mae: float
+    baseline_rmse: float
+    baseline_mae: float
+    n_instances: int
+
+
+def _count_errors(predicted: Dict[str, float],
+                  truth: Dict[str, int]) -> PredictionErrors:
+    """Per-country count RMSE/MAE for one instance."""
+    countries = set(predicted) | set(truth)
+    if not countries:
+        raise ForecastError("empty prediction and truth")
+    sq, ab = 0.0, 0.0
+    for country in countries:
+        diff = predicted.get(country, 0.0) - truth.get(country, 0)
+        sq += diff * diff
+        ab += abs(diff)
+    n = len(countries)
+    return PredictionErrors(rmse=math.sqrt(sq / n), mae=ab / n)
+
+
+class CallConfigPredictor:
+    """Trains one global LR over MOMC features of all members."""
+
+    def __init__(self, momc_config: MOMCConfig = MOMCConfig(),
+                 warmup: int = _WARMUP):
+        if warmup < 1:
+            raise ForecastError("warmup must be >= 1")
+        self.momc_config = momc_config
+        self.warmup = warmup
+        self.model = LogisticRegression()
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def _training_samples(self, series_list: Sequence[MeetingSeries]
+                          ) -> Tuple[np.ndarray, np.ndarray]:
+        features: List[np.ndarray] = []
+        labels: List[int] = []
+        for series in series_list:
+            if series.n_occurrences <= self.warmup:
+                continue
+            for m in range(len(series.members)):
+                history = series.member_history(m)
+                for t in range(self.warmup, len(history)):
+                    momc = MultiOrderMarkovChain(history[:t], self.momc_config)
+                    features.append(momc.features())
+                    labels.append(history[t])
+        if not features:
+            raise ForecastError("no training samples; histories too short")
+        return np.stack(features), np.array(labels)
+
+    def fit(self, series_list: Sequence[MeetingSeries]) -> "CallConfigPredictor":
+        x, y = self._training_samples(series_list)
+        self.model.fit(x, y)
+        return self
+
+    # ------------------------------------------------------------------
+    # prediction
+    # ------------------------------------------------------------------
+    def predict_attendance(self, series: MeetingSeries,
+                           upto_occurrence: int) -> np.ndarray:
+        """P(attend occurrence ``upto_occurrence``) for every member,
+        given the history strictly before it."""
+        if not 0 < upto_occurrence <= series.n_occurrences:
+            raise ForecastError(
+                f"occurrence {upto_occurrence} outside history of "
+                f"{series.n_occurrences}"
+            )
+        probs = []
+        for m in range(len(series.members)):
+            history = series.member_history(m)[:upto_occurrence]
+            momc = MultiOrderMarkovChain(history, self.momc_config)
+            probs.append(float(self.model.predict_proba(momc.features())))
+        return np.array(probs)
+
+    def predict_config_counts(self, series: MeetingSeries,
+                              occurrence: int,
+                              threshold: float = 0.5) -> Dict[str, float]:
+        """Predicted per-country participant counts for one occurrence."""
+        probs = self.predict_attendance(series, occurrence)
+        counts: Dict[str, float] = {}
+        for member, p in zip(series.members, probs):
+            if p >= threshold:
+                counts[member.country] = counts.get(member.country, 0.0) + 1.0
+        return counts
+
+    # ------------------------------------------------------------------
+    # evaluation (§8)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def baseline_counts(series: MeetingSeries, occurrence: int) -> Dict[str, float]:
+        """The previous-instance baseline's predicted counts."""
+        if occurrence < 1:
+            raise ForecastError("baseline needs a previous instance")
+        return {
+            country: float(count)
+            for country, count in series.attendee_countries(occurrence - 1).items()
+        }
+
+    def evaluate(self, series_list: Sequence[MeetingSeries],
+                 eval_last: int = 1) -> EvaluationSummary:
+        """Score model vs baseline on the last ``eval_last`` occurrences."""
+        model_errors: List[PredictionErrors] = []
+        baseline_errors: List[PredictionErrors] = []
+        for series in series_list:
+            if series.n_occurrences <= self.warmup + eval_last:
+                continue
+            for occurrence in range(series.n_occurrences - eval_last,
+                                    series.n_occurrences):
+                truth = series.attendee_countries(occurrence)
+                predicted = self.predict_config_counts(series, occurrence)
+                model_errors.append(_count_errors(predicted, truth))
+                baseline = self.baseline_counts(series, occurrence)
+                baseline_errors.append(_count_errors(baseline, truth))
+        if not model_errors:
+            raise ForecastError("nothing to evaluate")
+        return EvaluationSummary(
+            model_rmse=float(np.mean([e.rmse for e in model_errors])),
+            model_mae=float(np.mean([e.mae for e in model_errors])),
+            baseline_rmse=float(np.mean([e.rmse for e in baseline_errors])),
+            baseline_mae=float(np.mean([e.mae for e in baseline_errors])),
+            n_instances=len(model_errors),
+        )

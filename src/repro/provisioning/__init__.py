@@ -1,0 +1,40 @@
+"""MP capacity provisioning: the Switchboard LP framework (§5.3)."""
+
+from repro.provisioning.background import BackgroundTraffic, diurnal_background
+from repro.provisioning.backup_lp import solve_backup_lp, total_backup
+from repro.provisioning.demand import PlacementData, PlacementOption
+from repro.provisioning.failures import (
+    NO_FAILURE,
+    FailureScenario,
+    enumerate_compound_scenarios,
+    enumerate_scenarios,
+)
+from repro.provisioning.formulation import ScenarioLP, ScenarioResult
+from repro.provisioning.lp import (
+    ConstraintSet,
+    LinearProgram,
+    LPSolution,
+    VariableRegistry,
+)
+from repro.provisioning.planner import CapacityPlan, CapacityPlanner
+
+__all__ = [
+    "BackgroundTraffic",
+    "CapacityPlan",
+    "CapacityPlanner",
+    "ConstraintSet",
+    "FailureScenario",
+    "LPSolution",
+    "LinearProgram",
+    "NO_FAILURE",
+    "PlacementData",
+    "PlacementOption",
+    "ScenarioLP",
+    "ScenarioResult",
+    "VariableRegistry",
+    "diurnal_background",
+    "enumerate_compound_scenarios",
+    "enumerate_scenarios",
+    "solve_backup_lp",
+    "total_backup",
+]

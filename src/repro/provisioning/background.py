@@ -1,0 +1,101 @@
+"""Non-conferencing ("background") WAN traffic sharing the links.
+
+§6.1: "WAN bandwidth costs are based on overall traffic peak, including
+the non-Teams traffic that may be flowing on the same links...  our
+formulation can be extended to include the non-Teams traffic to minimize
+the overall peak."  This module is that extension: a per-link, per-slot
+background usage that the LP's ``NP_l`` must cover *in addition to* the
+conferencing traffic it places.  Because background traffic also follows
+diurnal patterns, the LP then steers calls onto links whose background is
+off-peak — the same peak-sharing idea, applied across services.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.errors import TopologyError
+from repro.topology.builder import Topology
+
+_SECONDS_PER_DAY = 86400.0
+
+
+class BackgroundTraffic:
+    """Per-link, per-slot background Gbps.
+
+    ``usage`` maps link id to a per-slot series; links absent from the map
+    carry zero background.  Series lengths must match the slot grid the LP
+    runs over.
+    """
+
+    def __init__(self, usage: Mapping[str, Sequence[float]], n_slots: int):
+        if n_slots < 1:
+            raise TopologyError("need at least one slot")
+        self.n_slots = n_slots
+        self._usage: Dict[str, np.ndarray] = {}
+        for link_id, series in usage.items():
+            values = np.asarray(series, dtype=float)
+            if values.shape != (n_slots,):
+                raise TopologyError(
+                    f"background series for {link_id} has shape {values.shape}, "
+                    f"expected ({n_slots},)"
+                )
+            if (values < 0).any():
+                raise TopologyError(f"negative background traffic on {link_id}")
+            self._usage[link_id] = values
+
+    def gbps(self, link_id: str, slot_index: int) -> float:
+        if not 0 <= slot_index < self.n_slots:
+            raise TopologyError(f"slot {slot_index} out of range")
+        series = self._usage.get(link_id)
+        return float(series[slot_index]) if series is not None else 0.0
+
+    def peak(self, link_id: str) -> float:
+        series = self._usage.get(link_id)
+        return float(series.max()) if series is not None else 0.0
+
+    def links(self) -> Sequence[str]:
+        return sorted(self._usage)
+
+    def total_peak_gbps(self) -> float:
+        """Sum of per-link background peaks (the naive provisioning cost)."""
+        return sum(self.peak(link_id) for link_id in self._usage)
+
+
+def diurnal_background(topology: Topology, n_slots: int,
+                       peak_gbps: float = 1.0, seed: int = 71,
+                       slot_s: float = 1800.0) -> BackgroundTraffic:
+    """Synthesize diurnal background traffic on the inter-country links.
+
+    Each link's background follows a one-peak daily sinusoid whose phase
+    comes from the mean longitude of its endpoints (traffic peaks in the
+    local evening — streaming/backup dominate WAN at night, offset from
+    conferencing's office-hours peak), with a random per-link amplitude
+    up to ``peak_gbps``.
+    """
+    if peak_gbps < 0:
+        raise TopologyError("peak_gbps must be non-negative")
+    rng = np.random.default_rng(seed)
+    usage: Dict[str, np.ndarray] = {}
+    t = np.arange(n_slots) * slot_s
+    for link in topology.wan.inter_country_links:
+        positions = []
+        for node in link.endpoints:
+            if node in topology.fleet:
+                dc = topology.fleet.dc(node)
+                positions.append(dc.lon)
+            else:
+                positions.append(topology.world.country(node).lon)
+        mean_lon = sum(positions) / len(positions)
+        # Local solar time offset in hours; evening peak at ~21:00 local.
+        offset_h = mean_lon / 15.0
+        peak_utc_h = (21.0 - offset_h) % 24.0
+        amplitude = float(rng.uniform(0.3, 1.0)) * peak_gbps
+        hours = (t % _SECONDS_PER_DAY) / 3600.0
+        phase = 2 * math.pi * (hours - peak_utc_h) / 24.0
+        series = amplitude * (0.55 + 0.45 * np.cos(phase))
+        usage[link.link_id] = np.maximum(series, 0.0)
+    return BackgroundTraffic(usage, n_slots)

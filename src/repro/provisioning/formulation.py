@@ -1,0 +1,243 @@
+"""The Switchboard capacity-provisioning LP (§5.3, Eqs 3-9).
+
+One :class:`ScenarioLP` instance assembles and solves the LP for a single
+failure scenario *f*:
+
+* variables: ``S_tcx`` (share of config *c*'s calls in slot *t* hosted at
+  DC *x*), ``CP_x`` (peak cores at DC *x*), ``NP_l`` (peak Gbps on link
+  *l*);
+* objective (Eq 3): ``min Σ WAN_Cost(l)·NP_l + Σ DC_Cost(x)·CP_x``;
+* latency (Eq 4): handled structurally — ``S_tcx`` variables simply do not
+  exist for DCs over the ACL threshold (PlacementData already applied the
+  min-ACL fallback for stranded configs);
+* serving capacity (Eqs 5-6): per-slot compute and per-slot/per-link
+  network usage must fit under the peaks;
+* completeness (Eq 9): every slot's demand is fully assigned;
+* failure scenario: a failed DC contributes no options (its ``CP`` is
+  structurally 0); a failed link forces rerouted paths (its ``NP`` is
+  structurally 0).
+
+The *peak-awareness* of §4.1 is native to this formulation: ``CP_x`` and
+``NP_l`` are shared across all time slots, so the LP can shave a DC's peak
+by pushing peak-hour calls to DCs that are off-peak, while off-peak hours
+ride under capacity that peak hours already paid for.
+
+**Incremental (base-capacity) mode** implements the joint serving+backup
+repurposing of §4.2: when ``base_cores``/``base_links`` are given, the
+capacity variables price only what a scenario needs **in excess of** what
+earlier scenarios already provisioned — capacity bought for India's 05:30
+serving peak is free when the Japan-failure scenario reuses it as backup
+at 00:00.  The planner feeds scenarios through in sequence, growing the
+base, which realises Eqs 7-8's max-combining while keeping every capacity
+unit priced exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+
+from repro.core.errors import SolverError
+from repro.core.types import CallConfig
+from repro.provisioning.demand import PlacementData
+from repro.provisioning.failures import NO_FAILURE, FailureScenario
+from repro.provisioning.lp import LinearProgram, LPSolution
+from repro.workload.arrivals import Demand
+
+
+@dataclass
+class ScenarioResult:
+    """Solved scenario: required capacity, allocation shares, and cost.
+
+    ``cores``/``link_gbps`` are the *total* capacity this scenario needs
+    (base + excess); ``excess_cores``/``excess_links`` are what it needed
+    beyond the base it was given.
+    """
+
+    scenario: FailureScenario
+    cores: Dict[str, float]
+    link_gbps: Dict[str, float]
+    excess_cores: Dict[str, float]
+    excess_links: Dict[str, float]
+    shares: Dict[Tuple[int, CallConfig], Dict[str, float]]
+    cost: float
+
+    def mean_acl_ms(self, placement: PlacementData, demand: Demand) -> float:
+        """Demand-weighted mean ACL of this scenario's allocation."""
+        acl_of: Dict[Tuple[CallConfig, str], float] = {}
+        for config in demand.configs:
+            for option in placement.options_under_scenario(config, self.scenario):
+                acl_of[(config, option.dc_id)] = option.acl_ms
+        weighted, total = 0.0, 0.0
+        for (_, config), per_dc in self.shares.items():
+            for dc_id, count in per_dc.items():
+                if count <= 0:
+                    continue
+                weighted += acl_of[(config, dc_id)] * count
+                total += count
+        if total == 0:
+            raise SolverError("scenario hosted no calls")
+        return weighted / total
+
+
+class ScenarioLP:
+    """Builds and solves the provisioning LP for one failure scenario."""
+
+    def __init__(self, placement: PlacementData, demand: Demand,
+                 scenario: FailureScenario = NO_FAILURE,
+                 base_cores: Optional[Mapping[str, float]] = None,
+                 base_links: Optional[Mapping[str, float]] = None,
+                 latency_weight: float = 0.0,
+                 background: Optional["BackgroundTraffic"] = None,
+                 dc_core_limits: Optional[Mapping[str, float]] = None):
+        """``latency_weight`` > 0 adds ``Σ S·ACL`` scaled by that weight to
+        the objective — the allocation stage's Eq 10 as a secondary term.
+        Provisioning uses 0 (pure cost, Eq 3).
+
+        ``background`` is the §6.1 extension: non-conferencing per-link
+        traffic that ``NP_l`` must also cover, so the LP minimizes the
+        *overall* link peaks and steers calls to links whose background is
+        off-peak.
+
+        ``dc_core_limits`` caps how many cores a DC can provision at all —
+        clouds do run out of regional capacity (the paper's refs [1-3]);
+        a binding cap pushes calls to other DCs, and an impossible demand
+        raises :class:`~repro.core.errors.InfeasibleError`.
+        """
+        self.placement = placement
+        self.demand = demand
+        self.scenario = scenario
+        self.base_cores = dict(base_cores) if base_cores else {}
+        self.base_links = dict(base_links) if base_links else {}
+        self.latency_weight = latency_weight
+        self.background = background
+        self.dc_core_limits = dict(dc_core_limits) if dc_core_limits else {}
+
+    def _survivor_options(self, config: CallConfig):
+        return self.placement.options_under_scenario(config, self.scenario)
+
+    def build(self) -> LinearProgram:
+        lp = LinearProgram()
+        topology = self.placement.topology
+        demand = self.demand
+
+        # Capacity variables only for DCs/links that can actually be used.
+        used_dcs = set()
+        used_links = set()
+        options_by_config = {}
+        for config in demand.configs:
+            options = self._survivor_options(config)
+            options_by_config[config] = options
+            for option in options:
+                used_dcs.add(option.dc_id)
+                used_links.update(option.link_gbps)
+
+        # Excess-capacity variables: what this scenario must buy on top of
+        # the base.  With an empty base these are the plain CP/NP of Eq 3.
+        for dc_id in sorted(used_dcs):
+            upper = None
+            if dc_id in self.dc_core_limits:
+                # The CP variable is the *excess* over the base; the cap
+                # applies to base + excess.
+                upper = max(
+                    0.0,
+                    self.dc_core_limits[dc_id] - self.base_cores.get(dc_id, 0.0),
+                )
+            lp.variables.add(("CP", dc_id), objective=topology.dc_cost(dc_id),
+                             upper=upper)
+        for link_id in sorted(used_links):
+            lp.variables.add(("NP", link_id), objective=topology.wan_cost(link_id))
+
+        compute_rows: Dict[Tuple[int, str], int] = {}
+        network_rows: Dict[Tuple[int, str], int] = {}
+
+        for t in range(demand.n_slots):
+            for j, config in enumerate(demand.configs):
+                count = demand.counts[t, j]
+                if count <= 0:
+                    continue
+                options = options_by_config[config]
+                completeness_row = lp.equal.new_row(count)
+                for option in options:
+                    key = ("S", t, j, option.dc_id)
+                    objective = self.latency_weight * option.acl_ms
+                    col = lp.variables.add(key, objective=objective)
+                    lp.equal.add_term(completeness_row, col, 1.0)
+
+                    row = compute_rows.get((t, option.dc_id))
+                    if row is None:
+                        base = self.base_cores.get(option.dc_id, 0.0)
+                        row = lp.less_equal.new_row(base)
+                        lp.less_equal.add_term(
+                            row, lp.variables[("CP", option.dc_id)], -1.0
+                        )
+                        compute_rows[(t, option.dc_id)] = row
+                    lp.less_equal.add_term(row, col, option.cores_per_call)
+
+                    for link_id, gbps in option.link_gbps.items():
+                        row = network_rows.get((t, link_id))
+                        if row is None:
+                            base = self.base_links.get(link_id, 0.0)
+                            if self.background is not None:
+                                base -= self.background.gbps(link_id, t)
+                            row = lp.less_equal.new_row(base)
+                            lp.less_equal.add_term(
+                                row, lp.variables[("NP", link_id)], -1.0
+                            )
+                            network_rows[(t, link_id)] = row
+                        lp.less_equal.add_term(row, col, gbps)
+
+        if self.background is not None:
+            # NP must cover the background's own peak even in slots where
+            # no conferencing traffic touches the link.
+            for link_id in sorted(used_links):
+                peak = self.background.peak(link_id)
+                if peak <= 0:
+                    continue
+                base = self.base_links.get(link_id, 0.0)
+                row = lp.less_equal.new_row(base - peak)
+                lp.less_equal.add_term(row, lp.variables[("NP", link_id)], -1.0)
+        return lp
+
+    def solve(self) -> ScenarioResult:
+        lp = self.build()
+        solution = lp.solve(description=f"provisioning[{self.scenario.name}]")
+        return self._extract(solution)
+
+    def _extract(self, solution: LPSolution) -> ScenarioResult:
+        excess_cores: Dict[str, float] = {}
+        excess_links: Dict[str, float] = {}
+        shares: Dict[Tuple[int, CallConfig], Dict[str, float]] = {}
+        configs = self.demand.configs
+        for key, value in solution.values.items():
+            kind = key[0]
+            if kind == "CP":
+                excess_cores[key[1]] = value
+            elif kind == "NP":
+                excess_links[key[1]] = value
+            elif kind == "S" and value > 1e-9:
+                _, t, j, dc_id = key
+                shares.setdefault((t, configs[j]), {})[dc_id] = value
+
+        cores = dict(self.base_cores)
+        for dc_id, extra in excess_cores.items():
+            cores[dc_id] = cores.get(dc_id, 0.0) + extra
+        link_gbps = dict(self.base_links)
+        for link_id, extra in excess_links.items():
+            link_gbps[link_id] = link_gbps.get(link_id, 0.0) + extra
+
+        topology = self.placement.topology
+        cost = (
+            sum(topology.dc_cost(dc) * v for dc, v in cores.items())
+            + sum(topology.wan_cost(l) * v for l, v in link_gbps.items())
+        )
+        return ScenarioResult(
+            scenario=self.scenario,
+            cores=cores,
+            link_gbps=link_gbps,
+            excess_cores=excess_cores,
+            excess_links=excess_links,
+            shares=shares,
+            cost=cost,
+        )

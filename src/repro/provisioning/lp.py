@@ -1,0 +1,156 @@
+"""Thin sparse-LP scaffolding over ``scipy.optimize.linprog`` (HiGHS).
+
+Every optimization in the library — the Switchboard provisioning LP, the
+allocation-plan LP, the §3.2 backup LP — is assembled through this layer:
+a variable registry that hands out column indices by name, a constraint
+accumulator that collects COO triplets, and a ``solve`` wrapper that maps
+solver statuses onto the library's exception types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog
+
+from repro.core.errors import InfeasibleError, SolverError
+
+
+class VariableRegistry:
+    """Hands out one column index per unique variable key."""
+
+    def __init__(self):
+        self._index: Dict[Hashable, int] = {}
+        self._lower: List[float] = []
+        self._upper: List[Optional[float]] = []
+        self._objective: List[float] = []
+
+    def add(self, key: Hashable, objective: float = 0.0,
+            lower: float = 0.0, upper: Optional[float] = None) -> int:
+        """Register a variable; re-adding an existing key is an error."""
+        if key in self._index:
+            raise SolverError(f"variable {key!r} registered twice")
+        index = len(self._index)
+        self._index[key] = index
+        self._lower.append(lower)
+        self._upper.append(upper)
+        self._objective.append(objective)
+        return index
+
+    def __getitem__(self, key: Hashable) -> int:
+        try:
+            return self._index[key]
+        except KeyError:
+            raise SolverError(f"unknown variable {key!r}") from None
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def add_objective(self, key: Hashable, coefficient: float) -> None:
+        """Accumulate onto a variable's objective coefficient."""
+        self._objective[self[key]] += coefficient
+
+    @property
+    def objective(self) -> np.ndarray:
+        return np.array(self._objective)
+
+    @property
+    def bounds(self) -> List[Tuple[float, Optional[float]]]:
+        return list(zip(self._lower, self._upper))
+
+    def keys(self) -> List[Hashable]:
+        return list(self._index)
+
+
+class ConstraintSet:
+    """COO accumulator for one family (<= or ==) of linear constraints."""
+
+    def __init__(self):
+        self._rows: List[int] = []
+        self._cols: List[int] = []
+        self._vals: List[float] = []
+        self._rhs: List[float] = []
+
+    def new_row(self, rhs: float) -> int:
+        self._rhs.append(rhs)
+        return len(self._rhs) - 1
+
+    def add_term(self, row: int, col: int, value: float) -> None:
+        if not 0 <= row < len(self._rhs):
+            raise SolverError(f"constraint row {row} does not exist")
+        self._rows.append(row)
+        self._cols.append(col)
+        self._vals.append(value)
+
+    def add_row(self, terms: Sequence[Tuple[int, float]], rhs: float) -> int:
+        row = self.new_row(rhs)
+        for col, value in terms:
+            self.add_term(row, col, value)
+        return row
+
+    def matrix(self, n_cols: int) -> Optional[sparse.csr_matrix]:
+        if not self._rhs:
+            return None
+        return sparse.coo_matrix(
+            (self._vals, (self._rows, self._cols)),
+            shape=(len(self._rhs), n_cols),
+        ).tocsr()
+
+    @property
+    def rhs(self) -> np.ndarray:
+        return np.array(self._rhs)
+
+    def __len__(self) -> int:
+        return len(self._rhs)
+
+
+@dataclass
+class LPSolution:
+    """A solved LP: objective value and per-variable values by key."""
+
+    objective: float
+    values: Dict[Hashable, float]
+
+    def value(self, key: Hashable, default: float = 0.0) -> float:
+        return self.values.get(key, default)
+
+
+class LinearProgram:
+    """A minimization LP assembled from a registry and constraint sets."""
+
+    def __init__(self):
+        self.variables = VariableRegistry()
+        self.less_equal = ConstraintSet()
+        self.equal = ConstraintSet()
+
+    def solve(self, description: str = "LP") -> LPSolution:
+        """Solve with HiGHS; raise typed errors on failure."""
+        n = len(self.variables)
+        if n == 0:
+            raise SolverError(f"{description}: no variables")
+        a_ub = self.less_equal.matrix(n)
+        a_eq = self.equal.matrix(n)
+        result = linprog(
+            c=self.variables.objective,
+            A_ub=a_ub,
+            b_ub=self.less_equal.rhs if a_ub is not None else None,
+            A_eq=a_eq,
+            b_eq=self.equal.rhs if a_eq is not None else None,
+            bounds=self.variables.bounds,
+            method="highs",
+        )
+        if result.status == 2:
+            raise InfeasibleError(f"{description}: infeasible")
+        if result.status != 0:
+            raise SolverError(f"{description}: solver status {result.status}: {result.message}")
+        values = {
+            key: float(result.x[self.variables[key]])
+            for key in self.variables.keys()
+        }
+        return LPSolution(objective=float(result.fun), values=values)

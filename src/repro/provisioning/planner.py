@@ -1,0 +1,140 @@
+"""Capacity planner: per-scenario LPs max-combined into one plan (Eqs 7-8).
+
+Following §5.3's procedure literally: solve the provisioning LP once per
+failure scenario (``F_0``, each DC, each link), then set every DC's cores
+and every link's Gbps to the **maximum** required across scenarios.  The
+joint serving+backup multiplexing of §4.2 falls out of the max: capacity
+that scenario ``F_0`` provisions for India's 05:30 peak is the same
+capacity that scenario ``F_dc:tokyo`` reuses as Japan's 00:00 backup — it
+is only paid for once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.errors import SolverError
+from repro.provisioning.demand import PlacementData
+from repro.provisioning.failures import NO_FAILURE, FailureScenario, enumerate_scenarios
+from repro.provisioning.formulation import ScenarioLP, ScenarioResult
+from repro.topology.builder import Topology
+from repro.workload.arrivals import Demand
+
+
+@dataclass
+class CapacityPlan:
+    """Provisioned capacity: cores per DC, Gbps per link, and provenance."""
+
+    cores: Dict[str, float]
+    link_gbps: Dict[str, float]
+    scenario_results: List[ScenarioResult] = field(default_factory=list)
+
+    def total_cores(self) -> float:
+        """Sum of peak cores across DCs (the "Compute cores" metric, §6.1)."""
+        return sum(self.cores.values())
+
+    def total_wan_gbps(self, topology: Topology) -> float:
+        """Sum of peak Gbps across **inter-country** links (§6.1)."""
+        inter = {link.link_id for link in topology.wan.inter_country_links}
+        return sum(gbps for link_id, gbps in self.link_gbps.items() if link_id in inter)
+
+    def cost(self, topology: Topology) -> float:
+        """Total provisioning cost (Eq 3) at the plan's capacities."""
+        return (
+            sum(topology.dc_cost(dc) * v for dc, v in self.cores.items())
+            + sum(topology.wan_cost(l) * v for l, v in self.link_gbps.items())
+        )
+
+    def baseline_result(self) -> ScenarioResult:
+        """The no-failure scenario's allocation (used for latency stats)."""
+        for result in self.scenario_results:
+            if result.scenario.is_baseline:
+                return result
+        raise SolverError("plan has no F_0 scenario result")
+
+    def fits(self, other: "CapacityPlan", tolerance: float = 1e-6) -> bool:
+        """True when ``other``'s capacities fit inside this plan's."""
+        for dc_id, cores in other.cores.items():
+            if cores > self.cores.get(dc_id, 0.0) + tolerance:
+                return False
+        for link_id, gbps in other.link_gbps.items():
+            if gbps > self.link_gbps.get(link_id, 0.0) + tolerance:
+                return False
+        return True
+
+
+class CapacityPlanner:
+    """Runs the full §5.3 procedure over a scenario set."""
+
+    def __init__(self, placement: PlacementData, demand: Demand):
+        self.placement = placement
+        self.demand = demand
+
+    def plan_without_backup(self, background=None,
+                            dc_core_limits=None) -> CapacityPlan:
+        """Serving capacity only: the single no-failure LP."""
+        return self.plan(scenarios=[NO_FAILURE], background=background,
+                         dc_core_limits=dc_core_limits)
+
+    def plan_with_backup(self, max_link_scenarios: Optional[int] = None,
+                         method: str = "joint",
+                         latency_tiebreak: float = 1e-6,
+                         background=None,
+                         dc_core_limits=None) -> CapacityPlan:
+        """Serving + backup: all DC and (non-bridge) link failures.
+
+        ``method="joint"`` (default) co-optimizes serving placement with
+        every failure scenario in one LP — the full peak-aware joint
+        serving+backup of §4.2, where the no-failure placement itself
+        shifts to make failures cheap to absorb.  ``method="incremental"``
+        runs one LP per scenario against a growing base — much faster, and
+        an upper bound the ablation benchmark quantifies.
+        """
+        scenarios = enumerate_scenarios(
+            self.placement.topology, max_link_scenarios=max_link_scenarios
+        )
+        if method == "joint":
+            from repro.provisioning.joint import JointProvisioningLP
+
+            return JointProvisioningLP(
+                self.placement, self.demand, scenarios,
+                latency_weight=latency_tiebreak,
+                background=background,
+                dc_core_limits=dc_core_limits,
+            ).solve()
+        if method == "incremental":
+            return self.plan(scenarios=scenarios, background=background,
+                             dc_core_limits=dc_core_limits)
+        raise SolverError(f"unknown provisioning method {method!r}")
+
+    def plan(self, scenarios: List[FailureScenario], background=None,
+             dc_core_limits=None) -> CapacityPlan:
+        """Incremental pass over the scenario set.
+
+        Scenario *k* is solved with everything scenarios 0..k-1 already
+        provisioned available as free base capacity, and pays only for the
+        excess it needs.  This is the operational form of §4.2's
+        repurposing: the max-combination of Eqs 7-8 emerges with every
+        core and Gbps priced exactly once.  The no-failure scenario runs
+        first so serving capacity anchors the base.
+        """
+        if not scenarios:
+            raise SolverError("need at least one scenario")
+        ordered = sorted(scenarios, key=lambda s: not s.is_baseline)
+        cores: Dict[str, float] = {}
+        link_gbps: Dict[str, float] = {}
+        results = []
+        for scenario in ordered:
+            result = ScenarioLP(
+                self.placement, self.demand, scenario,
+                base_cores=cores, base_links=link_gbps,
+                background=background,
+                dc_core_limits=dc_core_limits,
+            ).solve()
+            results.append(result)
+            for dc_id, extra in result.excess_cores.items():
+                cores[dc_id] = cores.get(dc_id, 0.0) + extra
+            for link_id, extra in result.excess_links.items():
+                link_gbps[link_id] = link_gbps.get(link_id, 0.0) + extra
+        return CapacityPlan(cores=cores, link_gbps=link_gbps, scenario_results=results)

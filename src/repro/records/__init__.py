@@ -1,0 +1,22 @@
+"""Call Records Database substrate (§5 module 1, §6.2 methodology)."""
+
+from repro.records.aggregation import cushion_factor, demand_from_database, ingest_trace
+from repro.records.database import CallRecordsDatabase
+from repro.records.latency_est import (
+    estimate_latency_matrix,
+    estimation_error_ms,
+    fabricate_leg_latency,
+)
+from repro.records.record import CallLegRecord, CallRecord
+
+__all__ = [
+    "CallLegRecord",
+    "CallRecord",
+    "CallRecordsDatabase",
+    "cushion_factor",
+    "demand_from_database",
+    "estimate_latency_matrix",
+    "estimation_error_ms",
+    "fabricate_leg_latency",
+    "ingest_trace",
+]

@@ -1,0 +1,133 @@
+"""In-memory Call Records Database.
+
+This is the substrate Switchboard's forecasting and provisioning read
+from: it ingests per-call records, indexes them by 30-minute time bucket
+and call config, and answers the two queries the paper needs —
+per-config call-count timeseries (§5.2) and pooled per-(DC, country) leg
+latencies (§6.2).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.errors import RecordError
+from repro.core.types import CallConfig, TimeSlot, make_slots
+from repro.records.record import CallLegRecord, CallRecord
+
+
+class CallRecordsDatabase:
+    """Stores call records and answers aggregate queries."""
+
+    def __init__(self, bucket_s: float = 1800.0):
+        if bucket_s <= 0:
+            raise RecordError("bucket width must be positive")
+        self.bucket_s = bucket_s
+        self._records: List[CallRecord] = []
+        self._leg_latencies: Dict[Tuple[str, str], List[float]] = defaultdict(list)
+        self._by_bucket_config: Dict[Tuple[int, CallConfig], int] = defaultdict(int)
+        self._config_totals: Dict[CallConfig, int] = defaultdict(int)
+        self._max_bucket = -1
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def ingest(self, record: CallRecord,
+               leg_latencies: Optional[Sequence[CallLegRecord]] = None) -> None:
+        """Store one call record and, optionally, its per-leg latencies."""
+        self._records.append(record)
+        bucket = int(record.start_s // self.bucket_s)
+        self._by_bucket_config[(bucket, record.config)] += 1
+        self._config_totals[record.config] += 1
+        self._max_bucket = max(self._max_bucket, bucket)
+        if leg_latencies:
+            for leg in leg_latencies:
+                if leg.call_id != record.call_id:
+                    raise RecordError(
+                        f"leg for call {leg.call_id} attached to {record.call_id}"
+                    )
+                self._leg_latencies[(leg.dc_id, leg.participant_country)].append(
+                    leg.latency_ms
+                )
+
+    def ingest_many(self, records: Iterable[CallRecord]) -> None:
+        for record in records:
+            self.ingest(record)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def n_buckets(self) -> int:
+        return self._max_bucket + 1
+
+    def configs(self) -> List[CallConfig]:
+        """All configs observed, most frequent first (ties by repr)."""
+        return sorted(
+            self._config_totals,
+            key=lambda config: (-self._config_totals[config], str(config)),
+        )
+
+    def top_configs(self, fraction: float) -> List[CallConfig]:
+        """The most frequent ``fraction`` of configs (at least one, §5.2)."""
+        if not 0 < fraction <= 1:
+            raise RecordError(f"fraction must be in (0, 1], got {fraction}")
+        ordered = self.configs()
+        if not ordered:
+            raise RecordError("database is empty")
+        count = max(1, int(round(fraction * len(ordered))))
+        return ordered[:count]
+
+    def call_count(self, config: CallConfig) -> int:
+        return self._config_totals.get(config, 0)
+
+    def coverage_of(self, configs: Sequence[CallConfig]) -> float:
+        """Fraction of all calls covered by ``configs`` (Fig 7c check)."""
+        if not self._records:
+            raise RecordError("database is empty")
+        covered = sum(self._config_totals.get(config, 0) for config in configs)
+        return covered / len(self._records)
+
+    def config_timeseries(self, config: CallConfig,
+                          n_buckets: Optional[int] = None) -> np.ndarray:
+        """Calls per bucket for one config — the §5.2 forecasting input."""
+        buckets = n_buckets if n_buckets is not None else self.n_buckets
+        if buckets <= 0:
+            raise RecordError("no buckets ingested yet")
+        series = np.zeros(buckets)
+        for (bucket, recorded_config), count in self._by_bucket_config.items():
+            if recorded_config == config and bucket < buckets:
+                series[bucket] = count
+        return series
+
+    def all_timeseries(self, configs: Sequence[CallConfig]) -> Dict[CallConfig, np.ndarray]:
+        """Timeseries for many configs in one pass over the index."""
+        buckets = self.n_buckets
+        out = {config: np.zeros(buckets) for config in configs}
+        wanted = set(configs)
+        for (bucket, config), count in self._by_bucket_config.items():
+            if config in wanted:
+                out[config][bucket] = count
+        return out
+
+    def slots(self) -> List[TimeSlot]:
+        """The bucket grid as TimeSlots."""
+        if self._max_bucket < 0:
+            raise RecordError("database is empty")
+        return make_slots((self._max_bucket + 1) * self.bucket_s, self.bucket_s)
+
+    def leg_latency_samples(self, dc_id: str, country: str) -> List[float]:
+        return list(self._leg_latencies.get((dc_id, country), []))
+
+    def latency_pairs(self) -> List[Tuple[str, str]]:
+        """(dc_id, country) pairs with at least one leg latency sample."""
+        return sorted(self._leg_latencies)
+
+    def records(self) -> List[CallRecord]:
+        return list(self._records)

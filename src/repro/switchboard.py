@@ -1,0 +1,215 @@
+"""The Switchboard controller: the paper's primary contribution, assembled.
+
+Two entry points:
+
+* :class:`Switchboard` — the provisioning/allocation strategy: peak-aware,
+  joint compute+network, joint serving+backup LP provisioning (§5.3) plus
+  the latency-minimizing daily allocation (Eq 10).  Implements the same
+  :class:`~repro.baselines.base.ProvisioningStrategy` interface as the RR
+  and LF baselines so Table 3 can sweep all three.
+* :class:`SwitchboardPipeline` — the full production loop of Fig 6: call
+  records -> top-config selection -> per-config Holt-Winters forecasts ->
+  capacity provisioning -> daily allocation plan -> real-time MP selector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.errors import SwitchboardError
+from repro.core.types import CallConfig
+from repro.core.units import DEFAULT_FREEZE_WINDOW_S, DEFAULT_LATENCY_THRESHOLD_MS
+from repro.allocation.offline import AllocationOptimizer, AllocationOutcome
+from repro.allocation.plan import AllocationPlan
+from repro.allocation.realtime import RealTimeSelector
+from repro.baselines.base import ProvisioningStrategy
+from repro.forecasting.forecaster import CallCountForecaster
+from repro.provisioning.demand import PlacementData
+from repro.provisioning.failures import FailureScenario
+from repro.provisioning.formulation import ScenarioLP
+from repro.provisioning.planner import CapacityPlan, CapacityPlanner
+from repro.records.aggregation import cushion_factor, demand_from_database
+from repro.records.database import CallRecordsDatabase
+from repro.records.latency_est import estimate_latency_matrix
+from repro.topology.builder import Topology
+from repro.workload.arrivals import Demand
+from repro.workload.media import MediaLoadModel
+
+
+class Switchboard(ProvisioningStrategy):
+    """Peak-aware joint provisioning + latency-optimal allocation."""
+
+    name = "switchboard"
+
+    def __init__(self, topology: Topology,
+                 load_model: Optional[MediaLoadModel] = None,
+                 latency_threshold_ms: float = DEFAULT_LATENCY_THRESHOLD_MS,
+                 max_link_scenarios: Optional[int] = None,
+                 backup_method: str = "joint",
+                 background=None,
+                 dc_core_limits=None):
+        """``background`` folds non-conferencing link traffic into the
+        provisioned peaks (§6.1 note); ``dc_core_limits`` caps per-DC
+        cores (regional capacity exhaustion, §7 refs [1-3])."""
+        super().__init__(topology, load_model)
+        self.latency_threshold_ms = latency_threshold_ms
+        self.max_link_scenarios = max_link_scenarios
+        self.backup_method = backup_method
+        self.background = background
+        self.dc_core_limits = dc_core_limits
+        self._placement_cache: Dict[int, PlacementData] = {}
+
+    # ------------------------------------------------------------------
+    # provisioning (§5.3)
+    # ------------------------------------------------------------------
+    def placement_for(self, configs: Sequence[CallConfig]) -> PlacementData:
+        """PlacementData for a config set, cached by identity of the set."""
+        key = hash(tuple(configs))
+        placement = self._placement_cache.get(key)
+        if placement is None:
+            placement = PlacementData(
+                self.topology, configs,
+                load_model=self.usage.load_model,
+                latency_threshold_ms=self.latency_threshold_ms,
+            )
+            self._placement_cache[key] = placement
+        return placement
+
+    def provision(self, demand: Demand, with_backup: bool = True) -> CapacityPlan:
+        """The LP provisioning of §5.3 over the scenario set."""
+        placement = self.placement_for(demand.configs)
+        planner = CapacityPlanner(placement, demand)
+        if with_backup:
+            return planner.plan_with_backup(
+                max_link_scenarios=self.max_link_scenarios,
+                method=self.backup_method,
+                background=self.background,
+                dc_core_limits=self.dc_core_limits,
+            )
+        return planner.plan_without_backup(
+            background=self.background,
+            dc_core_limits=self.dc_core_limits,
+        )
+
+    def plan_without_backup(self, demand: Demand) -> CapacityPlan:
+        return self.provision(demand, with_backup=False)
+
+    def plan_with_backup(self, demand: Demand,
+                         max_link_scenarios: Optional[int] = None) -> CapacityPlan:
+        if max_link_scenarios is not None:
+            placement = self.placement_for(demand.configs)
+            return CapacityPlanner(placement, demand).plan_with_backup(
+                max_link_scenarios=max_link_scenarios, method=self.backup_method
+            )
+        return self.provision(demand, with_backup=True)
+
+    # ------------------------------------------------------------------
+    # allocation (§5.3 "Allocation plan" + §5.4)
+    # ------------------------------------------------------------------
+    def allocate(self, demand: Demand, capacity: CapacityPlan) -> AllocationOutcome:
+        """The daily allocation LP (Eq 10) against fixed capacity."""
+        placement = self.placement_for(demand.configs)
+        return AllocationOptimizer(placement, capacity).allocate(demand)
+
+    def allocation_plan(self, demand: Demand,
+                        failed_dc: Optional[str] = None) -> AllocationPlan:
+        """Strategy-interface allocation: allocate within own capacity.
+
+        Under a DC failure, allocation re-runs against the same capacity
+        with the failed DC's cores zeroed (its backup capacity elsewhere
+        absorbs the calls).
+        """
+        placement = self.placement_for(demand.configs)
+        if failed_dc is not None:
+            # Re-provision for the failure scenario: the surviving DCs'
+            # backup capacity hosts the failed DC's calls (§4.2).
+            scenario = FailureScenario(name=f"F_dc:{failed_dc}", failed_dc=failed_dc)
+            result = ScenarioLP(placement, demand, scenario).solve()
+            return AllocationPlan(slots=list(demand.slots), shares=result.shares)
+        capacity = self.provision(demand, with_backup=False)
+        outcome = self.allocate(demand, capacity)
+        return outcome.plan
+
+    def mean_acl_with_capacity(self, demand: Demand, capacity: CapacityPlan) -> float:
+        """Mean ACL of the latency-optimal allocation inside ``capacity``."""
+        outcome = self.allocate(demand, capacity)
+        return outcome.plan.mean_acl_ms(
+            lambda dc, config: self.topology.acl_ms(dc, config)
+        )
+
+    def realtime_selector(self, plan: AllocationPlan,
+                          freeze_window_s: float = DEFAULT_FREEZE_WINDOW_S
+                          ) -> RealTimeSelector:
+        """The §5.4 real-time selector seeded with a daily plan."""
+        return RealTimeSelector(self.topology, plan, freeze_window_s)
+
+
+@dataclass
+class PipelineResult:
+    """Everything the end-to-end pipeline produced."""
+
+    top_configs: List[CallConfig]
+    cushion: float
+    forecast_demand: Demand
+    capacity: CapacityPlan
+    allocation: AllocationOutcome
+
+
+class SwitchboardPipeline:
+    """Fig 6 end to end: records -> forecast -> provision -> allocate."""
+
+    def __init__(self, topology: Topology,
+                 top_config_fraction: float = 0.01,
+                 season_length: int = 48,
+                 load_model: Optional[MediaLoadModel] = None,
+                 max_link_scenarios: Optional[int] = 0,
+                 use_estimated_latency: bool = True):
+        self.topology = topology
+        self.top_config_fraction = top_config_fraction
+        self.season_length = season_length
+        self.load_model = load_model if load_model is not None else MediaLoadModel()
+        self.max_link_scenarios = max_link_scenarios
+        self.use_estimated_latency = use_estimated_latency
+
+    def run(self, db: CallRecordsDatabase, horizon_slots: int,
+            with_backup: bool = True) -> PipelineResult:
+        """Run the full loop from a populated records database."""
+        if len(db) == 0:
+            raise SwitchboardError("records database is empty")
+
+        # 1. Counterfactual latency from telemetry (§6.2).
+        topology = self.topology
+        if self.use_estimated_latency:
+            matrix = estimate_latency_matrix(db, topology)
+            topology = topology.with_latency(matrix)
+
+        # 2. Top-config selection + cushion (§5.2).
+        top = db.top_configs(self.top_config_fraction)
+        cushion = cushion_factor(db, top)
+        history = demand_from_database(db, top)
+
+        # 3. Per-config Holt-Winters forecast (§5.2).
+        forecaster = CallCountForecaster(
+            season_length=self.season_length, cushion=cushion
+        )
+        forecast = forecaster.forecast_demand(history, horizon_slots)
+
+        # 4. LP capacity provisioning (§5.3).
+        controller = Switchboard(
+            topology,
+            load_model=self.load_model,
+            max_link_scenarios=self.max_link_scenarios,
+        )
+        capacity = controller.provision(forecast, with_backup=with_backup)
+
+        # 5. Daily allocation plan (Eq 10).
+        allocation = controller.allocate(forecast, capacity)
+
+        return PipelineResult(
+            top_configs=top,
+            cushion=cushion,
+            forecast_demand=forecast,
+            capacity=capacity,
+            allocation=allocation,
+        )

@@ -1,0 +1,37 @@
+"""Topology substrate: geography, datacenters, WAN, latency, and costs."""
+
+from repro.topology.builder import Topology
+from repro.topology.datacenter import DEFAULT_DC_SPECS, Datacenter, DatacenterFleet
+from repro.topology.geo import REGIONS, Country, World, haversine_km
+from repro.topology.io import (
+    dump_topology,
+    load_topology,
+    topology_from_dict,
+    topology_to_dict,
+)
+from repro.topology.latency import (
+    GeodesicLatencyModel,
+    LatencyModel,
+    MatrixLatencyModel,
+)
+from repro.topology.wan import Link, WanNetwork
+
+__all__ = [
+    "Country",
+    "Datacenter",
+    "DatacenterFleet",
+    "DEFAULT_DC_SPECS",
+    "GeodesicLatencyModel",
+    "LatencyModel",
+    "Link",
+    "MatrixLatencyModel",
+    "REGIONS",
+    "Topology",
+    "WanNetwork",
+    "World",
+    "dump_topology",
+    "haversine_km",
+    "load_topology",
+    "topology_from_dict",
+    "topology_to_dict",
+]

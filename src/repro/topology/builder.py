@@ -1,0 +1,161 @@
+"""The assembled topology: world + DC fleet + WAN + latency + costs.
+
+:class:`Topology` is the single object every higher layer (workload,
+provisioning, allocation, baselines) takes as input.  ``Topology.default()``
+builds the 24-country / 12-DC world used by all experiments;
+``Topology.small()`` builds a 3-country / 3-DC Asia-Pacific world matching
+the paper's running example (Japan / Hong Kong / India, Figs 3-4) that unit
+tests and the Fig 4 experiment use.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import TopologyError
+from repro.core.types import CallConfig
+from repro.core.units import DEFAULT_LATENCY_THRESHOLD_MS
+from repro.topology.datacenter import Datacenter, DatacenterFleet
+from repro.topology.geo import Country, World
+from repro.topology.latency import GeodesicLatencyModel, LatencyModel
+from repro.topology.wan import WanNetwork
+
+
+class Topology:
+    """World model handed to provisioning and allocation."""
+
+    def __init__(self, world: World, fleet: DatacenterFleet, wan: WanNetwork,
+                 latency: Optional[LatencyModel] = None):
+        self.world = world
+        self.fleet = fleet
+        self.wan = wan
+        self.latency = latency if latency is not None else GeodesicLatencyModel(world, fleet)
+        self._closest_cache: Dict[str, str] = {}
+        self._acl_cache: Dict[Tuple[str, CallConfig], float] = {}
+
+    # ------------------------------------------------------------------
+    # factories
+    # ------------------------------------------------------------------
+    @staticmethod
+    def default() -> "Topology":
+        """The full default world (24 countries, 12 DCs)."""
+        world = World.default()
+        fleet = DatacenterFleet.default(world)
+        wan = WanNetwork(world, fleet)
+        return Topology(world, fleet, wan)
+
+    @staticmethod
+    def small() -> "Topology":
+        """The paper's 3-DC Asia-Pacific running example (Figs 3-4)."""
+        world = World([
+            Country("JP", "Japan", 35.68, 139.69, 9.0, "apac", 4.0),
+            Country("HK", "Hong Kong", 22.32, 114.17, 8.0, "apac", 3.0),
+            Country("IN", "India", 18.52, 73.86, 5.5, "apac", 5.0),
+        ])
+        fleet = DatacenterFleet([
+            Datacenter.in_country("dc-tokyo", world.country("JP"), 1.35),
+            Datacenter.in_country("dc-hongkong", world.country("HK"), 1.45),
+            Datacenter.in_country("dc-pune", world.country("IN"), 0.85),
+        ])
+        wan = WanNetwork(world, fleet, dc_degree=2, country_homing=2)
+        return Topology(world, fleet, wan)
+
+    def with_latency(self, latency: LatencyModel) -> "Topology":
+        """A copy of this topology using a different latency source.
+
+        Used to swap the geodesic "ground truth" for the median-pooled
+        matrix estimated from call records (§6.2).
+        """
+        return Topology(self.world, self.fleet, self.wan, latency)
+
+    # ------------------------------------------------------------------
+    # derived queries
+    # ------------------------------------------------------------------
+    def acl_ms(self, dc_id: str, config: CallConfig) -> float:
+        """Average call latency of hosting ``config`` at ``dc_id`` (cached)."""
+        key = (dc_id, config)
+        cached = self._acl_cache.get(key)
+        if cached is None:
+            cached = self.latency.acl(dc_id, config)
+            self._acl_cache[key] = cached
+        return cached
+
+    def region_dcs_for(self, config: CallConfig) -> List[str]:
+        """DCs in the regions the config's participants live in (§2.1).
+
+        The service hosts a call "in one of the DCs within the region from
+        where the call originates"; for calls spanning regions we take the
+        union of the participants' regions.  Falls back to all DCs when
+        those regions host none.
+        """
+        regions = {self.world.country(code).region for code in config.countries}
+        dcs = [dc.dc_id for dc in self.fleet if dc.region in regions]
+        return dcs if dcs else self.fleet.ids
+
+    def feasible_dcs(self, config: CallConfig,
+                     threshold_ms: float = DEFAULT_LATENCY_THRESHOLD_MS,
+                     exclude: Sequence[str] = (),
+                     restrict_regions: bool = True) -> List[str]:
+        """DCs allowed to host ``config``: in-region and under the ACL
+        threshold (Eq 4).
+
+        When no DC satisfies the threshold, the paper places all such calls
+        on the minimum-ACL DC (§5.3 "Note"), so the fallback returns a
+        singleton rather than an empty list.
+        """
+        excluded = set(exclude)
+        pool = self.region_dcs_for(config) if restrict_regions else self.fleet.ids
+        candidates = [dc_id for dc_id in pool if dc_id not in excluded]
+        if not candidates:
+            # Every in-region DC is excluded (e.g. all failed): widen to the
+            # whole fleet before giving up.
+            candidates = [dc_id for dc_id in self.fleet.ids if dc_id not in excluded]
+        if not candidates:
+            raise TopologyError("all DCs excluded")
+        feasible = [
+            dc_id for dc_id in candidates
+            if self.acl_ms(dc_id, config) <= threshold_ms
+        ]
+        if feasible:
+            return feasible
+        best = min(candidates, key=lambda dc_id: (self.acl_ms(dc_id, config), dc_id))
+        return [best]
+
+    def best_dc(self, config: CallConfig, exclude: Sequence[str] = (),
+                restrict_regions: bool = True) -> str:
+        """The minimum-ACL DC for a config (the Locality-First choice)."""
+        excluded = set(exclude)
+        pool = self.region_dcs_for(config) if restrict_regions else self.fleet.ids
+        candidates = [dc_id for dc_id in pool if dc_id not in excluded]
+        if not candidates:
+            candidates = [dc_id for dc_id in self.fleet.ids if dc_id not in excluded]
+        if not candidates:
+            raise TopologyError("all DCs excluded")
+        return min(candidates, key=lambda dc_id: (self.acl_ms(dc_id, config), dc_id))
+
+    def closest_dc(self, country_code: str) -> str:
+        """The latency-closest DC to a country (first-joiner heuristic, §5.4)."""
+        cached = self._closest_cache.get(country_code)
+        if cached is None:
+            cached = min(
+                self.fleet.ids,
+                key=lambda dc_id: (self.latency.latency_ms(dc_id, country_code), dc_id),
+            )
+            self._closest_cache[country_code] = cached
+        return cached
+
+    def region_of_country(self, country_code: str) -> str:
+        return self.world.country(country_code).region
+
+    def dcs_in_region(self, region: str) -> List[str]:
+        """DC ids in a region; falls back to all DCs if the region is empty."""
+        dcs = [dc.dc_id for dc in self.fleet.in_region(region)]
+        return dcs if dcs else self.fleet.ids
+
+    def dc_cost(self, dc_id: str) -> float:
+        """``DC_Cost(x)`` of Table 2."""
+        return self.fleet.dc(dc_id).core_cost
+
+    def wan_cost(self, link_id: str) -> float:
+        """``WAN_Cost(l)`` of Table 2."""
+        return self.wan.link(link_id).unit_cost

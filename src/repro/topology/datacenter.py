@@ -1,0 +1,118 @@
+"""Datacenters hosting MP servers.
+
+Each DC lives in a country (which fixes its coordinates and region) and has
+a per-core unit cost, ``DC_Cost(x)`` in the LP notation (Table 2).  Costs
+differ significantly across DCs — the paper notes this is what makes joint
+compute + network provisioning worthwhile (§4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.core.errors import TopologyError
+from repro.topology.geo import Country, World
+
+
+@dataclass(frozen=True)
+class Datacenter:
+    """An Azure-like DC that can host MP servers."""
+
+    dc_id: str
+    country_code: str
+    region: str
+    core_cost: float
+    lat: float
+    lon: float
+
+    @staticmethod
+    def in_country(dc_id: str, country: Country, core_cost: float) -> "Datacenter":
+        """Create a DC co-located with a country's reference point."""
+        if core_cost <= 0:
+            raise TopologyError(f"DC {dc_id}: core cost must be positive")
+        return Datacenter(
+            dc_id=dc_id,
+            country_code=country.code,
+            region=country.region,
+            core_cost=core_cost,
+            lat=country.lat,
+            lon=country.lon,
+        )
+
+
+#: Default DC fleet: (dc_id, country_code, relative per-core cost, lat, lon).
+#: Relative costs follow the qualitative gradients of public cloud pricing:
+#: US/EU compute is cheap, India is cheapest, island/metro DCs (SG, HK, JP,
+#: BR) are expensive.  Only the relative ordering matters for results.
+#: Coordinates are the DC's actual metro, not the country reference point —
+#: the two US DCs in particular must sit on opposite coasts.
+DEFAULT_DC_SPECS = (
+    ("dc-tokyo", "JP", 1.35, 35.68, 139.69),
+    ("dc-hongkong", "HK", 1.45, 22.32, 114.17),
+    ("dc-singapore", "SG", 1.50, 1.35, 103.82),
+    ("dc-pune", "IN", 0.85, 18.52, 73.86),
+    ("dc-sydney", "AU", 1.30, -33.87, 151.21),
+    ("dc-london", "GB", 1.10, 51.51, -0.13),
+    ("dc-frankfurt", "DE", 1.05, 50.11, 8.68),
+    ("dc-amsterdam", "NL", 1.05, 52.37, 4.90),
+    ("dc-dubai", "AE", 1.25, 25.20, 55.27),
+    ("dc-virginia", "US", 1.00, 38.03, -78.48),
+    ("dc-california", "US", 1.10, 37.35, -121.95),
+    ("dc-toronto", "CA", 1.05, 43.65, -79.38),
+    ("dc-saopaulo", "BR", 1.40, -23.55, -46.63),
+    ("dc-seoul", "KR", 1.30, 37.57, 126.98),
+    ("dc-paris", "FR", 1.08, 48.86, 2.35),
+)
+
+
+class DatacenterFleet:
+    """The set of DCs available to the service, keyed by id."""
+
+    def __init__(self, datacenters: Iterable[Datacenter]):
+        self._dcs: Dict[str, Datacenter] = {}
+        for dc in datacenters:
+            if dc.dc_id in self._dcs:
+                raise TopologyError(f"duplicate DC id {dc.dc_id}")
+            self._dcs[dc.dc_id] = dc
+        if not self._dcs:
+            raise TopologyError("a fleet needs at least one DC")
+
+    @staticmethod
+    def default(world: World) -> "DatacenterFleet":
+        """The 15-DC default fleet placed in the default world."""
+        dcs = []
+        for dc_id, country_code, core_cost, lat, lon in DEFAULT_DC_SPECS:
+            country = world.country(country_code)
+            dcs.append(Datacenter(
+                dc_id=dc_id,
+                country_code=country.code,
+                region=country.region,
+                core_cost=core_cost,
+                lat=lat,
+                lon=lon,
+            ))
+        return DatacenterFleet(dcs)
+
+    def dc(self, dc_id: str) -> Datacenter:
+        try:
+            return self._dcs[dc_id]
+        except KeyError:
+            raise TopologyError(f"unknown DC {dc_id!r}") from None
+
+    def __contains__(self, dc_id: str) -> bool:
+        return dc_id in self._dcs
+
+    def __iter__(self):
+        return iter(sorted(self._dcs.values(), key=lambda dc: dc.dc_id))
+
+    def __len__(self) -> int:
+        return len(self._dcs)
+
+    @property
+    def ids(self) -> List[str]:
+        return sorted(self._dcs)
+
+    def in_region(self, region: str) -> List[Datacenter]:
+        """DCs located in ``region``, sorted by id (RR iterates this order)."""
+        return [dc for dc in self if dc.region == region]

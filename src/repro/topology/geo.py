@@ -1,0 +1,139 @@
+"""Geography: countries, coordinates, time zones, and regions.
+
+The paper's world is Microsoft Teams's: users in countries, grouped into
+service regions (Asia-Pacific, Europe, Americas), served by Azure DCs.  We
+model a 24-country world with real coordinates and UTC offsets — the UTC
+offsets are what create the time-shifted demand peaks that peak-aware
+provisioning exploits (§4.1, Fig 3).
+
+``user_weight`` is the relative share of the service's users in that
+country; it scales the synthetic demand and is loosely modelled on relative
+knowledge-worker populations.  Absolute scale is irrelevant because every
+reported result is normalized to the RR baseline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.core.errors import TopologyError
+
+
+@dataclass(frozen=True)
+class Country:
+    """A participant location at the granularity the paper uses (§5.1)."""
+
+    code: str
+    name: str
+    lat: float
+    lon: float
+    utc_offset_h: float
+    region: str
+    user_weight: float
+
+    def local_hour(self, utc_hour: float) -> float:
+        """Local wall-clock hour for a given UTC hour (wraps at 24)."""
+        return (utc_hour + self.utc_offset_h) % 24.0
+
+
+#: Service regions in the Teams sense (§2.1).
+REGIONS = ("apac", "emea", "americas")
+
+_COUNTRY_ROWS: Tuple[Tuple[str, str, float, float, float, str, float], ...] = (
+    # code, name, lat, lon, utc_offset_h, region, user_weight
+    ("JP", "Japan", 35.68, 139.69, 9.0, "apac", 6.0),
+    ("KR", "South Korea", 37.57, 126.98, 9.0, "apac", 3.0),
+    ("HK", "Hong Kong", 22.32, 114.17, 8.0, "apac", 2.5),
+    ("SG", "Singapore", 1.35, 103.82, 8.0, "apac", 2.0),
+    ("ID", "Indonesia", -6.21, 106.85, 7.0, "apac", 3.0),
+    ("TH", "Thailand", 13.76, 100.50, 7.0, "apac", 1.5),
+    ("MY", "Malaysia", 3.14, 101.69, 8.0, "apac", 1.2),
+    ("PH", "Philippines", 14.60, 120.98, 8.0, "apac", 2.2),
+    ("AU", "Australia", -33.87, 151.21, 10.0, "apac", 3.0),
+    ("IN", "India", 18.52, 73.86, 5.5, "apac", 9.0),
+    ("AE", "United Arab Emirates", 25.20, 55.27, 4.0, "emea", 1.5),
+    ("ZA", "South Africa", -26.20, 28.05, 2.0, "emea", 1.2),
+    ("GB", "United Kingdom", 51.51, -0.13, 0.0, "emea", 6.0),
+    ("FR", "France", 48.86, 2.35, 1.0, "emea", 4.0),
+    ("DE", "Germany", 50.11, 8.68, 1.0, "emea", 5.0),
+    ("NL", "Netherlands", 52.37, 4.90, 1.0, "emea", 2.0),
+    ("ES", "Spain", 40.42, -3.70, 1.0, "emea", 2.5),
+    ("SE", "Sweden", 59.33, 18.07, 1.0, "emea", 1.5),
+    ("PL", "Poland", 52.23, 21.01, 1.0, "emea", 2.0),
+    ("US", "United States", 38.90, -77.04, -5.0, "americas", 14.0),
+    ("CA", "Canada", 43.65, -79.38, -5.0, "americas", 2.5),
+    ("MX", "Mexico", 19.43, -99.13, -6.0, "americas", 2.0),
+    ("BR", "Brazil", -23.55, -46.63, -3.0, "americas", 3.5),
+    ("AR", "Argentina", -34.60, -58.38, -3.0, "americas", 1.2),
+)
+
+_EARTH_RADIUS_KM = 6371.0
+
+
+def haversine_km(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+    """Great-circle distance between two (lat, lon) points in km."""
+    phi1, phi2 = math.radians(lat1), math.radians(lat2)
+    dphi = math.radians(lat2 - lat1)
+    dlam = math.radians(lon2 - lon1)
+    a = math.sin(dphi / 2) ** 2 + math.cos(phi1) * math.cos(phi2) * math.sin(dlam / 2) ** 2
+    return 2 * _EARTH_RADIUS_KM * math.asin(math.sqrt(a))
+
+
+class World:
+    """An immutable set of countries keyed by ISO-like code."""
+
+    def __init__(self, countries: Iterable[Country]):
+        self._countries: Dict[str, Country] = {}
+        for country in countries:
+            if country.code in self._countries:
+                raise TopologyError(f"duplicate country code {country.code}")
+            if country.region not in REGIONS:
+                raise TopologyError(f"unknown region {country.region!r} for {country.code}")
+            if country.user_weight < 0:
+                raise TopologyError(f"negative user weight for {country.code}")
+            self._countries[country.code] = country
+        if not self._countries:
+            raise TopologyError("a world needs at least one country")
+
+    @staticmethod
+    def default() -> "World":
+        """The 24-country default world used in all experiments."""
+        return World(Country(*row) for row in _COUNTRY_ROWS)
+
+    def country(self, code: str) -> Country:
+        try:
+            return self._countries[code]
+        except KeyError:
+            raise TopologyError(f"unknown country {code!r}") from None
+
+    def __contains__(self, code: str) -> bool:
+        return code in self._countries
+
+    def __iter__(self):
+        return iter(self._countries.values())
+
+    def __len__(self) -> int:
+        return len(self._countries)
+
+    @property
+    def codes(self) -> List[str]:
+        return sorted(self._countries)
+
+    def in_region(self, region: str) -> List[Country]:
+        """Countries belonging to ``region``, sorted by code."""
+        if region not in REGIONS:
+            raise TopologyError(f"unknown region {region!r}")
+        return sorted(
+            (c for c in self._countries.values() if c.region == region),
+            key=lambda c: c.code,
+        )
+
+    def distance_km(self, code_a: str, code_b: str) -> float:
+        """Great-circle distance between two countries' reference points."""
+        a, b = self.country(code_a), self.country(code_b)
+        return haversine_km(a.lat, a.lon, b.lat, b.lon)
+
+    def total_weight(self) -> float:
+        return sum(c.user_weight for c in self._countries.values())

@@ -1,0 +1,126 @@
+"""Topology serialization: define custom worlds in plain JSON.
+
+A downstream operator models *their* deployment — their countries, their
+DCs, their prices — as a dict/JSON document and loads it with
+:func:`topology_from_dict`.  The default world round-trips through the
+same schema, which the tests pin down.
+
+Schema (version 1)::
+
+    {
+      "version": 1,
+      "countries": [
+        {"code": "JP", "name": "Japan", "lat": 35.68, "lon": 139.69,
+         "utc_offset_h": 9.0, "region": "apac", "user_weight": 6.0}, ...
+      ],
+      "datacenters": [
+        {"dc_id": "dc-tokyo", "country_code": "JP", "core_cost": 1.35,
+         "lat": 35.68, "lon": 139.69}, ...
+      ],
+      "wan": {"dc_degree": 3, "country_homing": 2}
+    }
+
+The WAN graph itself is derived (k-nearest backbone + MST + country
+homing), so the document stays small and always yields a connected
+network; ``wan`` only carries the construction knobs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.core.errors import TopologyError
+from repro.topology.builder import Topology
+from repro.topology.datacenter import Datacenter, DatacenterFleet
+from repro.topology.geo import Country, World
+from repro.topology.wan import WanNetwork
+
+FORMAT_VERSION = 1
+
+_COUNTRY_FIELDS = ("code", "name", "lat", "lon", "utc_offset_h", "region",
+                   "user_weight")
+_DC_FIELDS = ("dc_id", "country_code", "core_cost", "lat", "lon")
+
+
+def topology_to_dict(topology: Topology, dc_degree: int = 3,
+                     country_homing: int = 2) -> Dict[str, Any]:
+    """Serialize a topology's world and fleet (the WAN is derived)."""
+    return {
+        "version": FORMAT_VERSION,
+        "countries": [
+            {field: getattr(country, field) for field in _COUNTRY_FIELDS}
+            for country in sorted(topology.world, key=lambda c: c.code)
+        ],
+        "datacenters": [
+            {field: getattr(dc, field) for field in _DC_FIELDS}
+            for dc in topology.fleet
+        ],
+        "wan": {"dc_degree": dc_degree, "country_homing": country_homing},
+    }
+
+
+def topology_from_dict(data: Dict[str, Any]) -> Topology:
+    """Build a full Topology (world + fleet + WAN + latency) from a dict."""
+    if not isinstance(data, dict):
+        raise TopologyError("topology document must be a dict")
+    if data.get("version") != FORMAT_VERSION:
+        raise TopologyError(
+            f"unsupported topology format version {data.get('version')!r}"
+        )
+    countries_raw = data.get("countries")
+    dcs_raw = data.get("datacenters")
+    if not countries_raw or not dcs_raw:
+        raise TopologyError("topology document needs countries and datacenters")
+
+    countries = []
+    for row in countries_raw:
+        missing = [f for f in _COUNTRY_FIELDS if f not in row]
+        if missing:
+            raise TopologyError(f"country entry missing fields {missing}")
+        countries.append(Country(
+            code=str(row["code"]), name=str(row["name"]),
+            lat=float(row["lat"]), lon=float(row["lon"]),
+            utc_offset_h=float(row["utc_offset_h"]),
+            region=str(row["region"]),
+            user_weight=float(row["user_weight"]),
+        ))
+    world = World(countries)
+
+    dcs = []
+    for row in dcs_raw:
+        missing = [f for f in _DC_FIELDS if f not in row]
+        if missing:
+            raise TopologyError(f"datacenter entry missing fields {missing}")
+        country = world.country(str(row["country_code"]))
+        if float(row["core_cost"]) <= 0:
+            raise TopologyError(
+                f"DC {row['dc_id']}: core cost must be positive"
+            )
+        dcs.append(Datacenter(
+            dc_id=str(row["dc_id"]),
+            country_code=country.code,
+            region=country.region,
+            core_cost=float(row["core_cost"]),
+            lat=float(row["lat"]),
+            lon=float(row["lon"]),
+        ))
+    fleet = DatacenterFleet(dcs)
+
+    wan_params = data.get("wan", {})
+    wan = WanNetwork(
+        world, fleet,
+        dc_degree=int(wan_params.get("dc_degree", 3)),
+        country_homing=int(wan_params.get("country_homing", 2)),
+    )
+    return Topology(world, fleet, wan)
+
+
+def dump_topology(topology: Topology, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(topology_to_dict(topology), handle, indent=1)
+
+
+def load_topology(path: str) -> Topology:
+    with open(path) as handle:
+        return topology_from_dict(json.load(handle))

@@ -1,0 +1,109 @@
+"""One-way latency model between DCs and participant countries.
+
+The paper estimates ``Lat(x, u)`` — the latency between DC *x* and country
+*u* — as the median of observed call-leg latencies for that pair (§6.2).
+We provide two interchangeable sources:
+
+* :class:`GeodesicLatencyModel` derives latency from great-circle distance
+  (speed of light in fiber, with a path-inflation factor and a fixed
+  last-mile/processing term).  This is the "physical truth" the synthetic
+  trace generator uses when it fabricates leg latencies.
+* :class:`MatrixLatencyModel` wraps an explicit (DC, country) -> ms table,
+  which is what the records database produces via median pooling — the
+  exact counterfactual-estimation procedure of §6.2.
+
+Both expose ``latency_ms(dc_id, country_code)`` and the average call
+latency ``acl(dc_id, config)`` of Table 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+from repro.core.errors import TopologyError
+from repro.core.types import CallConfig
+from repro.topology.datacenter import DatacenterFleet
+from repro.topology.geo import World, haversine_km
+
+#: One-way propagation in optical fiber is ~5 us/km; Internet paths are
+#: longer than geodesics, so we inflate by 1.25.
+_MS_PER_KM = 0.005 * 1.25
+
+#: Fixed one-way cost of the last mile plus MP ingress processing.
+_BASE_MS = 3.0
+
+
+class LatencyModel:
+    """Interface: one-way latency between a DC and a participant country."""
+
+    def latency_ms(self, dc_id: str, country_code: str) -> float:
+        raise NotImplementedError
+
+    def acl(self, dc_id: str, config: CallConfig) -> float:
+        """Average call latency (Table 2): mean leg latency over P(c)."""
+        total = 0.0
+        for country, count in config.spread:
+            total += self.latency_ms(dc_id, country) * count
+        return total / config.participant_count
+
+
+class GeodesicLatencyModel(LatencyModel):
+    """Distance-derived latency; deterministic and symmetric."""
+
+    def __init__(self, world: World, fleet: DatacenterFleet,
+                 ms_per_km: float = _MS_PER_KM, base_ms: float = _BASE_MS):
+        if ms_per_km <= 0 or base_ms < 0:
+            raise TopologyError("latency parameters must be positive")
+        self._world = world
+        self._fleet = fleet
+        self._ms_per_km = ms_per_km
+        self._base_ms = base_ms
+        self._cache: Dict[Tuple[str, str], float] = {}
+
+    def latency_ms(self, dc_id: str, country_code: str) -> float:
+        key = (dc_id, country_code)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        dc = self._fleet.dc(dc_id)
+        country = self._world.country(country_code)
+        distance = haversine_km(dc.lat, dc.lon, country.lat, country.lon)
+        latency = self._base_ms + self._ms_per_km * distance
+        self._cache[key] = latency
+        return latency
+
+    def dc_to_dc_ms(self, dc_a: str, dc_b: str) -> float:
+        """One-way latency between two DCs (used for WAN link weights)."""
+        a, b = self._fleet.dc(dc_a), self._fleet.dc(dc_b)
+        distance = haversine_km(a.lat, a.lon, b.lat, b.lon)
+        return self._base_ms + self._ms_per_km * distance
+
+
+class MatrixLatencyModel(LatencyModel):
+    """Latency from an explicit (dc_id, country_code) -> ms mapping.
+
+    This is the model the provisioning LP actually consumes in the paper:
+    medians pooled from call records rather than ground physics.  Missing
+    pairs raise so that a hole in telemetry is loud, not silently zero.
+    """
+
+    def __init__(self, matrix: Mapping[Tuple[str, str], float]):
+        self._matrix: Dict[Tuple[str, str], float] = {}
+        for (dc_id, country), value in matrix.items():
+            if value < 0:
+                raise TopologyError(f"negative latency for ({dc_id}, {country})")
+            self._matrix[(dc_id, country)] = float(value)
+        if not self._matrix:
+            raise TopologyError("empty latency matrix")
+
+    def latency_ms(self, dc_id: str, country_code: str) -> float:
+        try:
+            return self._matrix[(dc_id, country_code)]
+        except KeyError:
+            raise TopologyError(
+                f"no latency estimate for DC {dc_id!r} <-> country {country_code!r}"
+            ) from None
+
+    def pairs(self):
+        """All (dc_id, country_code) pairs the matrix covers."""
+        return sorted(self._matrix)

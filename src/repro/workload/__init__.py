@@ -1,0 +1,36 @@
+"""Workload substrate: media loads, diurnal demand, configs, traces."""
+
+from repro.workload.arrivals import Demand, DemandModel
+from repro.workload.configs import ConfigEntry, ConfigPopulation, generate_population
+from repro.workload.diurnal import DiurnalModel, DiurnalProfile
+from repro.workload.media import (
+    AUDIO_CORES_PER_PARTICIPANT,
+    AUDIO_MBPS_PER_PARTICIPANT,
+    MediaLoadModel,
+)
+from repro.workload.series import (
+    MeetingSeries,
+    SeriesMember,
+    generate_series,
+    series_to_calls,
+)
+from repro.workload.trace import CallTrace, TraceGenerator
+
+__all__ = [
+    "AUDIO_CORES_PER_PARTICIPANT",
+    "AUDIO_MBPS_PER_PARTICIPANT",
+    "CallTrace",
+    "ConfigEntry",
+    "ConfigPopulation",
+    "Demand",
+    "DemandModel",
+    "DiurnalModel",
+    "DiurnalProfile",
+    "MediaLoadModel",
+    "MeetingSeries",
+    "SeriesMember",
+    "TraceGenerator",
+    "generate_population",
+    "generate_series",
+    "series_to_calls",
+]

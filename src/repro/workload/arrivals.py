@@ -1,0 +1,126 @@
+"""Expected and sampled per-slot call demand, ``D_tc`` in the LP.
+
+:class:`Demand` is the matrix the provisioning LP consumes: one row per
+time slot, one column per call config, holding call counts.  It can hold
+expected values (for provisioning) or Poisson-sampled realizations (the
+"ground truth" that drives trace generation and evaluation).
+
+:class:`DemandModel` combines the config population with the diurnal model:
+a config's temporal shape is the participant-weighted mean of its member
+countries' (weight-free) diurnal shapes, so a Japan-majority config peaks
+when Japan's workday peaks.  A per-config growth term reproduces the
+divergent growth rates of Fig 7b.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.errors import WorkloadError
+from repro.core.types import CallConfig, TimeSlot
+from repro.topology.geo import World
+from repro.workload.configs import ConfigEntry, ConfigPopulation
+from repro.workload.diurnal import DiurnalModel
+
+_SECONDS_PER_MONTH = 30 * 86400.0
+
+
+class Demand:
+    """``D_tc``: calls per (time slot, call config)."""
+
+    def __init__(self, slots: Sequence[TimeSlot], configs: Sequence[CallConfig],
+                 counts: np.ndarray):
+        counts = np.asarray(counts, dtype=float)
+        if counts.shape != (len(slots), len(configs)):
+            raise WorkloadError(
+                f"counts shape {counts.shape} != ({len(slots)}, {len(configs)})"
+            )
+        if (counts < 0).any():
+            raise WorkloadError("demand counts must be non-negative")
+        self.slots = list(slots)
+        self.configs = list(configs)
+        self.counts = counts
+        self._config_index = {config: i for i, config in enumerate(self.configs)}
+        if len(self._config_index) != len(self.configs):
+            raise WorkloadError("duplicate configs in demand matrix")
+
+    @property
+    def n_slots(self) -> int:
+        return len(self.slots)
+
+    @property
+    def n_configs(self) -> int:
+        return len(self.configs)
+
+    def count(self, slot_index: int, config: CallConfig) -> float:
+        return float(self.counts[slot_index, self._config_index[config]])
+
+    def config_series(self, config: CallConfig) -> np.ndarray:
+        """The per-slot timeseries of one config (forecasting input)."""
+        return self.counts[:, self._config_index[config]].copy()
+
+    def total_calls(self) -> float:
+        return float(self.counts.sum())
+
+    def restrict(self, configs: Sequence[CallConfig]) -> "Demand":
+        """Project the matrix onto a subset of configs (e.g. the top 1%)."""
+        indices = [self._config_index[c] for c in configs]
+        return Demand(self.slots, list(configs), self.counts[:, indices])
+
+    def scale(self, factor: float) -> "Demand":
+        """Uniformly scale all counts (used for the provisioning cushion)."""
+        if factor < 0:
+            raise WorkloadError("scale factor must be non-negative")
+        return Demand(self.slots, self.configs, self.counts * factor)
+
+    def __contains__(self, config: CallConfig) -> bool:
+        return config in self._config_index
+
+
+class DemandModel:
+    """Generates expected/sampled Demand from population + diurnal model."""
+
+    def __init__(self, world: World, population: ConfigPopulation,
+                 diurnal: Optional[DiurnalModel] = None,
+                 calls_per_slot_at_peak: float = 400.0):
+        if calls_per_slot_at_peak <= 0:
+            raise WorkloadError("peak call volume must be positive")
+        self.world = world
+        self.population = population
+        self.diurnal = diurnal if diurnal is not None else DiurnalModel()
+        self.scale = calls_per_slot_at_peak
+
+    def _config_shape(self, entry: ConfigEntry, slot: TimeSlot) -> float:
+        """Participant-weighted mean of member countries' diurnal shapes."""
+        total, weight_sum = 0.0, 0
+        for code, count in entry.config.spread:
+            country = self.world.country(code)
+            shape = self.diurnal.slot_intensity(country, slot) / country.user_weight
+            total += shape * count
+            weight_sum += count
+        return total / weight_sum
+
+    def _growth_factor(self, entry: ConfigEntry, slot: TimeSlot) -> float:
+        months = slot.start_s / _SECONDS_PER_MONTH
+        return max(0.0, 1.0 + entry.growth_rate * months)
+
+    def expected(self, slots: Sequence[TimeSlot]) -> Demand:
+        """Expected ``D_tc`` over the given slots."""
+        weights = self.population.normalized_weights()
+        counts = np.zeros((len(slots), len(self.population)))
+        for j, entry in enumerate(self.population):
+            base = weights[j] * self.scale
+            for i, slot in enumerate(slots):
+                counts[i, j] = (
+                    base * self._config_shape(entry, slot) * self._growth_factor(entry, slot)
+                )
+        return Demand(slots, self.population.configs, counts)
+
+    def sample(self, slots: Sequence[TimeSlot], seed: int = 11) -> Demand:
+        """Poisson realization of the expected demand (the "ground truth")."""
+        rng = np.random.default_rng(seed)
+        expected = self.expected(slots)
+        sampled = rng.poisson(expected.counts).astype(float)
+        return Demand(slots, expected.configs, sampled)

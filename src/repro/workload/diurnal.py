@@ -1,0 +1,118 @@
+"""Per-country diurnal and weekly demand intensity.
+
+Conferencing demand follows work hours in each country's local time zone:
+a morning peak, a slightly lower afternoon peak, near-zero nights, and
+quiet weekends.  Because UTC offsets differ, the *UTC-time* peaks of
+different countries are shifted against each other — the effect Fig 3
+plots for Japan (peak ~00:00 UTC), Hong Kong (~02:00 UTC) and India
+(~05:30 UTC) — which is precisely the structure peak-aware provisioning
+exploits (§4.1).
+
+The intensity function is deterministic; stochasticity enters later when
+arrivals are Poisson-sampled from it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.errors import WorkloadError
+from repro.core.types import TimeSlot
+from repro.topology.geo import Country
+
+_SECONDS_PER_DAY = 86400.0
+_SECONDS_PER_HOUR = 3600.0
+
+#: Local hours of the two intra-day demand peaks and their widths.
+_MORNING_PEAK_H = 10.5
+_AFTERNOON_PEAK_H = 14.5
+_PEAK_SIGMA_H = 1.6
+_AFTERNOON_SCALE = 0.8
+
+#: Overnight floor relative to the morning peak.
+_NIGHT_FLOOR = 0.02
+
+#: Demand multiplier by local day of week (0 = Monday).
+_WEEKDAY_FACTOR = (1.0, 1.0, 1.0, 0.97, 0.92, 0.18, 0.12)
+
+
+def _gauss(hour: float, peak_h: float, sigma_h: float) -> float:
+    """Circular Gaussian bump on the 24-hour clock."""
+    delta = min(abs(hour - peak_h), 24.0 - abs(hour - peak_h))
+    return math.exp(-0.5 * (delta / sigma_h) ** 2)
+
+
+@dataclass(frozen=True)
+class DiurnalProfile:
+    """Shape parameters of the within-day demand curve."""
+
+    morning_peak_h: float = _MORNING_PEAK_H
+    afternoon_peak_h: float = _AFTERNOON_PEAK_H
+    sigma_h: float = _PEAK_SIGMA_H
+    afternoon_scale: float = _AFTERNOON_SCALE
+    night_floor: float = _NIGHT_FLOOR
+
+    def shape(self, local_hour: float) -> float:
+        """Unitless demand shape at a local hour, in [night_floor, ~1]."""
+        value = (
+            _gauss(local_hour, self.morning_peak_h, self.sigma_h)
+            + self.afternoon_scale * _gauss(local_hour, self.afternoon_peak_h, self.sigma_h)
+        )
+        return max(self.night_floor, value)
+
+
+class DiurnalModel:
+    """Country demand intensity as a function of trace time.
+
+    ``t_s`` is seconds since the start of the trace; the trace starts at
+    00:00 UTC on a Monday by convention.  Intensity is in "relative
+    participants" — it is scaled by the country's ``user_weight`` so that
+    big countries generate proportionally more calls.
+    """
+
+    def __init__(self, profile: DiurnalProfile = DiurnalProfile(),
+                 weekday_factors: Sequence[float] = _WEEKDAY_FACTOR):
+        if len(weekday_factors) != 7:
+            raise WorkloadError("need exactly 7 weekday factors")
+        if any(f < 0 for f in weekday_factors):
+            raise WorkloadError("weekday factors must be non-negative")
+        self.profile = profile
+        self.weekday_factors = tuple(weekday_factors)
+
+    def intensity(self, country: Country, t_s: float) -> float:
+        """Relative demand intensity of ``country`` at trace time ``t_s``."""
+        if t_s < 0:
+            raise WorkloadError(f"negative trace time {t_s}")
+        utc_hour = (t_s % _SECONDS_PER_DAY) / _SECONDS_PER_HOUR
+        local_hour = country.local_hour(utc_hour)
+        # The local calendar day can differ from the UTC day near midnight.
+        local_day_index = int(
+            ((t_s + country.utc_offset_h * _SECONDS_PER_HOUR) // _SECONDS_PER_DAY) % 7
+        )
+        weekday = self.weekday_factors[local_day_index]
+        return country.user_weight * weekday * self.profile.shape(local_hour)
+
+    def slot_intensity(self, country: Country, slot: TimeSlot) -> float:
+        """Intensity evaluated at the slot midpoint."""
+        return self.intensity(country, slot.start_s + slot.duration_s / 2.0)
+
+    def peak_utc_hour(self, country: Country, resolution_min: int = 10) -> float:
+        """UTC hour at which the country's weekday demand peaks.
+
+        Used by the Fig 3 experiment to verify the time-shifted peaks
+        (Japan ~01:30 UTC, India ~05:00 UTC for the default profile).
+        """
+        best_hour, best_value = 0.0, -1.0
+        steps = int(24 * 60 / resolution_min)
+        for i in range(steps):
+            t_s = i * resolution_min * 60.0
+            value = self.intensity(country, t_s)
+            if value > best_value:
+                best_hour, best_value = t_s / _SECONDS_PER_HOUR, value
+        return best_hour
+
+    def daily_series(self, country: Country, slots: List[TimeSlot]) -> List[float]:
+        """Intensity at each slot — the raw material of Fig 3."""
+        return [self.slot_intensity(country, slot) for slot in slots]

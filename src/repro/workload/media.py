@@ -1,0 +1,102 @@
+"""Per-participant compute and network load by media type (Table 1).
+
+The paper reports only *relative* loads: taking audio as 1x, screen-share
+costs 1-2x compute and 10-20x network, video costs 2-4x compute and 30-40x
+network, with network-to-compute ratios of 10-15x (screen-share) and 15-20x
+(video).  The defaults below sit inside every one of those ranges:
+
+===============  =====  =====  =========
+media            CL     NL     NL/CL
+===============  =====  =====  =========
+audio            1.0x   1.0x   1.0x
+screen-share     1.25x  15x    12x
+video            2.0x   35x    17.5x
+===============  =====  =====  =========
+
+Absolute anchors: one audio participant costs ``0.25`` cores of MP compute
+and ``0.1`` Mbps of WAN bandwidth (order-of-magnitude realistic for Opus
+audio and per-stream mixing).  These anchors cancel out of every normalized
+result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.core.errors import WorkloadError
+from repro.core.types import CallConfig, MediaType
+
+#: Cores consumed on the MP server per participant of an audio call.
+AUDIO_CORES_PER_PARTICIPANT = 0.25
+
+#: Mbps of WAN bandwidth per participant of an audio call (one direction
+#: aggregated; the LP treats a leg as a single demand on each path link).
+AUDIO_MBPS_PER_PARTICIPANT = 0.1
+
+_DEFAULT_CL_FACTOR = {
+    MediaType.AUDIO: 1.0,
+    MediaType.SCREEN_SHARE: 1.25,
+    MediaType.VIDEO: 2.0,
+}
+
+_DEFAULT_NL_FACTOR = {
+    MediaType.AUDIO: 1.0,
+    MediaType.SCREEN_SHARE: 15.0,
+    MediaType.VIDEO: 35.0,
+}
+
+
+@dataclass(frozen=True)
+class MediaLoadModel:
+    """``CL_m`` and ``NL_m`` of Table 2: per-participant loads by media type."""
+
+    cl_cores: Dict[MediaType, float] = field(default_factory=lambda: {
+        media: AUDIO_CORES_PER_PARTICIPANT * factor
+        for media, factor in _DEFAULT_CL_FACTOR.items()
+    })
+    nl_mbps: Dict[MediaType, float] = field(default_factory=lambda: {
+        media: AUDIO_MBPS_PER_PARTICIPANT * factor
+        for media, factor in _DEFAULT_NL_FACTOR.items()
+    })
+
+    def __post_init__(self) -> None:
+        for media in MediaType:
+            if media not in self.cl_cores or media not in self.nl_mbps:
+                raise WorkloadError(f"load model missing media type {media}")
+            if self.cl_cores[media] <= 0 or self.nl_mbps[media] <= 0:
+                raise WorkloadError(f"loads for {media} must be positive")
+
+    def compute_load(self, media: MediaType) -> float:
+        """Cores per participant, ``CL_m``."""
+        return self.cl_cores[media]
+
+    def network_load(self, media: MediaType) -> float:
+        """Mbps per participant leg, ``NL_m``."""
+        return self.nl_mbps[media]
+
+    def call_cores(self, config: CallConfig) -> float:
+        """Total MP cores one call of ``config`` consumes (Eq 5 inner term)."""
+        return self.compute_load(config.media) * config.participant_count
+
+    def leg_mbps(self, config: CallConfig) -> float:
+        """Mbps one call leg of ``config`` puts on every link of its path."""
+        return self.network_load(config.media)
+
+    def relative_table(self) -> Dict[str, Dict[str, float]]:
+        """Table 1 in relative (audio = 1x) terms, for the experiment."""
+        audio_cl = self.compute_load(MediaType.AUDIO)
+        audio_nl = self.network_load(MediaType.AUDIO)
+        table: Dict[str, Dict[str, float]] = {}
+        for media in (MediaType.AUDIO, MediaType.SCREEN_SHARE, MediaType.VIDEO):
+            cl = self.compute_load(media) / audio_cl
+            nl = self.network_load(media) / audio_nl
+            table[media.value] = {"CL": cl, "NL": nl, "NL/CL": nl / cl}
+        return table
+
+    #: Remote-offload preference order (§6.3): when calls must be shed to a
+    #: remote DC, audio goes first (tiny NL per CL shed), then screen-share,
+    #: then video.
+    @staticmethod
+    def offload_order() -> tuple:
+        return (MediaType.AUDIO, MediaType.SCREEN_SHARE, MediaType.VIDEO)

@@ -1,0 +1,236 @@
+"""Recurring meeting series with temporally-correlated attendance.
+
+§8 of the paper predicts the call config of *recurring* calls from the
+attendance history of each participant, using multi-order Markov chains
+plus logistic regression.  The substrate here generates the data that
+experiment needs: meeting series whose members exhibit the "temporal
+predispositions" the MOMC model learns.  Three behaviour archetypes:
+
+* **regulars** — sticky attendance: whoever came to the recent instances
+  very likely comes again;
+* **alternators** — attend every other instance (a biweekly attendee of a
+  weekly series).  The previous-instance baseline is maximally wrong for
+  them — it predicts the exact opposite — while an order-2 Markov chain
+  captures them perfectly.  This is the population on which the paper's
+  MOMC approach "does much better" than the baseline;
+* **casuals** — low-probability, weakly-correlated drop-ins.
+
+Attendance probability is keyed on the tuple of the member's last two
+attendance bits ``(older, newer)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.errors import WorkloadError
+from repro.core.types import CallConfig, MediaType
+from repro.topology.geo import World
+
+History = Tuple[int, int]
+
+#: P(attend | (older, newer)) per archetype.
+_ARCHETYPES: Dict[str, Dict[History, float]] = {
+    "regular": {(1, 1): 0.93, (0, 1): 0.75, (1, 0): 0.35, (0, 0): 0.08},
+    "alternator": {(1, 1): 0.15, (0, 1): 0.12, (1, 0): 0.92, (0, 0): 0.88},
+    "casual": {(1, 1): 0.40, (0, 1): 0.35, (1, 0): 0.28, (0, 0): 0.25},
+}
+
+_ARCHETYPE_MIX = (("regular", 0.6), ("alternator", 0.2), ("casual", 0.2))
+
+
+@dataclass
+class SeriesMember:
+    """One roster member: identity, location, and attendance dynamics."""
+
+    participant_id: str
+    country: str
+    archetype: str
+    attend_prob: Dict[History, float]
+
+    def probability(self, history: Sequence[int]) -> float:
+        """P(attend next | history); pads short histories with 'attended'."""
+        padded = [1, 1] + list(history)
+        key = (padded[-2], padded[-1])
+        return self.attend_prob[key]
+
+
+@dataclass
+class MeetingSeries:
+    """A recurring meeting: roster + realized attendance per occurrence."""
+
+    series_id: str
+    members: List[SeriesMember]
+    media: MediaType
+    attendance: List[List[int]] = field(default_factory=list)  # [occurrence][member]
+
+    @property
+    def n_occurrences(self) -> int:
+        return len(self.attendance)
+
+    def attendee_countries(self, occurrence: int) -> Dict[str, int]:
+        spread: Dict[str, int] = {}
+        for member, attended in zip(self.members, self.attendance[occurrence]):
+            if attended:
+                spread[member.country] = spread.get(member.country, 0) + 1
+        return spread
+
+    def instance_config(self, occurrence: int) -> CallConfig:
+        """The realized call config of one occurrence."""
+        spread = self.attendee_countries(occurrence)
+        if not spread:
+            raise WorkloadError(
+                f"series {self.series_id} occurrence {occurrence} had no attendees"
+            )
+        return CallConfig.build(spread, self.media)
+
+    def member_history(self, member_index: int) -> List[int]:
+        return [bits[member_index] for bits in self.attendance]
+
+
+def _sample_archetype(rng: np.random.Generator) -> str:
+    roll = rng.random()
+    acc = 0.0
+    for name, prob in _ARCHETYPE_MIX:
+        acc += prob
+        if roll < acc:
+            return name
+    return _ARCHETYPE_MIX[-1][0]
+
+
+def generate_series(world: World, n_series: int = 200,
+                    occurrences: int = 12, seed: int = 31) -> List[MeetingSeries]:
+    """Generate recurring series with structured attendance behaviour.
+
+    Roster sizes are heavy-tailed (4..350) so the experiment includes the
+    large meetings where the previous-instance baseline is worst (§8).
+    """
+    if n_series < 1 or occurrences < 4:
+        raise WorkloadError("need >=1 series and >=4 occurrences")
+    rng = np.random.default_rng(seed)
+    country_codes = world.codes
+    weights = np.array([world.country(c).user_weight for c in country_codes])
+    probs = weights / weights.sum()
+    media_choices = [MediaType.AUDIO, MediaType.VIDEO, MediaType.SCREEN_SHARE]
+
+    all_series: List[MeetingSeries] = []
+    for s in range(n_series):
+        roster = 4 + int(rng.geometric(0.12))
+        if rng.random() < 0.08:
+            # Town halls run to hundreds of attendees ("dozens or even
+            # hundreds", §8).
+            roster += int(rng.integers(40, 300))
+        roster = min(roster, 350)
+        # Large meetings (town halls, all-hands) are dominated by loosely
+        # committed attendees: alternators and casuals.  These are the
+        # rosters on which the previous-instance baseline collapses (§8).
+        town_hall = roster > 40
+        home = str(rng.choice(country_codes, p=probs))
+        members: List[SeriesMember] = []
+        for m in range(roster):
+            # ~85% of a roster is in the home country.
+            country = home if rng.random() < 0.85 else str(
+                rng.choice(country_codes, p=probs)
+            )
+            if town_hall:
+                roll = rng.random()
+                archetype = ("regular" if roll < 0.15
+                             else "alternator" if roll < 0.60 else "casual")
+            else:
+                archetype = _sample_archetype(rng)
+            base = dict(_ARCHETYPES[archetype])
+            # Small per-member personality jitter, clipped to (0, 1).
+            jitter = float(rng.normal(0.0, 0.04))
+            probs_m = {
+                key: float(np.clip(value + jitter, 0.02, 0.98))
+                for key, value in base.items()
+            }
+            members.append(SeriesMember(
+                participant_id=f"s{s:04d}-m{m:03d}",
+                country=country,
+                archetype=archetype,
+                attend_prob=probs_m,
+            ))
+        series = MeetingSeries(
+            series_id=f"series-{s:04d}",
+            members=members,
+            media=media_choices[int(rng.integers(0, len(media_choices)))],
+        )
+        histories: List[List[int]] = [[] for _ in members]
+        for occurrence in range(occurrences):
+            # Town halls carry a shared biweekly phase: on-weeks everyone
+            # shows up, off-weeks only the committed core does.  The swing
+            # in *total* attendance between consecutive instances is what
+            # makes the previous-instance baseline collapse; the per-member
+            # alternating histories are exactly what MOMC features capture.
+            full_week = occurrence % 2 == 0
+            bits: List[int] = []
+            for index, member in enumerate(members):
+                p = member.probability(histories[index])
+                if town_hall:
+                    if full_week:
+                        p = max(p, 0.9)
+                    elif member.archetype != "regular":
+                        p *= 0.1
+                attended = int(rng.random() < p)
+                bits.append(attended)
+                histories[index].append(attended)
+            if not any(bits):  # meetings never actually happen with nobody
+                bits[int(rng.integers(0, len(bits)))] = 1
+            series.attendance.append(bits)
+        all_series.append(series)
+    return all_series
+
+
+def series_to_calls(series_list: Sequence[MeetingSeries],
+                    first_occurrence_s: float = 9.5 * 3600.0,
+                    period_s: float = 7 * 86400.0,
+                    duration_s: float = 1800.0,
+                    seed: int = 37) -> List["Call"]:
+    """Materialize every series occurrence as a :class:`Call`.
+
+    Occurrence *k* of a series starts at ``first_occurrence_s + k*period_s``
+    (a weekly meeting by default).  The first attendee joins at offset 0;
+    the rest trickle in within the first couple of minutes, as recurring
+    meetings do.  Calls carry their ``series_id`` plus the occurrence index
+    encoded in the call id (``<series>#<occurrence>``) so predictors can
+    look up the history strictly before each instance.
+    """
+    from repro.core.types import Call, Participant  # local: avoid cycle at import
+
+    rng = np.random.default_rng(seed)
+    calls: List[Call] = []
+    for series in series_list:
+        for occurrence in range(series.n_occurrences):
+            attendees = [
+                member for member, attended
+                in zip(series.members, series.attendance[occurrence])
+                if attended
+            ]
+            if not attendees:
+                continue
+            start = first_occurrence_s + occurrence * period_s
+            offsets = rng.exponential(60.0, size=len(attendees))
+            offsets[int(rng.integers(0, len(attendees)))] = 0.0
+            participants = [
+                Participant(
+                    participant_id=member.participant_id,
+                    country=member.country,
+                    join_offset_s=float(offset),
+                    media=series.media,
+                )
+                for member, offset in zip(attendees, offsets)
+            ]
+            participants.sort(key=lambda p: p.join_offset_s)
+            calls.append(Call(
+                call_id=f"{series.series_id}#{occurrence}",
+                start_s=start,
+                duration_s=duration_s,
+                participants=participants,
+                series_id=series.series_id,
+            ))
+    calls.sort(key=lambda call: call.start_s)
+    return calls

@@ -1,0 +1,168 @@
+"""Full call-trace generation: individual calls with join dynamics.
+
+The provisioning LP only needs ``D_tc``, but three of the paper's
+experiments need *individual calls with participant-level join times*:
+
+* Fig 8 (CDF of join time since meeting start — ~80% of participants have
+  joined by 300 s, which is why the config freeze is set at A = 300 s);
+* §6.4 (migration frequency: the first joiner's country predicts the
+  majority country for ~95% of calls, so the closest-DC guess is usually
+  already the planned DC);
+* Fig 10 (the controller replays millions of join/media events).
+
+Join offsets are lognormal with a median of ~60 s: participants trickle in
+around the scheduled start, with a straggler tail.  The first participant
+of each call joins at offset 0 by definition.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.errors import WorkloadError
+from repro.core.types import Call, CallConfig, MediaType, Participant, TimeSlot
+from repro.workload.arrivals import Demand
+
+#: Lognormal join-offset parameters: median 60 s, sigma 1.6 puts ~84% of
+#: joins inside the 300 s freeze window ("about 80%" in Fig 8).
+_JOIN_MU = math.log(60.0)
+_JOIN_SIGMA = 1.6
+
+#: Call durations: lognormal, median ~25 minutes.
+_DURATION_MU = math.log(25 * 60.0)
+_DURATION_SIGMA = 0.7
+
+
+@dataclass
+class CallTrace:
+    """A generated trace: calls sorted by start time, plus its slot grid."""
+
+    calls: List[Call]
+    slots: List[TimeSlot]
+
+    def __len__(self) -> int:
+        return len(self.calls)
+
+    def __iter__(self) -> Iterator[Call]:
+        return iter(self.calls)
+
+    def join_offsets(self) -> np.ndarray:
+        """All participant join offsets (seconds since call start), Fig 8."""
+        offsets = [
+            participant.join_offset_s
+            for call in self.calls
+            for participant in call.participants
+        ]
+        return np.array(offsets)
+
+    def join_cdf(self, horizon_s: float, points: int = 60) -> List[Tuple[float, float]]:
+        """(t, fraction joined by t) pairs over [0, horizon] — Fig 8's curve."""
+        offsets = self.join_offsets()
+        if offsets.size == 0:
+            raise WorkloadError("trace has no participants")
+        grid = np.linspace(0.0, horizon_s, points)
+        return [(float(t), float((offsets <= t).mean())) for t in grid]
+
+    def majority_matches_first_joiner_rate(self) -> float:
+        """Fraction of calls whose majority country equals the first
+        joiner's country (the paper measures 95.2%, §5.4)."""
+        if not self.calls:
+            raise WorkloadError("empty trace")
+        matches = sum(
+            1 for call in self.calls
+            if call.config().majority_country == call.first_joiner.country
+        )
+        return matches / len(self.calls)
+
+    def to_demand(self, freeze_after_s: Optional[float] = None) -> Demand:
+        """Re-aggregate the trace into ``D_tc`` (inverse of generation)."""
+        if not self.calls:
+            raise WorkloadError("empty trace")
+        duration = self.slots[0].duration_s
+        config_index = {}
+        rows: List[dict] = [dict() for _ in self.slots]
+        for call in self.calls:
+            slot_i = min(int(call.start_s // duration), len(self.slots) - 1)
+            config = call.config(freeze_after_s)
+            config_index.setdefault(config, len(config_index))
+            rows[slot_i][config] = rows[slot_i].get(config, 0) + 1
+        configs = sorted(config_index, key=lambda c: config_index[c])
+        counts = np.zeros((len(self.slots), len(configs)))
+        lookup = {config: j for j, config in enumerate(configs)}
+        for i, row in enumerate(rows):
+            for config, count in row.items():
+                counts[i, lookup[config]] = count
+        return Demand(self.slots, configs, counts)
+
+
+class TraceGenerator:
+    """Expands a sampled :class:`Demand` into individual calls."""
+
+    def __init__(self, seed: int = 23,
+                 join_mu: float = _JOIN_MU, join_sigma: float = _JOIN_SIGMA,
+                 duration_mu: float = _DURATION_MU,
+                 duration_sigma: float = _DURATION_SIGMA):
+        self._rng = np.random.default_rng(seed)
+        self._join_mu = join_mu
+        self._join_sigma = join_sigma
+        self._duration_mu = duration_mu
+        self._duration_sigma = duration_sigma
+        self._next_call = 0
+
+    def _make_participants(self, config: CallConfig, call_id: str) -> List[Participant]:
+        rng = self._rng
+        countries = list(config.participants())
+        # The first joiner is usually the organizer, who sits in the
+        # majority country; with small probability it is any participant.
+        # This reproduces the paper's "95.2% of calls have their majority
+        # where the first joiner is" (§5.4).
+        majority = config.majority_country
+        majority_indices = [i for i, c in enumerate(countries) if c == majority]
+        if rng.random() < 0.97:
+            first_index = int(rng.choice(majority_indices))
+        else:
+            first_index = int(rng.integers(0, len(countries)))
+        offsets = rng.lognormal(self._join_mu, self._join_sigma, size=len(countries))
+        offsets[first_index] = 0.0
+
+        # Give the call's defining media to a random non-empty subset so
+        # that the escalated media of the participants equals config.media.
+        participants: List[Participant] = []
+        carrier = int(rng.integers(0, len(countries)))
+        for index, country in enumerate(countries):
+            media = config.media if index == carrier else MediaType.AUDIO
+            if config.media != MediaType.AUDIO and rng.random() < 0.4:
+                media = config.media
+            participants.append(Participant(
+                participant_id=f"{call_id}-p{index}",
+                country=country,
+                join_offset_s=float(offsets[index]),
+                media=media,
+            ))
+        participants.sort(key=lambda p: p.join_offset_s)
+        return participants
+
+    def generate(self, demand: Demand) -> CallTrace:
+        """One call per unit of demand, with start uniform inside its slot."""
+        rng = self._rng
+        calls: List[Call] = []
+        for i, slot in enumerate(demand.slots):
+            for j, config in enumerate(demand.configs):
+                count = int(round(demand.counts[i, j]))
+                for _ in range(count):
+                    call_id = f"call-{self._next_call:08d}"
+                    self._next_call += 1
+                    start = slot.start_s + float(rng.random()) * slot.duration_s
+                    duration = float(rng.lognormal(self._duration_mu, self._duration_sigma))
+                    calls.append(Call(
+                        call_id=call_id,
+                        start_s=start,
+                        duration_s=duration,
+                        participants=self._make_participants(config, call_id),
+                    ))
+        calls.sort(key=lambda call: call.start_s)
+        return CallTrace(calls, list(demand.slots))

@@ -1,0 +1,85 @@
+"""Shared fixtures: one small world, workload, and solved plans per session.
+
+Expensive artifacts (topologies, demand matrices, LP solutions, traces)
+are session-scoped: tests treat them as read-only inputs.  Anything a test
+mutates must be built inside the test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.types import make_slots
+from repro.provisioning.demand import PlacementData
+from repro.provisioning.planner import CapacityPlanner
+from repro.switchboard import Switchboard
+from repro.topology.builder import Topology
+from repro.workload.arrivals import DemandModel
+from repro.workload.configs import generate_population
+from repro.workload.diurnal import DiurnalModel
+from repro.workload.media import MediaLoadModel
+from repro.workload.trace import TraceGenerator
+
+
+@pytest.fixture(scope="session")
+def topology():
+    """The full default world (24 countries, 15 DCs)."""
+    return Topology.default()
+
+
+@pytest.fixture(scope="session")
+def small_topology():
+    """The 3-DC Asia-Pacific world of the paper's running example."""
+    return Topology.small()
+
+
+@pytest.fixture(scope="session")
+def load_model():
+    return MediaLoadModel()
+
+
+@pytest.fixture(scope="session")
+def population(topology):
+    return generate_population(topology.world, n_configs=60, seed=5)
+
+
+@pytest.fixture(scope="session")
+def demand_model(topology, population):
+    return DemandModel(topology.world, population, DiurnalModel(),
+                       calls_per_slot_at_peak=80.0)
+
+
+@pytest.fixture(scope="session")
+def day_slots():
+    return make_slots(86400.0)
+
+
+@pytest.fixture(scope="session")
+def expected_demand(demand_model, day_slots):
+    return demand_model.expected(day_slots)
+
+
+@pytest.fixture(scope="session")
+def sampled_demand(demand_model, day_slots):
+    return demand_model.sample(day_slots, seed=6)
+
+
+@pytest.fixture(scope="session")
+def trace(sampled_demand):
+    return TraceGenerator(seed=7).generate(sampled_demand)
+
+
+@pytest.fixture(scope="session")
+def placement(topology, expected_demand, load_model):
+    return PlacementData(topology, expected_demand.configs, load_model)
+
+
+@pytest.fixture(scope="session")
+def serving_plan(placement, expected_demand):
+    """The no-failure (serving-only) Switchboard capacity plan."""
+    return CapacityPlanner(placement, expected_demand).plan_without_backup()
+
+
+@pytest.fixture(scope="session")
+def switchboard(topology, load_model):
+    return Switchboard(topology, load_model, max_link_scenarios=0)

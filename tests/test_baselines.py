@@ -1,0 +1,154 @@
+"""Tests for the RR and LF baselines and the shared usage calculator."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import CallConfig, MediaType, make_slots
+from repro.baselines.base import UsageCalculator
+from repro.baselines.locality_first import LocalityFirstStrategy
+from repro.baselines.round_robin import RoundRobinStrategy
+from repro.workload.arrivals import Demand
+
+
+def _demand(configs, counts):
+    slots = make_slots(len(counts) * 1800.0, 1800.0)
+    return Demand(slots, configs, np.array(counts, dtype=float))
+
+
+@pytest.fixture(scope="module")
+def two_config_demand():
+    configs = [
+        CallConfig.build({"JP": 2}, MediaType.AUDIO),
+        CallConfig.build({"US": 4}, MediaType.VIDEO),
+    ]
+    return _demand(configs, [[12.0, 6.0], [4.0, 10.0]])
+
+
+class TestUsageCalculator:
+    def test_call_link_gbps_none_when_unreachable(self, topology, load_model):
+        calc = UsageCalculator(topology, load_model)
+        config = CallConfig.build({"JP": 2}, MediaType.AUDIO)
+        loads = calc.call_link_gbps(config, "dc-tokyo")
+        assert loads is not None
+        assert sum(loads.values()) > 0
+
+    def test_peaks_match_manual_computation(self, topology, load_model,
+                                            two_config_demand):
+        strategy = LocalityFirstStrategy(topology, load_model)
+        plan = strategy.allocation_plan(two_config_demand)
+        cores, links = strategy.usage.peaks(plan, two_config_demand)
+        jp_config, us_config = two_config_demand.configs
+        expected_tokyo = max(12.0, 4.0) * load_model.call_cores(jp_config)
+        assert cores["dc-tokyo"] == pytest.approx(expected_tokyo)
+
+
+class TestRoundRobin:
+    def test_equal_split_within_region(self, topology, two_config_demand):
+        strategy = RoundRobinStrategy(topology)
+        plan = strategy.allocation_plan(two_config_demand)
+        jp_config = two_config_demand.configs[0]
+        cell = plan.cell(0, jp_config)
+        apac = topology.dcs_in_region("apac")
+        assert set(cell) == set(apac)
+        values = list(cell.values())
+        assert max(values) == pytest.approx(min(values))
+        assert sum(values) == pytest.approx(12.0)
+
+    def test_failed_dc_excluded(self, topology, two_config_demand):
+        strategy = RoundRobinStrategy(topology)
+        plan = strategy.allocation_plan(two_config_demand, failed_dc="dc-tokyo")
+        for cell in plan.shares.values():
+            assert "dc-tokyo" not in cell
+
+    def test_total_cores_equal_global_region_peaks(self, topology, load_model,
+                                                   two_config_demand):
+        """RR provisions each region for its total peak — the minimum
+        possible serving compute (§3.1)."""
+        strategy = RoundRobinStrategy(topology, load_model)
+        plan = strategy.plan_without_backup(two_config_demand)
+        jp_config, us_config = two_config_demand.configs
+        apac_peak = max(12.0, 4.0) * load_model.call_cores(jp_config)
+        americas_peak = max(6.0, 10.0) * load_model.call_cores(us_config)
+        assert plan.total_cores() == pytest.approx(apac_peak + americas_peak)
+
+    def test_backup_plan_adds_capacity(self, topology, two_config_demand):
+        strategy = RoundRobinStrategy(topology)
+        serving = strategy.plan_without_backup(two_config_demand)
+        backup = strategy.plan_with_backup(two_config_demand,
+                                           max_link_scenarios=0)
+        assert backup.total_cores() > serving.total_cores()
+        assert backup.fits(serving)
+
+    def test_mean_acl_worse_than_lf(self, topology, two_config_demand):
+        rr = RoundRobinStrategy(topology).mean_acl_ms(two_config_demand)
+        lf = LocalityFirstStrategy(topology).mean_acl_ms(two_config_demand)
+        assert rr > lf
+
+
+class TestLocalityFirst:
+    def test_every_config_at_min_acl_dc(self, topology, two_config_demand):
+        strategy = LocalityFirstStrategy(topology)
+        plan = strategy.allocation_plan(two_config_demand)
+        for (t, config), cell in plan.shares.items():
+            assert list(cell) == [topology.best_dc(config)]
+
+    def test_failover_reranks(self, topology, two_config_demand):
+        strategy = LocalityFirstStrategy(topology)
+        jp_config = two_config_demand.configs[0]
+        best = topology.best_dc(jp_config)
+        plan = strategy.allocation_plan(two_config_demand, failed_dc=best)
+        cell = plan.cell(0, jp_config)
+        assert best not in cell
+
+    def test_lf_wan_below_rr_wan(self, topology, two_config_demand):
+        rr = RoundRobinStrategy(topology).plan_without_backup(two_config_demand)
+        lf = LocalityFirstStrategy(topology).plan_without_backup(two_config_demand)
+        assert lf.total_wan_gbps(topology) <= rr.total_wan_gbps(topology)
+
+    def test_lf_cores_at_least_rr_cores(self, topology, expected_demand):
+        """Sum of time-shifted local peaks >= the global peak (§3.2)."""
+        rr = RoundRobinStrategy(topology).plan_without_backup(expected_demand)
+        lf = LocalityFirstStrategy(topology).plan_without_backup(expected_demand)
+        assert lf.total_cores() >= rr.total_cores() - 1e-6
+
+    def test_backup_dominates_serving(self, topology, two_config_demand):
+        strategy = LocalityFirstStrategy(topology)
+        serving = strategy.plan_without_backup(two_config_demand)
+        backup = strategy.plan_with_backup(two_config_demand,
+                                           max_link_scenarios=0)
+        assert backup.fits(serving)
+        assert backup.total_cores() > serving.total_cores()
+
+
+class TestWeightedRoundRobin:
+    def test_weights_split_proportionally(self, topology, two_config_demand):
+        jp_config = two_config_demand.configs[0]
+        apac = topology.dcs_in_region("apac")
+        weights = {dc: 1.0 for dc in apac}
+        weights[apac[0]] = 3.0
+        strategy = RoundRobinStrategy(topology, weights=weights)
+        cell = strategy.allocation_plan(two_config_demand).cell(0, jp_config)
+        total_weight = 3.0 + (len(apac) - 1)
+        assert cell[apac[0]] == pytest.approx(12.0 * 3.0 / total_weight)
+        assert sum(cell.values()) == pytest.approx(12.0)
+
+    def test_zero_weight_excludes_dc(self, topology, two_config_demand):
+        jp_config = two_config_demand.configs[0]
+        apac = topology.dcs_in_region("apac")
+        weights = {apac[0]: 0.0}
+        strategy = RoundRobinStrategy(topology, weights=weights)
+        cell = strategy.allocation_plan(two_config_demand).cell(0, jp_config)
+        assert apac[0] not in cell
+
+    def test_negative_weight_rejected(self, topology):
+        with pytest.raises(ValueError):
+            RoundRobinStrategy(topology, weights={"dc-tokyo": -1.0})
+
+    def test_equal_weights_match_unweighted(self, topology, two_config_demand):
+        plain = RoundRobinStrategy(topology).allocation_plan(two_config_demand)
+        weighted = RoundRobinStrategy(
+            topology, weights={dc: 2.0 for dc in topology.fleet.ids}
+        ).allocation_plan(two_config_demand)
+        for key, cell in plain.shares.items():
+            for dc, value in cell.items():
+                assert weighted.shares[key][dc] == pytest.approx(value)

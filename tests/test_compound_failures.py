@@ -1,0 +1,137 @@
+"""Tests for compound (multi-DC / multi-link) failure scenarios.
+
+The paper's model covers one failure at a time but notes the framework
+"can easily incorporate more sophisticated failure scenarios" — these
+tests exercise that extension end to end: scenario modelling, placement
+filtering, and provisioning that survives double failures.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import TopologyError
+from repro.core.types import CallConfig, MediaType, make_slots
+from repro.provisioning.demand import PlacementData
+from repro.provisioning.failures import (
+    FailureScenario,
+    enumerate_compound_scenarios,
+    enumerate_scenarios,
+)
+from repro.provisioning.formulation import ScenarioLP
+from repro.provisioning.joint import JointProvisioningLP
+from repro.topology.builder import Topology
+from repro.workload.arrivals import Demand
+from repro.workload.media import MediaLoadModel
+
+
+class TestScenarioModel:
+    def test_single_failure_convenience_fields(self):
+        scenario = FailureScenario("f", failed_dc="dc-a")
+        assert scenario.all_failed_dcs == ("dc-a",)
+        assert scenario.all_failed_links == ()
+        assert not scenario.is_compound
+        assert not scenario.is_baseline
+
+    def test_compound_fields_merge_with_convenience(self):
+        scenario = FailureScenario("f", failed_dc="dc-a", failed_dcs=("dc-b",))
+        assert scenario.all_failed_dcs == ("dc-a", "dc-b")
+        assert scenario.is_compound
+
+    def test_mixed_dc_and_link_compound(self):
+        scenario = FailureScenario("f", failed_dcs=("dc-a",),
+                                   failed_links=("l1", "l2"))
+        assert scenario.all_failed_links == ("l1", "l2")
+        assert scenario.is_compound
+
+    def test_single_dc_and_link_convenience_still_rejected(self):
+        with pytest.raises(TopologyError):
+            FailureScenario("f", failed_dc="dc-a", failed_link="l1")
+
+    def test_baseline(self):
+        assert FailureScenario("F0").is_baseline
+
+
+class TestEnumeration:
+    def test_dc_pairs_same_region(self, topology):
+        scenarios = enumerate_compound_scenarios(topology, dc_pairs=True)
+        assert scenarios
+        for scenario in scenarios:
+            dcs = scenario.all_failed_dcs
+            assert len(dcs) == 2
+            regions = {topology.fleet.dc(dc).region for dc in dcs}
+            assert len(regions) == 1
+
+    def test_dc_pairs_cross_region(self, topology):
+        unrestricted = enumerate_compound_scenarios(
+            topology, dc_pairs=True, same_region_only=False
+        )
+        restricted = enumerate_compound_scenarios(topology, dc_pairs=True)
+        assert len(unrestricted) > len(restricted)
+
+    def test_dc_plus_link(self, topology):
+        scenarios = enumerate_compound_scenarios(
+            topology, dc_pairs=False, dc_plus_link=True, max_link_scenarios=2
+        )
+        assert scenarios
+        for scenario in scenarios:
+            assert len(scenario.all_failed_dcs) == 1
+            assert len(scenario.all_failed_links) == 1
+            # The failed link never touches the failed DC (that case is
+            # already implied by the DC failure itself).
+            link = topology.wan.link(scenario.all_failed_links[0])
+            assert scenario.all_failed_dcs[0] not in link.endpoints
+
+
+class TestCompoundPlacement:
+    @pytest.fixture(scope="class")
+    def fixture(self):
+        topo = Topology.small()
+        configs = [
+            CallConfig.build({"JP": 2}, MediaType.AUDIO),
+            CallConfig.build({"HK": 2}, MediaType.AUDIO),
+            CallConfig.build({"IN": 2}, MediaType.AUDIO),
+        ]
+        placement = PlacementData(topo, configs, MediaLoadModel())
+        slots = make_slots(2 * 1800.0, 1800.0)
+        demand = Demand(slots, configs, np.array([[30.0, 20.0, 10.0],
+                                                  [10.0, 20.0, 30.0]]))
+        return topo, placement, demand
+
+    def test_two_dc_failure_leaves_third(self, fixture):
+        topo, placement, demand = fixture
+        scenario = FailureScenario(
+            "f2", failed_dcs=("dc-tokyo", "dc-hongkong")
+        )
+        for config in demand.configs:
+            options = placement.options_under_scenario(config, scenario)
+            assert options
+            assert all(o.dc_id == "dc-pune" for o in options)
+
+    def test_compound_scenario_lp_solves(self, fixture):
+        topo, placement, demand = fixture
+        scenario = FailureScenario("f2", failed_dcs=("dc-tokyo", "dc-hongkong"))
+        result = ScenarioLP(placement, demand, scenario).solve()
+        # Everything lands on the lone survivor.
+        assert set(result.cores) == {"dc-pune"}
+        total_assigned = sum(
+            sum(cell.values()) for cell in result.shares.values()
+        )
+        assert total_assigned == pytest.approx(demand.total_calls())
+
+    def test_joint_plan_with_compound_scenarios_dominates(self, fixture):
+        topo, placement, demand = fixture
+        singles = enumerate_scenarios(topo, include_link_failures=False)
+        compounds = enumerate_compound_scenarios(topo, dc_pairs=True)
+        base_plan = JointProvisioningLP(placement, demand, singles).solve()
+        hardened = JointProvisioningLP(
+            placement, demand, singles + compounds
+        ).solve()
+        # Surviving double failures can only cost more.
+        assert hardened.cost(topo) >= base_plan.cost(topo) - 1e-6
+        # And the hardened plan absorbs a double failure with zero excess.
+        scenario = compounds[0]
+        check = ScenarioLP(
+            placement, demand, scenario,
+            base_cores=hardened.cores, base_links=hardened.link_gbps,
+        ).solve()
+        assert sum(check.excess_cores.values()) == pytest.approx(0.0, abs=1e-5)

@@ -1,0 +1,235 @@
+"""Tests for controller events, service, and the replay engine."""
+
+import pytest
+
+from repro.core.errors import SwitchboardError
+from repro.core.types import Call, CallConfig, MediaType, Participant, make_slots
+from repro.allocation.plan import AllocationPlan
+from repro.controller.events import (
+    EventType,
+    event_stream,
+    events_of_call,
+    peak_event_rate,
+)
+from repro.controller.replay import ReplayEngine
+from repro.controller.service import ControllerService
+from repro.kvstore.store import InMemoryKVStore
+from repro.workload.trace import CallTrace
+
+
+def _call(call_id="c1", start=100.0):
+    return Call(call_id, start, 1200.0, participants=[
+        Participant(f"{call_id}-a", "JP", 0.0, MediaType.AUDIO),
+        Participant(f"{call_id}-b", "JP", 30.0, MediaType.VIDEO),
+        Participant(f"{call_id}-c", "IN", 400.0, MediaType.AUDIO),
+    ])
+
+
+class TestEvents:
+    def test_event_sequence_of_call(self):
+        events = events_of_call(_call())
+        types = [e.event_type for e in events]
+        assert types[0] is EventType.CALL_START
+        assert types.count(EventType.PARTICIPANT_JOIN) == 2
+        assert types.count(EventType.MEDIA_CHANGE) == 1  # audio -> video
+        assert types.count(EventType.CONFIG_FREEZE) == 1
+        assert types[-1] is EventType.CALL_END or (
+            EventType.CALL_END in types
+        )
+
+    def test_freeze_event_time(self):
+        events = events_of_call(_call(), freeze_window_s=300.0)
+        freeze = next(e for e in events if e.event_type is EventType.CONFIG_FREEZE)
+        assert freeze.t_s == pytest.approx(400.0)  # start 100 + A 300
+
+    def test_stream_is_time_sorted(self):
+        trace = CallTrace([_call("a", 0.0), _call("b", 50.0)],
+                          make_slots(3600.0))
+        events = event_stream(trace)
+        times = [e.t_s for e in events]
+        assert times == sorted(times)
+
+    def test_peak_event_rate(self):
+        trace = CallTrace([_call("a", 0.0), _call("b", 1.0)], make_slots(3600.0))
+        rate = peak_event_rate(event_stream(trace), window_s=60.0)
+        assert rate > 0
+
+    def test_empty_raises(self):
+        with pytest.raises(Exception):
+            peak_event_rate([])
+
+
+@pytest.fixture()
+def service(topology):
+    config = CallConfig.build({"JP": 2}, MediaType.VIDEO)
+    plan = AllocationPlan(
+        slots=make_slots(3600.0, 1800.0),
+        shares={(0, config): {"dc-tokyo": 5.0}},
+    )
+    return ControllerService(topology, plan, InMemoryKVStore())
+
+
+class TestControllerService:
+    def test_lifecycle_updates_stats_and_store(self, service):
+        call = _call()
+        for event in events_of_call(call):
+            service.handle(event)
+        stats = service.stats
+        assert stats.calls_started == 1
+        assert stats.calls_ended == 1
+        assert stats.joins == 2
+        assert stats.media_changes == 1
+        assert stats.events_processed == len(events_of_call(call))
+
+    def test_frozen_config_matches_plan_no_migration(self, service):
+        # Frozen config is (JP-2, video): the late IN joiner is excluded.
+        call = _call()
+        for event in events_of_call(call):
+            service.handle(event)
+        assert service.stats.migrations == 0
+        assert service.migration_rate == 0.0
+
+    def test_migration_when_plan_disagrees(self, topology):
+        config = CallConfig.build({"JP": 2}, MediaType.VIDEO)
+        plan = AllocationPlan(
+            slots=make_slots(3600.0, 1800.0),
+            shares={(0, config): {"dc-seoul": 5.0}},
+        )
+        service = ControllerService(topology, plan, InMemoryKVStore())
+        for event in events_of_call(_call()):
+            service.handle(event)
+        assert service.stats.migrations == 1
+        assert service.migration_rate == 1.0
+
+    def test_migration_rate_requires_calls(self, service):
+        with pytest.raises(SwitchboardError):
+            service.migration_rate
+
+    def test_store_cleaned_up_after_end(self, service):
+        for event in events_of_call(_call()):
+            service.handle(event)
+        assert service.client.call_dc("c1") is None
+
+
+class TestReplayEngine:
+    def _events(self, n_calls=30):
+        calls = [_call(f"c{i}", float(i)) for i in range(n_calls)]
+        return event_stream(CallTrace(calls, make_slots(3600.0)))
+
+    def _service(self, topology):
+        config = CallConfig.build({"JP": 2}, MediaType.VIDEO)
+        plan = AllocationPlan(
+            slots=make_slots(3600.0, 1800.0),
+            shares={(0, config): {"dc-tokyo": 100.0}},
+        )
+        return ControllerService(topology, plan, InMemoryKVStore())
+
+    def test_all_events_processed_single_thread(self, topology):
+        events = self._events()
+        service = self._service(topology)
+        result = ReplayEngine(service).replay(events, n_threads=1)
+        assert result.n_events == len(events)
+        assert service.stats.events_processed == len(events)
+
+    def test_multithreaded_processes_everything(self, topology):
+        events = self._events()
+        service = self._service(topology)
+        result = ReplayEngine(service).replay(events, n_threads=4)
+        assert service.stats.events_processed == len(events)
+        assert service.stats.calls_started == 30
+        assert service.stats.calls_ended == 30
+
+    def test_throughput_positive(self, topology):
+        events = self._events(10)
+        result = ReplayEngine(self._service(topology)).replay(events, n_threads=2)
+        assert result.events_per_s > 0
+        assert result.throughput_vs_peak > 0
+
+    def test_invalid_args(self, topology):
+        service = self._service(topology)
+        with pytest.raises(SwitchboardError):
+            ReplayEngine(service).replay([], n_threads=1)
+        with pytest.raises(SwitchboardError):
+            ReplayEngine(service).replay(self._events(2), n_threads=0)
+
+    def test_explicit_peak_rate_used(self, topology):
+        events = self._events(10)
+        result = ReplayEngine(self._service(topology)).replay(
+            events, n_threads=1, peak_rate=100.0
+        )
+        assert result.peak_trace_rate == 100.0
+        assert result.throughput_vs_peak == pytest.approx(
+            result.events_per_s / 100.0
+        )
+
+
+class TestControllerWithFleet:
+    def _setup(self, topology):
+        from repro.mpservers import MPServerFleet
+        from repro.provisioning.planner import CapacityPlan
+
+        config = CallConfig.build({"JP": 2}, MediaType.VIDEO)
+        plan = AllocationPlan(
+            slots=make_slots(3600.0, 1800.0),
+            shares={(0, config): {"dc-tokyo": 100.0}},
+        )
+        # Generous pools in the two DCs this test can touch.
+        capacity = CapacityPlan(
+            cores={"dc-tokyo": 64.0, "dc-seoul": 64.0}, link_gbps={}
+        )
+        fleet = MPServerFleet(capacity)
+        service = ControllerService(topology, plan, InMemoryKVStore(),
+                                    fleet=fleet)
+        return service, fleet
+
+    def test_call_lands_on_server_and_releases(self, topology):
+        service, fleet = self._setup(topology)
+        call = _call()
+        for event in events_of_call(call):
+            service.handle(event)
+        # Everything released at call end.
+        assert fleet.dc_of("c1") is None
+        assert fleet.pool("dc-tokyo").call_count == 0
+
+    def test_usage_trued_up_at_freeze(self, topology):
+        service, fleet = self._setup(topology)
+        call = _call()
+        events = events_of_call(call)
+        # Process everything except CALL_END.
+        for event in events:
+            if event.event_type is EventType.CALL_END:
+                break
+            service.handle(event)
+        pool = fleet.pool("dc-tokyo")
+        assert pool.call_count == 1
+        # After the freeze, the server holds the frozen (JP-2, video)
+        # config's cores, not the single first joiner's.
+        from repro.workload.media import MediaLoadModel
+
+        frozen_cores = MediaLoadModel().call_cores(call.config(300.0))
+        assert pool.used_cores == pytest.approx(frozen_cores)
+        # Clean up.
+        service.handle(events[-1])
+
+    def test_fleet_migration_follows_plan(self, topology):
+        from repro.mpservers import MPServerFleet
+        from repro.provisioning.planner import CapacityPlan
+
+        config = CallConfig.build({"JP": 2}, MediaType.VIDEO)
+        plan = AllocationPlan(
+            slots=make_slots(3600.0, 1800.0),
+            shares={(0, config): {"dc-seoul": 5.0}},  # plan disagrees
+        )
+        fleet = MPServerFleet(CapacityPlan(
+            cores={"dc-tokyo": 64.0, "dc-seoul": 64.0}, link_gbps={}
+        ))
+        service = ControllerService(topology, plan, InMemoryKVStore(),
+                                    fleet=fleet)
+        events = events_of_call(_call())
+        for event in events:
+            if event.event_type is EventType.CALL_END:
+                break
+            service.handle(event)
+        assert fleet.dc_of("c1") == "dc-seoul"
+        assert fleet.pool("dc-tokyo").call_count == 0
+        assert fleet.pool("dc-seoul").call_count == 1

@@ -1,0 +1,177 @@
+"""Unit and property tests for the core domain types."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import WorkloadError
+from repro.core.types import (
+    Call,
+    CallConfig,
+    MediaType,
+    Participant,
+    TimeSlot,
+    make_slots,
+    slot_of,
+)
+
+
+class TestMediaType:
+    def test_escalation_order(self):
+        assert MediaType.AUDIO.rank < MediaType.VIDEO.rank
+        assert MediaType.VIDEO.rank < MediaType.SCREEN_SHARE.rank
+
+    def test_escalate_picks_dominant(self):
+        assert MediaType.AUDIO.escalate(MediaType.VIDEO) is MediaType.VIDEO
+        assert MediaType.SCREEN_SHARE.escalate(MediaType.VIDEO) is MediaType.SCREEN_SHARE
+
+    def test_escalate_is_commutative(self):
+        for a in MediaType:
+            for b in MediaType:
+                assert a.escalate(b) is b.escalate(a)
+
+    def test_escalate_idempotent(self):
+        for media in MediaType:
+            assert media.escalate(media) is media
+
+
+class TestCallConfig:
+    def test_build_canonicalizes_order(self):
+        a = CallConfig.build({"IN": 2, "JP": 1}, MediaType.AUDIO)
+        b = CallConfig.build({"JP": 1, "IN": 2}, MediaType.AUDIO)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_paper_example_renders(self):
+        config = CallConfig.build({"IN": 2, "JP": 1}, MediaType.AUDIO)
+        assert str(config) == "((IN-2, JP-1), audio)"
+
+    def test_empty_spread_rejected(self):
+        with pytest.raises(WorkloadError):
+            CallConfig.build({}, MediaType.AUDIO)
+
+    def test_non_positive_count_rejected(self):
+        with pytest.raises(WorkloadError):
+            CallConfig.build({"IN": 0}, MediaType.AUDIO)
+        with pytest.raises(WorkloadError):
+            CallConfig.build({"IN": -3}, MediaType.AUDIO)
+
+    def test_participant_count(self):
+        config = CallConfig.build({"IN": 2, "JP": 3}, MediaType.VIDEO)
+        assert config.participant_count == 5
+
+    def test_majority_country(self):
+        config = CallConfig.build({"IN": 2, "JP": 3}, MediaType.VIDEO)
+        assert config.majority_country == "JP"
+
+    def test_majority_tie_breaks_deterministically(self):
+        config = CallConfig.build({"GB": 1, "SE": 1}, MediaType.AUDIO)
+        assert config.majority_country == "SE"  # max by (count, code)
+
+    def test_count_for(self):
+        config = CallConfig.build({"IN": 2, "JP": 3}, MediaType.AUDIO)
+        assert config.count_for("IN") == 2
+        assert config.count_for("US") == 0
+
+    def test_intra_country(self):
+        assert CallConfig.build({"US": 4}, MediaType.AUDIO).is_intra_country()
+        assert not CallConfig.build({"US": 4, "CA": 1}, MediaType.AUDIO).is_intra_country()
+
+    def test_participants_multiplicity(self):
+        config = CallConfig.build({"IN": 2, "JP": 1}, MediaType.AUDIO)
+        assert sorted(config.participants()) == ["IN", "IN", "JP"]
+
+    @given(st.dictionaries(
+        st.sampled_from(["US", "IN", "JP", "GB", "DE"]),
+        st.integers(min_value=1, max_value=50),
+        min_size=1, max_size=5,
+    ))
+    def test_build_roundtrip_property(self, spread):
+        config = CallConfig.build(spread, MediaType.VIDEO)
+        assert config.participant_count == sum(spread.values())
+        for country, count in spread.items():
+            assert config.count_for(country) == count
+        assert config.majority_country in spread
+
+
+class TestCall:
+    def _call(self, offsets):
+        participants = [
+            Participant(f"p{i}", "US", join_offset_s=offset)
+            for i, offset in enumerate(offsets)
+        ]
+        return Call("c1", start_s=100.0, duration_s=600.0, participants=participants)
+
+    def test_first_joiner(self):
+        call = self._call([5.0, 0.0, 30.0])
+        assert call.first_joiner.participant_id == "p1"
+
+    def test_first_joiner_empty_raises(self):
+        call = Call("c1", 0.0, 10.0, participants=[])
+        with pytest.raises(WorkloadError):
+            call.first_joiner
+
+    def test_config_freeze_excludes_late_joiners(self):
+        call = Call("c1", 0.0, 600.0, participants=[
+            Participant("a", "US", 0.0),
+            Participant("b", "US", 100.0),
+            Participant("c", "IN", 400.0),
+        ])
+        frozen = call.config(freeze_after_s=300.0)
+        assert frozen == CallConfig.build({"US": 2}, MediaType.AUDIO)
+        full = call.config()
+        assert full == CallConfig.build({"US": 2, "IN": 1}, MediaType.AUDIO)
+
+    def test_media_escalates_from_participants(self):
+        call = Call("c1", 0.0, 600.0, participants=[
+            Participant("a", "US", 0.0, MediaType.AUDIO),
+            Participant("b", "US", 10.0, MediaType.VIDEO),
+        ])
+        assert call.media is MediaType.VIDEO
+        assert call.config().media is MediaType.VIDEO
+
+    def test_end_time(self):
+        call = self._call([0.0])
+        assert call.end_s == 700.0
+
+
+class TestTimeSlots:
+    def test_make_slots_counts(self):
+        slots = make_slots(86400.0, 1800.0)
+        assert len(slots) == 48
+        assert slots[0].start_s == 0.0
+        assert slots[-1].end_s == 86400.0
+
+    def test_make_slots_truncates_final(self):
+        slots = make_slots(4000.0, 1800.0)
+        assert len(slots) == 3
+        assert slots[-1].duration_s == pytest.approx(400.0)
+
+    def test_invalid_args(self):
+        with pytest.raises(WorkloadError):
+            make_slots(0.0)
+        with pytest.raises(WorkloadError):
+            make_slots(100.0, -5.0)
+
+    def test_slot_of_inside(self):
+        slots = make_slots(86400.0)
+        assert slot_of(slots, 0.0).index == 0
+        assert slot_of(slots, 1799.9).index == 0
+        assert slot_of(slots, 1800.0).index == 1
+        assert slot_of(slots, 86399.0).index == 47
+
+    def test_slot_of_outside_raises(self):
+        slots = make_slots(3600.0)
+        with pytest.raises(WorkloadError):
+            slot_of(slots, 3600.0)
+
+    @given(st.floats(min_value=1.0, max_value=1e6),
+           st.floats(min_value=1.0, max_value=500.0))
+    def test_slots_partition_horizon(self, horizon, ratio):
+        width = horizon / ratio  # bound the slot count so the test is fast
+        slots = make_slots(horizon, width)
+        # Consecutive, non-overlapping, covering exactly [0, horizon).
+        assert slots[0].start_s == 0.0
+        for a, b in zip(slots, slots[1:]):
+            assert b.start_s == pytest.approx(a.end_s)
+        assert slots[-1].end_s == pytest.approx(horizon)
+        assert all(slot.duration_s > 0 for slot in slots)

@@ -1,0 +1,49 @@
+"""Whole-package import health and public-API consistency."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _all_modules():
+    names = ["repro"]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(info.name)
+    return sorted(names)
+
+
+@pytest.mark.parametrize("module_name", _all_modules())
+def test_module_imports_cleanly(module_name):
+    importlib.import_module(module_name)
+
+
+@pytest.mark.parametrize("module_name", [
+    name for name in _all_modules()
+    if not name.rsplit(".", 1)[-1].startswith("_")
+])
+def test_dunder_all_names_exist(module_name):
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{module_name}.__all__ lists {name}"
+
+
+def test_top_level_api_surface():
+    expected = {
+        "Switchboard", "SwitchboardPipeline", "Topology",
+        "generate_population", "CallConfig", "MediaType",
+        "ServiceSimulator",
+    }
+    assert expected <= set(repro.__all__)
+
+
+def test_every_module_has_docstring():
+    for module_name in _all_modules():
+        module = importlib.import_module(module_name)
+        assert module.__doc__, f"{module_name} lacks a module docstring"
+
+
+def test_version_string():
+    assert repro.__version__.count(".") == 2

@@ -1,0 +1,158 @@
+"""Tests for the Redis-like kvstore: semantics, concurrency, latency."""
+
+import threading
+
+import pytest
+
+from repro.core.types import CallConfig, MediaType
+from repro.kvstore.client import ControllerStateClient
+from repro.kvstore.store import InMemoryKVStore, KVStoreError, LatencyProfile
+
+
+class TestStringOps:
+    def test_set_get(self):
+        store = InMemoryKVStore()
+        store.set("k", "v")
+        assert store.get("k") == "v"
+        assert store.get("missing") is None
+
+    def test_delete(self):
+        store = InMemoryKVStore()
+        store.set("k", 1)
+        assert store.delete("k") is True
+        assert store.delete("k") is False
+        assert not store.exists("k")
+
+    def test_len_and_flush(self):
+        store = InMemoryKVStore()
+        store.set("a", 1)
+        store.set("b", 2)
+        assert len(store) == 2
+        store.flush()
+        assert len(store) == 0
+
+
+class TestCounters:
+    def test_incr_decr(self):
+        store = InMemoryKVStore()
+        assert store.incr("n") == 1
+        assert store.incr("n", 5) == 6
+        assert store.decr("n", 2) == 4
+
+    def test_incr_type_error(self):
+        store = InMemoryKVStore()
+        store.set("n", "text")
+        with pytest.raises(KVStoreError):
+            store.incr("n")
+
+    def test_concurrent_incr_is_atomic(self):
+        store = InMemoryKVStore()
+        n_threads, per_thread = 8, 500
+
+        def bump():
+            for _ in range(per_thread):
+                store.incr("n")
+
+        threads = [threading.Thread(target=bump) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert store.get("n") == n_threads * per_thread
+
+
+class TestHashes:
+    def test_hset_hget(self):
+        store = InMemoryKVStore()
+        store.hset("h", "f", "v")
+        assert store.hget("h", "f") == "v"
+        assert store.hget("h", "missing") is None
+        assert store.hget("missing", "f") is None
+
+    def test_hgetall_returns_snapshot(self):
+        store = InMemoryKVStore()
+        store.hset("h", "a", 1)
+        snapshot = store.hgetall("h")
+        snapshot["b"] = 2
+        assert store.hgetall("h") == {"a": 1}
+
+    def test_hincrby(self):
+        store = InMemoryKVStore()
+        assert store.hincrby("h", "n") == 1
+        assert store.hincrby("h", "n", -3) == -2
+
+    def test_hash_type_errors(self):
+        store = InMemoryKVStore()
+        store.set("s", "scalar")
+        with pytest.raises(KVStoreError):
+            store.hset("s", "f", 1)
+        with pytest.raises(KVStoreError):
+            store.hget("s", "f")
+        with pytest.raises(KVStoreError):
+            store.hincrby("s", "f")
+
+
+class TestLatencyProfile:
+    def test_samples_within_paper_range(self):
+        profile = LatencyProfile()
+        for _ in range(500):
+            assert 0.3 <= profile.sample_ms() <= 4.2
+
+    def test_invalid_bounds(self):
+        with pytest.raises(KVStoreError):
+            LatencyProfile(floor_ms=5.0, ceil_ms=1.0)
+
+    def test_ops_record_latency(self):
+        store = InMemoryKVStore(LatencyProfile(median_ms=0.5, floor_ms=0.3,
+                                               ceil_ms=1.0))
+        for i in range(20):
+            store.set(f"k{i}", i)
+        lo, median, hi = store.latency_stats_ms()
+        assert 0.3 <= lo <= median <= hi <= 1.0
+        assert store.op_count == 20
+
+
+class TestControllerStateClient:
+    def test_call_lifecycle(self):
+        store = InMemoryKVStore()
+        client = ControllerStateClient(store)
+        client.open_call("c1", "dc-a", "US")
+        client.record_join("c1", "US")
+        client.record_join("c1", "CA")
+        client.record_media("c1", MediaType.VIDEO)
+
+        config = client.observed_config("c1")
+        assert config == CallConfig.build({"US": 2, "CA": 1}, MediaType.VIDEO)
+        assert client.call_dc("c1") == "dc-a"
+        assert client.dc_load("dc-a") == 1
+
+        client.close_call("c1")
+        assert client.call_dc("c1") is None
+        assert client.dc_load("dc-a") == 0
+
+    def test_media_only_escalates(self):
+        client = ControllerStateClient(InMemoryKVStore())
+        client.open_call("c1", "dc-a", "US")
+        client.record_media("c1", MediaType.SCREEN_SHARE)
+        client.record_media("c1", MediaType.VIDEO)  # downgrade attempt
+        assert client.observed_config("c1").media is MediaType.SCREEN_SHARE
+
+    def test_migrate_call_moves_load(self):
+        client = ControllerStateClient(InMemoryKVStore())
+        client.open_call("c1", "dc-a", "US")
+        client.migrate_call("c1", "dc-b")
+        assert client.call_dc("c1") == "dc-b"
+        assert client.dc_load("dc-a") == 0
+        assert client.dc_load("dc-b") == 1
+
+    def test_slot_accounting(self):
+        client = ControllerStateClient(InMemoryKVStore())
+        config = CallConfig.build({"US": 2}, MediaType.AUDIO)
+        client.init_slots(3, config, {"dc-a": 2, "dc-b": 1})
+        assert client.debit_slot(3, config, "dc-a") == 1
+        assert client.debit_slot(3, config, "dc-a") == 0
+        assert client.remaining_slots(3, config) == {"dc-a": 0, "dc-b": 1}
+
+    def test_observed_config_unknown_call(self):
+        client = ControllerStateClient(InMemoryKVStore())
+        assert client.observed_config("nope") is None

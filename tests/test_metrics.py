@@ -1,0 +1,141 @@
+"""Tests for the metrics package: latency, capacity, cost, reports."""
+
+import pytest
+
+from repro.core.errors import SwitchboardError
+from repro.allocation.realtime import SelectionOutcome
+from repro.metrics.capacity import capacity_summary, per_dc_cores, per_region_cores
+from repro.metrics.cost import cost_breakdown
+from repro.metrics.latency import (
+    acl_percentiles,
+    fraction_within_threshold,
+    mean_acl_of_outcomes,
+)
+from repro.metrics.report import SchemeMetrics, comparison_table, render_table
+from repro.provisioning.planner import CapacityPlan
+
+
+def _outcome(acl):
+    return SelectionOutcome("c", "dc-a", "dc-a", False, True, acl)
+
+
+class TestLatencyMetrics:
+    def test_mean_acl(self):
+        outcomes = [_outcome(10.0), _outcome(30.0)]
+        assert mean_acl_of_outcomes(outcomes) == pytest.approx(20.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(SwitchboardError):
+            mean_acl_of_outcomes([])
+        with pytest.raises(SwitchboardError):
+            acl_percentiles([])
+        with pytest.raises(SwitchboardError):
+            fraction_within_threshold([])
+
+    def test_percentiles_ordered(self):
+        outcomes = [_outcome(float(v)) for v in range(1, 101)]
+        p50, p90, p99 = acl_percentiles(outcomes)
+        assert p50 < p90 < p99
+
+    def test_fraction_within_threshold(self):
+        outcomes = [_outcome(100.0), _outcome(150.0)]
+        assert fraction_within_threshold(outcomes, 120.0) == 0.5
+
+
+class TestCapacityAndCost:
+    @pytest.fixture(scope="class")
+    def plan(self, serving_plan):
+        return serving_plan
+
+    def test_capacity_summary_keys(self, plan, topology):
+        summary = capacity_summary(plan, topology)
+        assert summary["total_cores"] > 0
+        assert summary["total_wan_gbps"] >= 0
+        assert summary["total_all_links_gbps"] >= summary["total_wan_gbps"]
+        assert summary["n_dcs_used"] >= 1
+
+    def test_per_dc_cores_covers_fleet(self, plan, topology):
+        cores = per_dc_cores(plan, topology)
+        assert set(cores) == set(topology.fleet.ids)
+
+    def test_per_region_cores_sums_to_total(self, plan, topology):
+        regions = per_region_cores(plan, topology)
+        assert sum(regions.values()) == pytest.approx(plan.total_cores())
+
+    def test_cost_breakdown_adds_up(self, plan, topology):
+        breakdown = cost_breakdown(plan, topology)
+        assert breakdown["total_cost"] == pytest.approx(
+            breakdown["compute_cost"] + breakdown["network_cost"]
+        )
+        assert breakdown["total_cost"] == pytest.approx(plan.cost(topology))
+
+
+class TestReport:
+    def _metrics(self, scheme, backup, scale=1.0):
+        return SchemeMetrics(
+            scheme=scheme, with_backup=backup,
+            total_cores=100.0 * scale, total_wan_gbps=10.0 * scale,
+            total_cost=500.0 * scale, mean_acl_ms=20.0 * scale,
+        )
+
+    def test_normalization(self):
+        baseline = self._metrics("round_robin", False)
+        other = self._metrics("switchboard", False, scale=0.5)
+        row = other.normalized_to(baseline)
+        assert row == {
+            "Cores": 0.5, "WAN": 0.5, "Cost": 0.5, "Mean ACL": 0.5,
+        }
+
+    def test_degenerate_baseline_rejected(self):
+        baseline = SchemeMetrics("rr", False, 0.0, 1.0, 1.0, 1.0)
+        with pytest.raises(SwitchboardError):
+            self._metrics("x", False).normalized_to(baseline)
+
+    def test_comparison_table_per_regime(self):
+        metrics = [
+            self._metrics("round_robin", False),
+            self._metrics("switchboard", False, 0.6),
+            self._metrics("round_robin", True, 1.2),
+            self._metrics("switchboard", True, 0.9),
+        ]
+        table = comparison_table(metrics)
+        assert table[False]["round_robin"]["Cost"] == pytest.approx(1.0)
+        assert table[True]["switchboard"]["Cost"] == pytest.approx(0.75)
+
+    def test_missing_baseline_raises(self):
+        with pytest.raises(SwitchboardError):
+            comparison_table([self._metrics("switchboard", False)])
+
+    def test_render_table_mentions_schemes(self):
+        metrics = [
+            self._metrics("round_robin", False),
+            self._metrics("locality_first", False, 0.7),
+        ]
+        text = render_table(comparison_table(metrics))
+        assert "round_robin" in text
+        assert "locality_first" in text
+        assert "Without backup" in text
+
+
+class TestCapacityDiff:
+    def test_diff_directions(self):
+        from repro.metrics.capacity import capacity_diff
+
+        old = CapacityPlan(cores={"a": 10.0, "b": 5.0}, link_gbps={"l": 2.0})
+        new = CapacityPlan(cores={"a": 12.0, "c": 3.0}, link_gbps={"l": 1.0})
+        diff = capacity_diff(old, new)
+        assert diff["cores"]["a"] == pytest.approx(2.0)
+        assert diff["cores"]["b"] == pytest.approx(-5.0)
+        assert diff["cores"]["c"] == pytest.approx(3.0)
+        assert diff["link_gbps"]["l"] == pytest.approx(-1.0)
+        assert diff["totals"]["cores_added"] == pytest.approx(5.0)
+        assert diff["totals"]["cores_reclaimed"] == pytest.approx(5.0)
+        assert diff["totals"]["gbps_reclaimed"] == pytest.approx(1.0)
+
+    def test_identical_plans_empty_diff(self):
+        from repro.metrics.capacity import capacity_diff
+
+        plan = CapacityPlan(cores={"a": 10.0}, link_gbps={"l": 2.0})
+        diff = capacity_diff(plan, plan)
+        assert diff["cores"] == {}
+        assert diff["link_gbps"] == {}

@@ -1,0 +1,201 @@
+"""Tests for the intra-DC MP server substrate."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import CapacityError
+from repro.core.types import CallConfig, MediaType
+from repro.mpservers.fleet import MPServerFleet
+from repro.mpservers.pool import ServerPool, servers_for_cores
+from repro.mpservers.server import MPServer
+from repro.provisioning.planner import CapacityPlan
+
+
+class TestMPServer:
+    def test_admit_release_cycle(self):
+        server = MPServer("s1", "dc-a", core_capacity=16.0)
+        server.admit("c1", 4.0)
+        assert server.hosts("c1")
+        assert server.used_cores == 4.0
+        assert server.release("c1") == 4.0
+        assert not server.hosts("c1")
+
+    def test_utilization_target_limits_admission(self):
+        server = MPServer("s1", "dc-a", core_capacity=10.0,
+                          utilization_target=0.8)
+        assert server.usable_cores == pytest.approx(8.0)
+        server.admit("c1", 8.0)
+        with pytest.raises(CapacityError):
+            server.admit("c2", 0.5)
+
+    def test_double_admit_rejected(self):
+        server = MPServer("s1", "dc-a", 16.0)
+        server.admit("c1", 1.0)
+        with pytest.raises(CapacityError):
+            server.admit("c1", 1.0)
+
+    def test_release_unknown_rejected(self):
+        with pytest.raises(CapacityError):
+            MPServer("s1", "dc-a", 16.0).release("ghost")
+
+    def test_invalid_construction(self):
+        with pytest.raises(CapacityError):
+            MPServer("s1", "dc-a", 0.0)
+        with pytest.raises(CapacityError):
+            MPServer("s1", "dc-a", 16.0, utilization_target=1.5)
+
+    def test_drain_returns_calls(self):
+        server = MPServer("s1", "dc-a", 16.0)
+        server.admit("c1", 2.0)
+        server.admit("c2", 3.0)
+        displaced = server.drain()
+        assert displaced == {"c1": 2.0, "c2": 3.0}
+        assert server.call_count == 0
+
+
+class TestServersForCores:
+    def test_exact_and_rounding(self):
+        assert servers_for_cores(0.0) == 0
+        assert servers_for_cores(14.4, server_cores=16.0,
+                                 utilization_target=0.9) == 1
+        assert servers_for_cores(14.5, server_cores=16.0,
+                                 utilization_target=0.9) == 2
+
+    def test_invalid(self):
+        with pytest.raises(CapacityError):
+            servers_for_cores(-1.0)
+        with pytest.raises(CapacityError):
+            servers_for_cores(1.0, server_cores=0.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=1e5))
+    def test_capacity_always_sufficient_property(self, cores):
+        n = servers_for_cores(cores)
+        assert n * 16.0 * 0.9 >= cores - 1e-6
+
+
+class TestServerPool:
+    def test_least_loaded_balances(self):
+        pool = ServerPool("dc-a", n_servers=4, policy="least_loaded")
+        for i in range(8):
+            pool.place(f"c{i}", 2.0)
+        assert pool.utilization_spread() == pytest.approx(0.0)
+
+    def test_round_robin_cycles(self):
+        pool = ServerPool("dc-a", n_servers=3, policy="round_robin")
+        servers = [pool.place(f"c{i}", 1.0).server_id for i in range(3)]
+        assert len(set(servers)) == 3
+
+    def test_power_of_two_places_everything(self):
+        pool = ServerPool("dc-a", n_servers=4, policy="power_of_two")
+        for i in range(10):
+            pool.place(f"c{i}", 1.0)
+        assert pool.call_count == 10
+
+    def test_pool_exhaustion_raises(self):
+        pool = ServerPool("dc-a", n_servers=1, server_cores=10.0,
+                          utilization_target=1.0)
+        pool.place("c1", 10.0)
+        with pytest.raises(CapacityError):
+            pool.place("c2", 0.1)
+
+    def test_release_frees_capacity(self):
+        pool = ServerPool("dc-a", n_servers=1, server_cores=10.0,
+                          utilization_target=1.0)
+        pool.place("c1", 10.0)
+        pool.release("c1")
+        pool.place("c2", 10.0)  # fits again
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(CapacityError):
+            ServerPool("dc-a", 1, policy="magic")
+
+    def test_server_failure_replaces_calls(self):
+        pool = ServerPool("dc-a", n_servers=3, server_cores=10.0,
+                          utilization_target=1.0)
+        placed = pool.place("c1", 4.0)
+        stranded = pool.fail_server(placed.server_id)
+        assert stranded == {}  # re-placed on a survivor
+        assert pool.server_of("c1") is not None
+        assert len(pool.servers) == 2
+
+    def test_server_failure_strands_when_full(self):
+        pool = ServerPool("dc-a", n_servers=2, server_cores=10.0,
+                          utilization_target=1.0)
+        a = pool.place("c1", 9.0)
+        b = pool.place("c2", 9.0)
+        stranded = pool.fail_server(a.server_id)
+        assert stranded == {"c1": 9.0}  # nobody has 9 free cores left
+
+    def test_big_call_skips_fragmented_servers(self):
+        pool = ServerPool("dc-a", n_servers=2, server_cores=10.0,
+                          utilization_target=1.0)
+        pool.place("small", 6.0)  # least-loaded: lands on server 0
+        big = pool.place("big", 8.0)
+        assert big is not pool.server_of("small")
+
+
+class TestMPServerFleet:
+    @pytest.fixture()
+    def fleet(self):
+        capacity = CapacityPlan(
+            cores={"dc-a": 40.0, "dc-b": 20.0}, link_gbps={}
+        )
+        return MPServerFleet(capacity, server_cores=16.0)
+
+    def test_pools_sized_for_plan(self, fleet):
+        assert len(fleet.pool("dc-a").servers) == servers_for_cores(40.0, 16.0)
+        assert fleet.total_servers == (
+            servers_for_cores(40.0, 16.0) + servers_for_cores(20.0, 16.0)
+        )
+
+    def test_host_and_end_call(self, fleet):
+        config = CallConfig.build({"US": 4}, MediaType.VIDEO)
+        server_id = fleet.host_call("c1", "dc-a", config)
+        assert server_id.startswith("dc-a/")
+        assert fleet.dc_of("c1") == "dc-a"
+        fleet.end_call("c1")
+        assert fleet.dc_of("c1") is None
+
+    def test_migration_moves_load(self, fleet):
+        config = CallConfig.build({"US": 4}, MediaType.AUDIO)
+        fleet.host_call("c1", "dc-a", config)
+        fleet.migrate_call("c1", "dc-b", config)
+        assert fleet.dc_of("c1") == "dc-b"
+        assert fleet.pool("dc-a").call_count == 0
+        assert fleet.pool("dc-b").call_count == 1
+
+    def test_unknown_dc_rejected(self, fleet):
+        config = CallConfig.build({"US": 1}, MediaType.AUDIO)
+        with pytest.raises(CapacityError):
+            fleet.host_call("c1", "dc-nowhere", config)
+
+    def test_end_unknown_call_rejected(self, fleet):
+        with pytest.raises(CapacityError):
+            fleet.end_call("ghost")
+
+    def test_utilization_reporting(self, fleet):
+        config = CallConfig.build({"US": 8}, MediaType.VIDEO)
+        fleet.host_call("c1", "dc-a", config)
+        utilization = fleet.utilization()
+        assert utilization["dc-a"] > 0
+        assert utilization["dc-b"] == 0.0
+
+    def test_plan_capacity_actually_hostable(self, switchboard, expected_demand):
+        """End to end: the provisioned cores, realized as servers, host
+        the plan's own peak-slot calls."""
+        capacity = switchboard.provision(expected_demand, with_backup=False)
+        plan = switchboard.allocate(expected_demand, capacity).plan
+        fleet = MPServerFleet(capacity)
+        # Find the busiest (slot, dc) cell and host all its calls.
+        import numpy as np
+
+        busiest = max(
+            plan.shares.items(),
+            key=lambda item: max(item[1].values()),
+        )
+        (t, config), cell = busiest
+        dc_id, count = max(cell.items(), key=lambda kv: kv[1])
+        for i in range(int(count)):
+            fleet.host_call(f"c{i}", dc_id, config)
+        assert fleet.pool(dc_id).call_count == int(count)

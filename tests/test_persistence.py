@@ -1,0 +1,139 @@
+"""Tests for plan serialization: exact round-trips and hostile inputs."""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import SwitchboardError
+from repro.core.types import CallConfig, MediaType, make_slots
+from repro.allocation.plan import AllocationPlan
+from repro.persistence import (
+    allocation_plan_from_dict,
+    allocation_plan_to_dict,
+    capacity_plan_from_dict,
+    capacity_plan_to_dict,
+    config_from_string,
+    config_to_string,
+    dump_allocation_plan,
+    dump_capacity_plan,
+    load_allocation_plan,
+    load_capacity_plan,
+)
+from repro.provisioning.planner import CapacityPlan
+
+
+class TestConfigStrings:
+    def test_round_trip_paper_example(self):
+        config = CallConfig.build({"IN": 2, "JP": 1}, MediaType.AUDIO)
+        assert config_from_string(config_to_string(config)) == config
+
+    def test_round_trip_all_media(self):
+        for media in MediaType:
+            config = CallConfig.build({"US": 5, "CA": 2}, media)
+            assert config_from_string(config_to_string(config)) == config
+
+    def test_garbage_rejected(self):
+        for text in ("", "nonsense", "((IN-2)", "((IN-x), audio)",
+                     "((IN-2), warp_drive)"):
+            with pytest.raises(SwitchboardError):
+                config_from_string(text)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.dictionaries(
+        st.sampled_from(["US", "IN", "JP", "GB", "DE", "BR"]),
+        st.integers(min_value=1, max_value=99),
+        min_size=1, max_size=4,
+    ), st.sampled_from(list(MediaType)))
+    def test_round_trip_property(self, spread, media):
+        config = CallConfig.build(spread, media)
+        assert config_from_string(config_to_string(config)) == config
+
+
+class TestCapacityPlanSerialization:
+    def test_round_trip(self):
+        plan = CapacityPlan(
+            cores={"dc-a": 10.5, "dc-b": 0.0},
+            link_gbps={"l1": 2.25},
+        )
+        restored = capacity_plan_from_dict(capacity_plan_to_dict(plan))
+        assert restored.cores == plan.cores
+        assert restored.link_gbps == plan.link_gbps
+
+    def test_json_serializable(self):
+        plan = CapacityPlan(cores={"dc-a": 1.0}, link_gbps={})
+        json.dumps(capacity_plan_to_dict(plan))  # must not raise
+
+    def test_file_round_trip(self, tmp_path):
+        plan = CapacityPlan(cores={"dc-a": 3.0}, link_gbps={"l": 1.0})
+        path = str(tmp_path / "capacity.json")
+        dump_capacity_plan(plan, path)
+        restored = load_capacity_plan(path)
+        assert restored.cores == plan.cores
+
+    def test_negative_capacity_rejected(self):
+        data = capacity_plan_to_dict(CapacityPlan(cores={"a": 1.0}, link_gbps={}))
+        data["cores"]["a"] = -5.0
+        with pytest.raises(SwitchboardError):
+            capacity_plan_from_dict(data)
+
+    def test_wrong_kind_rejected(self):
+        data = capacity_plan_to_dict(CapacityPlan(cores={}, link_gbps={}))
+        data["kind"] = "allocation_plan"
+        with pytest.raises(SwitchboardError):
+            capacity_plan_from_dict(data)
+
+    def test_wrong_version_rejected(self):
+        data = capacity_plan_to_dict(CapacityPlan(cores={}, link_gbps={}))
+        data["version"] = 99
+        with pytest.raises(SwitchboardError):
+            capacity_plan_from_dict(data)
+
+
+class TestAllocationPlanSerialization:
+    def _plan(self):
+        config_a = CallConfig.build({"JP": 2}, MediaType.AUDIO)
+        config_b = CallConfig.build({"US": 3, "CA": 1}, MediaType.VIDEO)
+        return AllocationPlan(
+            slots=make_slots(3600.0, 1800.0),
+            shares={
+                (0, config_a): {"dc-tokyo": 4.0, "dc-seoul": 1.0},
+                (1, config_b): {"dc-virginia": 2.5},
+            },
+        )
+
+    def test_round_trip(self):
+        plan = self._plan()
+        restored = allocation_plan_from_dict(allocation_plan_to_dict(plan))
+        assert restored.shares == plan.shares
+        assert [s.start_s for s in restored.slots] == [
+            s.start_s for s in plan.slots
+        ]
+
+    def test_round_trip_preserves_behaviour(self):
+        plan = self._plan()
+        restored = allocation_plan_from_dict(allocation_plan_to_dict(plan))
+        assert restored.planned_calls() == plan.planned_calls()
+        assert restored.integerized() == plan.integerized()
+        assert restored.slot_index_of(2500.0) == plan.slot_index_of(2500.0)
+
+    def test_json_and_file_round_trip(self, tmp_path):
+        plan = self._plan()
+        path = str(tmp_path / "plan.json")
+        dump_allocation_plan(plan, path)
+        restored = load_allocation_plan(path)
+        assert restored.shares == plan.shares
+
+    def test_cell_with_bad_slot_rejected(self):
+        data = allocation_plan_to_dict(self._plan())
+        data["cells"][0]["slot"] = 99
+        with pytest.raises(SwitchboardError):
+            allocation_plan_from_dict(data)
+
+    def test_real_plan_round_trip(self, switchboard, expected_demand):
+        capacity = switchboard.provision(expected_demand, with_backup=False)
+        plan = switchboard.allocate(expected_demand, capacity).plan
+        blob = json.dumps(allocation_plan_to_dict(plan))
+        restored = allocation_plan_from_dict(json.loads(blob))
+        assert restored.planned_calls() == pytest.approx(plan.planned_calls())
+        assert restored.shares == plan.shares

@@ -1,0 +1,177 @@
+"""Tests for MOMC features, logistic regression, and the §8 predictor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import ForecastError
+from repro.prediction.logistic import LogisticRegression
+from repro.prediction.momc import MOMCConfig, MultiOrderMarkovChain
+from repro.prediction.predictor import CallConfigPredictor
+from repro.workload.series import generate_series
+
+
+class TestMOMC:
+    def test_alternating_history_detected(self):
+        momc = MultiOrderMarkovChain([1, 0] * 10)
+        # After a 0, an alternator attends: P(attend | last=0) high.
+        assert momc.order_probability(1, (0,)) > 0.8
+        assert momc.order_probability(1, (1,)) < 0.2
+
+    def test_constant_history(self):
+        momc = MultiOrderMarkovChain([1] * 12)
+        assert momc.order_probability(1, (1,)) > 0.85
+        assert momc.predict_next() > 0.85
+
+    def test_unseen_context_is_smoothed_to_half(self):
+        momc = MultiOrderMarkovChain([1] * 6)
+        assert momc.order_probability(2, (0, 0)) == pytest.approx(0.5)
+
+    def test_invalid_history_rejected(self):
+        with pytest.raises(ForecastError):
+            MultiOrderMarkovChain([0, 2, 1])
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ForecastError):
+            MOMCConfig(max_order=0)
+        with pytest.raises(ForecastError):
+            MOMCConfig(smoothing=0.0)
+
+    def test_order_bounds_checked(self):
+        momc = MultiOrderMarkovChain([1, 0, 1])
+        with pytest.raises(ForecastError):
+            momc.order_probability(9, (1,) * 9)
+        with pytest.raises(ForecastError):
+            momc.order_probability(2, (1,))
+
+    def test_feature_vector_length(self):
+        config = MOMCConfig(max_order=3)
+        momc = MultiOrderMarkovChain([1, 0, 1, 1], config)
+        assert len(momc.features()) == MultiOrderMarkovChain.feature_count(config)
+
+    def test_short_history_features_neutral(self):
+        momc = MultiOrderMarkovChain([1])
+        features = momc.features()
+        assert np.isfinite(features).all()
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=1),
+                    min_size=1, max_size=30))
+    def test_probabilities_in_unit_interval_property(self, history):
+        momc = MultiOrderMarkovChain(history)
+        assert 0.0 < momc.predict_next() < 1.0
+        features = momc.features()
+        assert ((features >= 0.0) & (features <= 1.0)).all()
+
+
+class TestLogisticRegression:
+    def test_learns_linearly_separable_data(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(400, 2))
+        y = (x[:, 0] + x[:, 1] > 0).astype(float)
+        model = LogisticRegression().fit(x, y)
+        accuracy = (model.predict(x) == y).mean()
+        assert accuracy > 0.95
+
+    def test_probabilities_bounded(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(100, 3))
+        y = (x[:, 0] > 0).astype(float)
+        model = LogisticRegression().fit(x, y)
+        probs = model.predict_proba(x)
+        assert ((probs > 0.0) & (probs < 1.0)).all()
+
+    def test_single_sample_prediction(self):
+        x = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0.0, 0.0, 1.0, 1.0])
+        model = LogisticRegression().fit(x, y)
+        assert model.predict_proba(np.array([3.0])) > 0.5
+
+    def test_unfitted_raises(self):
+        with pytest.raises(ForecastError):
+            LogisticRegression().predict_proba(np.zeros(3))
+
+    def test_bad_shapes_rejected(self):
+        model = LogisticRegression()
+        with pytest.raises(ForecastError):
+            model.fit(np.zeros((3, 2)), np.zeros(4))
+        with pytest.raises(ForecastError):
+            model.fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_non_binary_labels_rejected(self):
+        with pytest.raises(ForecastError):
+            LogisticRegression().fit(np.zeros((3, 1)), np.array([0.0, 0.5, 1.0]))
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ForecastError):
+            LogisticRegression(learning_rate=0.0)
+        with pytest.raises(ForecastError):
+            LogisticRegression(n_iterations=0)
+
+    def test_log_loss_better_than_chance(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(300, 2))
+        y = (x[:, 0] > 0).astype(float)
+        model = LogisticRegression().fit(x, y)
+        assert model.log_loss(x, y) < 0.6  # < ln(2) ~ chance
+
+    def test_constant_feature_does_not_crash(self):
+        x = np.column_stack([np.ones(50), np.linspace(-1, 1, 50)])
+        y = (x[:, 1] > 0).astype(float)
+        model = LogisticRegression().fit(x, y)
+        assert np.isfinite(model.predict_proba(x)).all()
+
+
+class TestCallConfigPredictor:
+    @pytest.fixture(scope="class")
+    def series_list(self, topology):
+        return generate_series(topology.world, n_series=60, occurrences=12,
+                               seed=17)
+
+    @pytest.fixture(scope="class")
+    def predictor(self, series_list):
+        return CallConfigPredictor().fit(series_list[:45])
+
+    def test_attendance_probabilities_valid(self, predictor, series_list):
+        series = series_list[50]
+        probs = predictor.predict_attendance(series, series.n_occurrences)
+        assert len(probs) == len(series.members)
+        assert ((probs > 0) & (probs < 1)).all()
+
+    def test_occurrence_bounds_checked(self, predictor, series_list):
+        series = series_list[50]
+        with pytest.raises(ForecastError):
+            predictor.predict_attendance(series, 0)
+        with pytest.raises(ForecastError):
+            predictor.predict_attendance(series, 99)
+
+    def test_predicted_counts_are_counts(self, predictor, series_list):
+        counts = predictor.predict_config_counts(series_list[50], 10)
+        assert all(v == int(v) and v >= 1 for v in counts.values())
+
+    def test_baseline_counts_match_previous_instance(self, series_list):
+        series = series_list[0]
+        baseline = CallConfigPredictor.baseline_counts(series, 5)
+        assert baseline == {
+            k: float(v) for k, v in series.attendee_countries(4).items()
+        }
+        with pytest.raises(ForecastError):
+            CallConfigPredictor.baseline_counts(series, 0)
+
+    def test_model_beats_baseline(self, predictor, series_list):
+        summary = predictor.evaluate(series_list[45:], eval_last=2)
+        assert summary.model_rmse < summary.baseline_rmse
+        assert summary.model_mae < summary.baseline_mae
+        assert summary.n_instances > 0
+
+    def test_too_short_histories_rejected(self, topology):
+        short = generate_series(topology.world, n_series=3, occurrences=4,
+                                seed=1)
+        predictor = CallConfigPredictor(warmup=3)
+        predictor.fit(short)  # 4 occurrences, warmup 3 -> 1 sample each
+        with pytest.raises(ForecastError):
+            predictor.evaluate(short, eval_last=2)
+
+    def test_invalid_warmup(self):
+        with pytest.raises(ForecastError):
+            CallConfigPredictor(warmup=0)

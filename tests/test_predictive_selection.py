@@ -1,0 +1,136 @@
+"""Tests for prediction-assisted real-time selection (§8 applied)."""
+
+import pytest
+
+from repro.core.types import Call, CallConfig, MediaType, Participant, make_slots
+from repro.allocation.plan import AllocationPlan
+from repro.allocation.predictive import (
+    PredictiveSelector,
+    compare_selectors,
+    series_hint_fn,
+)
+from repro.prediction.predictor import CallConfigPredictor
+from repro.workload.series import generate_series, series_to_calls
+
+
+def _plan(topology, cells):
+    return AllocationPlan(slots=make_slots(3600.0, 1800.0), shares=cells)
+
+
+def _call(call_id, joiners, series_id=None, media=MediaType.AUDIO):
+    participants = [
+        Participant(f"{call_id}-p{i}", country, offset, media)
+        for i, (country, offset) in enumerate(joiners)
+    ]
+    return Call(call_id, 10.0, 1800.0, participants, series_id=series_id)
+
+
+class TestPredictiveSelector:
+    def test_hint_places_at_planned_dc(self, topology):
+        config = CallConfig.build({"JP": 2}, MediaType.AUDIO)
+        plan = _plan(topology, {(0, config): {"dc-seoul": 2.0}})
+        # The standard guess would be dc-tokyo (first joiner JP); the hint
+        # steers straight to the planned dc-seoul -> no migration.
+        selector = PredictiveSelector(topology, plan, lambda call: config)
+        outcome = selector.process_call(
+            _call("c", [("JP", 0.0), ("JP", 5.0)], series_id="s1")
+        )
+        assert outcome.initial_dc == "dc-seoul"
+        assert not outcome.migrated
+        assert selector.hinted_calls == 1
+
+    def test_none_hint_falls_back_to_standard(self, topology):
+        config = CallConfig.build({"JP": 2}, MediaType.AUDIO)
+        plan = _plan(topology, {(0, config): {"dc-seoul": 2.0}})
+        selector = PredictiveSelector(topology, plan, lambda call: None)
+        outcome = selector.process_call(_call("c", [("JP", 0.0), ("JP", 5.0)]))
+        assert outcome.initial_dc == "dc-tokyo"
+        assert outcome.migrated  # the standard path migrates
+        assert selector.hinted_calls == 0
+
+    def test_wrong_hint_still_reconciled(self, topology):
+        actual = CallConfig.build({"JP": 2}, MediaType.AUDIO)
+        predicted = CallConfig.build({"JP": 3}, MediaType.AUDIO)
+        plan = _plan(topology, {
+            (0, actual): {"dc-tokyo": 2.0},
+            (0, predicted): {"dc-seoul": 2.0},
+        })
+        selector = PredictiveSelector(topology, plan, lambda call: predicted)
+        outcome = selector.process_call(
+            _call("c", [("JP", 0.0), ("JP", 5.0)], series_id="s1")
+        )
+        # Hint sent it to seoul; the frozen (JP-2) plan wants tokyo.
+        assert outcome.initial_dc == "dc-seoul"
+        assert outcome.final_dc == "dc-tokyo"
+        assert outcome.migrated
+
+    def test_hint_for_unplanned_config_uses_majority_dc(self, topology):
+        predicted = CallConfig.build({"IN": 3}, MediaType.AUDIO)
+        plan = _plan(topology, {})
+        selector = PredictiveSelector(topology, plan, lambda call: predicted)
+        outcome = selector.process_call(
+            _call("c", [("IN", 0.0), ("IN", 5.0), ("IN", 9.0)], series_id="s")
+        )
+        assert outcome.initial_dc == topology.closest_dc("IN")
+
+
+class TestSeriesHintFn:
+    @pytest.fixture(scope="class")
+    def setup(self, topology):
+        series_list = generate_series(topology.world, n_series=20,
+                                      occurrences=8, seed=19)
+        predictor = CallConfigPredictor().fit(series_list)
+        index = {series.series_id: series for series in series_list}
+        return series_list, predictor, index
+
+    def test_early_occurrences_unhinted(self, setup):
+        series_list, predictor, index = setup
+        hint = series_hint_fn(index, predictor, min_history=3)
+        calls = series_to_calls(series_list[:1])
+        assert hint(calls[0]) is None          # occurrence 0
+        assert hint(calls[3]) is not None      # occurrence 3
+
+    def test_adhoc_calls_unhinted(self, setup):
+        _, predictor, index = setup
+        hint = series_hint_fn(index, predictor)
+        adhoc = _call("adhoc", [("US", 0.0)])
+        assert hint(adhoc) is None
+
+    def test_unknown_series_unhinted(self, setup):
+        _, predictor, index = setup
+        hint = series_hint_fn(index, predictor)
+        call = _call("ghost#5", [("US", 0.0)], series_id="ghost")
+        assert hint(call) is None
+
+    def test_hint_media_matches_series(self, setup):
+        series_list, predictor, index = setup
+        hint = series_hint_fn(index, predictor)
+        calls = series_to_calls(series_list[:1])
+        predicted = hint(calls[4])
+        if predicted is not None:
+            assert predicted.media is series_list[0].media
+
+
+class TestCompareSelectors:
+    def test_predictive_never_worse_on_recurring_workload(self, topology):
+        series_list = generate_series(topology.world, n_series=30,
+                                      occurrences=8, seed=29)
+        predictor = CallConfigPredictor().fit(series_list[:20])
+        calls = series_to_calls(series_list, seed=30)
+        horizon = max(c.start_s for c in calls) + 1.0
+        from repro.workload.trace import CallTrace
+
+        trace = CallTrace(calls, make_slots(horizon, 1800.0))
+        demand = trace.to_demand(freeze_after_s=300.0)
+        from repro.switchboard import Switchboard
+
+        controller = Switchboard(topology, max_link_scenarios=0)
+        capacity = controller.provision(demand, with_backup=False)
+        plan = controller.allocate(demand, capacity).plan
+        index = {s.series_id: s for s in series_list}
+        result = compare_selectors(
+            topology, plan, calls, series_hint_fn(index, predictor)
+        )
+        assert (result["predictive_migration_rate"]
+                <= result["standard_migration_rate"] + 1e-9)
+        assert result["hint_rate"] > 0.4

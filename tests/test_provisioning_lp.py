@@ -1,0 +1,149 @@
+"""Tests for the LP scaffolding and the §3.2 backup LP."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import InfeasibleError, SolverError
+from repro.provisioning.backup_lp import solve_backup_lp, total_backup
+from repro.provisioning.lp import ConstraintSet, LinearProgram, VariableRegistry
+
+
+class TestVariableRegistry:
+    def test_indices_are_sequential(self):
+        registry = VariableRegistry()
+        assert registry.add("a") == 0
+        assert registry.add("b") == 1
+        assert registry["a"] == 0
+
+    def test_duplicate_rejected(self):
+        registry = VariableRegistry()
+        registry.add("a")
+        with pytest.raises(SolverError):
+            registry.add("a")
+
+    def test_unknown_lookup_raises(self):
+        with pytest.raises(SolverError):
+            VariableRegistry()["missing"]
+
+    def test_objective_accumulates(self):
+        registry = VariableRegistry()
+        registry.add("a", objective=1.0)
+        registry.add_objective("a", 2.0)
+        assert registry.objective.tolist() == [3.0]
+
+    def test_bounds(self):
+        registry = VariableRegistry()
+        registry.add("a", lower=1.0, upper=5.0)
+        assert registry.bounds == [(1.0, 5.0)]
+
+
+class TestConstraintSet:
+    def test_rows_and_matrix(self):
+        constraints = ConstraintSet()
+        row = constraints.new_row(7.0)
+        constraints.add_term(row, 0, 2.0)
+        constraints.add_term(row, 1, -1.0)
+        matrix = constraints.matrix(2)
+        assert matrix.shape == (1, 2)
+        assert matrix.toarray().tolist() == [[2.0, -1.0]]
+        assert constraints.rhs.tolist() == [7.0]
+
+    def test_add_term_to_missing_row_raises(self):
+        constraints = ConstraintSet()
+        with pytest.raises(SolverError):
+            constraints.add_term(0, 0, 1.0)
+
+    def test_empty_matrix_is_none(self):
+        assert ConstraintSet().matrix(3) is None
+
+
+class TestLinearProgram:
+    def test_simple_minimization(self):
+        # min x + 2y  s.t.  x + y >= 4  (i.e. -x - y <= -4), x,y >= 0
+        lp = LinearProgram()
+        x = lp.variables.add("x", objective=1.0)
+        y = lp.variables.add("y", objective=2.0)
+        lp.less_equal.add_row([(x, -1.0), (y, -1.0)], -4.0)
+        solution = lp.solve()
+        assert solution.objective == pytest.approx(4.0)
+        assert solution.value("x") == pytest.approx(4.0)
+        assert solution.value("y") == pytest.approx(0.0)
+
+    def test_equality_constraint(self):
+        lp = LinearProgram()
+        x = lp.variables.add("x", objective=1.0)
+        y = lp.variables.add("y", objective=3.0)
+        lp.equal.add_row([(x, 1.0), (y, 1.0)], 10.0)
+        solution = lp.solve()
+        assert solution.value("x") == pytest.approx(10.0)
+
+    def test_infeasible_raises_typed_error(self):
+        lp = LinearProgram()
+        x = lp.variables.add("x", objective=1.0)
+        lp.equal.add_row([(x, 1.0)], 5.0)
+        lp.less_equal.add_row([(x, 1.0)], 2.0)
+        with pytest.raises(InfeasibleError):
+            lp.solve()
+
+    def test_no_variables_raises(self):
+        with pytest.raises(SolverError):
+            LinearProgram().solve()
+
+    def test_bounded_variable(self):
+        lp = LinearProgram()
+        lp.variables.add("x", objective=-1.0, upper=3.0)  # max x, x <= 3
+        assert lp.solve().value("x") == pytest.approx(3.0)
+
+
+class TestBackupLP:
+    def test_paper_fig4_example(self):
+        """Serving 100/110/110 needs exactly 160 total dedicated backup
+        (Fig 4b: 50+50+60)."""
+        backup = solve_backup_lp({"jp": 100.0, "hk": 110.0, "in": 110.0})
+        assert sum(backup.values()) == pytest.approx(160.0)
+        # Each failure must be covered.
+        for failed, serving in (("jp", 100.0), ("hk", 110.0), ("in", 110.0)):
+            others = sum(v for k, v in backup.items() if k != failed)
+            assert others >= serving - 1e-6
+
+    def test_equal_serving_spreads_backup(self):
+        backup = solve_backup_lp({"a": 90.0, "b": 90.0, "c": 90.0, "d": 90.0})
+        assert sum(backup.values()) == pytest.approx(120.0)  # n/(n-1) * s
+
+    def test_skewed_serving_costs_more(self):
+        balanced = total_backup({"a": 100.0, "b": 100.0})
+        skewed = total_backup({"a": 190.0, "b": 10.0})
+        assert skewed > balanced - 1e-9
+        # b must hold a's full 190 and a must hold b's 10.
+        assert skewed == pytest.approx(200.0)
+
+    def test_two_dcs(self):
+        backup = solve_backup_lp({"a": 100.0, "b": 50.0})
+        assert backup["b"] >= 100.0 - 1e-6
+        assert backup["a"] >= 50.0 - 1e-6
+
+    def test_single_dc_rejected(self):
+        with pytest.raises(SolverError):
+            solve_backup_lp({"only": 10.0})
+
+    def test_negative_serving_rejected(self):
+        with pytest.raises(SolverError):
+            solve_backup_lp({"a": -1.0, "b": 5.0})
+
+    def test_zero_serving_needs_zero_backup(self):
+        backup = solve_backup_lp({"a": 0.0, "b": 0.0, "c": 0.0})
+        assert sum(backup.values()) == pytest.approx(0.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e4),
+                    min_size=2, max_size=8))
+    def test_constraints_always_satisfied_property(self, servings):
+        serving = {f"dc{i}": value for i, value in enumerate(servings)}
+        backup = solve_backup_lp(serving)
+        assert all(value >= -1e-9 for value in backup.values())
+        for failed, required in serving.items():
+            others = sum(v for k, v in backup.items() if k != failed)
+            assert others >= required - 1e-6
+        # Lower bound: total backup >= max serving (one DC's loss must be
+        # absorbable), and >= sum/(n-1)-style bound.
+        assert sum(backup.values()) >= max(serving.values()) - 1e-6

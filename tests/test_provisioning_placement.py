@@ -1,0 +1,118 @@
+"""Tests for PlacementData and failure-scenario option filtering."""
+
+import pytest
+
+from repro.core.errors import WorkloadError
+from repro.core.types import CallConfig, MediaType
+from repro.core.units import mbps_to_gbps
+from repro.provisioning.demand import PlacementData
+from repro.workload.media import MediaLoadModel
+
+
+def _config(spread, media=MediaType.AUDIO):
+    return CallConfig.build(spread, media)
+
+
+@pytest.fixture(scope="module")
+def jp_config():
+    return _config({"JP": 4}, MediaType.VIDEO)
+
+
+@pytest.fixture(scope="module")
+def placement_small(topology, jp_config, load_model):
+    configs = [jp_config, _config({"US": 3}), _config({"JP": 1, "BR": 1, "US": 1})]
+    return PlacementData(topology, configs, load_model)
+
+
+class TestOptions:
+    def test_empty_configs_rejected(self, topology):
+        with pytest.raises(WorkloadError):
+            PlacementData(topology, [])
+
+    def test_options_respect_latency_threshold(self, placement_small, jp_config,
+                                               topology):
+        for option in placement_small.options(jp_config):
+            assert topology.acl_ms(option.dc_id, jp_config) <= 120.0
+
+    def test_cores_per_call_matches_model(self, placement_small, jp_config,
+                                          load_model):
+        option = placement_small.options(jp_config)[0]
+        assert option.cores_per_call == pytest.approx(
+            load_model.call_cores(jp_config)
+        )
+
+    def test_link_loads_sum_over_participants(self, placement_small, jp_config,
+                                              topology, load_model):
+        per_leg = mbps_to_gbps(load_model.leg_mbps(jp_config))
+        for option in placement_small.options(jp_config):
+            total = sum(option.link_gbps.values())
+            # Each participant leg contributes per_leg on >= 1 link.
+            assert total >= per_leg * jp_config.participant_count - 1e-12
+            path = topology.wan.path(option.dc_id, "JP")
+            for link_id in path:
+                assert link_id in option.link_gbps
+
+    def test_unknown_config_raises(self, placement_small):
+        with pytest.raises(WorkloadError):
+            placement_small.options(_config({"DE": 9}))
+
+    def test_min_acl(self, placement_small, jp_config, topology):
+        assert placement_small.min_acl_ms(jp_config) == pytest.approx(
+            topology.acl_ms("dc-tokyo", jp_config)
+        )
+
+    def test_stranded_config_gets_min_acl_fallback(self, topology, load_model):
+        stranded = _config({"JP": 1, "BR": 1, "ZA": 1})
+        placement = PlacementData(topology, [stranded], load_model,
+                                  latency_threshold_ms=1.0)
+        options = placement.options(stranded)
+        assert len(options) == 1  # the §5.3 "Note" fallback
+
+
+class TestFailureFiltering:
+    def test_dc_failure_removes_option(self, placement_small, jp_config):
+        survivors = placement_small.options_under_failure(
+            jp_config, failed_dc="dc-tokyo"
+        )
+        assert all(option.dc_id != "dc-tokyo" for option in survivors)
+        assert survivors
+
+    def test_no_failure_returns_all(self, placement_small, jp_config):
+        assert (placement_small.options_under_failure(jp_config)
+                == placement_small.options(jp_config))
+
+    def test_link_failure_reroutes_affected_options(self, placement_small,
+                                                    jp_config, topology):
+        base = placement_small.options(jp_config)
+        target = next(o for o in base if o.dc_id == "dc-tokyo")
+        jp_access = topology.wan.path("dc-tokyo", "JP")[0]
+        survivors = placement_small.options_under_failure(
+            jp_config, failed_link=jp_access
+        )
+        for option in survivors:
+            assert jp_access not in option.link_gbps
+
+    def test_unaffected_option_unchanged_by_link_failure(self, placement_small,
+                                                         topology):
+        us_config = _config({"US": 3})
+        jp_access = topology.wan.path("dc-tokyo", "JP")[0]
+        base = placement_small.options(us_config)
+        survivors = placement_small.options_under_failure(
+            us_config, failed_link=jp_access
+        )
+        base_ids = {o.dc_id for o in base if jp_access not in o.link_gbps}
+        assert base_ids <= {o.dc_id for o in survivors}
+
+    def test_fallback_widens_fleet_when_region_dies(self, topology, load_model):
+        config = _config({"BR": 2})
+        placement = PlacementData(topology, [config], load_model)
+        americas = [dc for dc in topology.fleet.ids
+                    if topology.fleet.dc(dc).region == "americas"]
+        survivors = placement.options(config)
+        # Fail the only in-option DC(s) one at a time; fallback must widen.
+        for option in list(survivors):
+            remaining = placement.options_under_failure(
+                config, failed_dc=option.dc_id
+            )
+            assert remaining
+            assert all(o.dc_id != option.dc_id for o in remaining)

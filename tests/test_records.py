@@ -1,0 +1,174 @@
+"""Tests for the Call Records Database and its derived queries."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import RecordError
+from repro.core.types import CallConfig, MediaType
+from repro.records.aggregation import cushion_factor, demand_from_database, ingest_trace
+from repro.records.database import CallRecordsDatabase
+from repro.records.latency_est import (
+    estimate_latency_matrix,
+    estimation_error_ms,
+    fabricate_leg_latency,
+)
+from repro.records.record import CallLegRecord, CallRecord
+
+
+def _record(call_id, spread, dc, start, media=MediaType.AUDIO):
+    return CallRecord(
+        call_id=call_id,
+        config=CallConfig.build(spread, media),
+        dc_id=dc,
+        start_s=start,
+        duration_s=1800.0,
+    )
+
+
+class TestRecordTypes:
+    def test_negative_latency_rejected(self):
+        with pytest.raises(RecordError):
+            CallLegRecord("c", "US", "dc-a", -1.0, 0.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(RecordError):
+            CallRecord("c", CallConfig.build({"US": 1}, MediaType.AUDIO),
+                       "dc-a", 0.0, -5.0)
+
+    def test_legs_materialized_with_multiplicity(self):
+        record = _record("c1", {"US": 2, "CA": 1}, "dc-a", 0.0)
+        legs = record.legs(lambda dc, country: 10.0)
+        assert len(legs) == 3
+        assert sum(1 for leg in legs if leg.participant_country == "US") == 2
+
+
+class TestDatabase:
+    def test_ingest_and_counts(self):
+        db = CallRecordsDatabase()
+        db.ingest(_record("c1", {"US": 2}, "dc-a", 100.0))
+        db.ingest(_record("c2", {"US": 2}, "dc-a", 200.0))
+        db.ingest(_record("c3", {"JP": 3}, "dc-b", 2000.0))
+        assert len(db) == 3
+        assert db.n_buckets == 2
+        config = CallConfig.build({"US": 2}, MediaType.AUDIO)
+        assert db.call_count(config) == 2
+
+    def test_configs_ordered_by_frequency(self):
+        db = CallRecordsDatabase()
+        for i in range(3):
+            db.ingest(_record(f"a{i}", {"US": 2}, "dc-a", 0.0))
+        db.ingest(_record("b", {"JP": 1}, "dc-b", 0.0))
+        assert db.configs()[0] == CallConfig.build({"US": 2}, MediaType.AUDIO)
+
+    def test_top_configs_and_coverage(self):
+        db = CallRecordsDatabase()
+        for i in range(9):
+            db.ingest(_record(f"a{i}", {"US": 2}, "dc-a", 0.0))
+        db.ingest(_record("b", {"JP": 1}, "dc-b", 0.0))
+        top = db.top_configs(0.5)
+        assert len(top) == 1
+        assert db.coverage_of(top) == pytest.approx(0.9)
+
+    def test_top_configs_invalid_fraction(self):
+        db = CallRecordsDatabase()
+        db.ingest(_record("a", {"US": 2}, "dc-a", 0.0))
+        with pytest.raises(RecordError):
+            db.top_configs(0.0)
+
+    def test_empty_database_errors(self):
+        db = CallRecordsDatabase()
+        with pytest.raises(RecordError):
+            db.top_configs(0.5)
+        with pytest.raises(RecordError):
+            db.slots()
+
+    def test_config_timeseries(self):
+        db = CallRecordsDatabase(bucket_s=100.0)
+        db.ingest(_record("a", {"US": 2}, "dc-a", 50.0))
+        db.ingest(_record("b", {"US": 2}, "dc-a", 250.0))
+        db.ingest(_record("c", {"US": 2}, "dc-a", 260.0))
+        series = db.config_timeseries(CallConfig.build({"US": 2}, MediaType.AUDIO))
+        assert series.tolist() == [1.0, 0.0, 2.0]
+
+    def test_mismatched_leg_rejected(self):
+        db = CallRecordsDatabase()
+        record = _record("c1", {"US": 1}, "dc-a", 0.0)
+        bad_leg = CallLegRecord("other-call", "US", "dc-a", 5.0, 0.0)
+        with pytest.raises(RecordError):
+            db.ingest(record, [bad_leg])
+
+    def test_invalid_bucket_width(self):
+        with pytest.raises(RecordError):
+            CallRecordsDatabase(bucket_s=0.0)
+
+
+class TestLatencyEstimation:
+    def test_median_pooling_recovers_truth(self, topology):
+        rng = np.random.default_rng(1)
+        db = CallRecordsDatabase()
+        record = _record("c", {"JP": 1}, "dc-tokyo", 0.0)
+        legs = [
+            CallLegRecord("c", "JP", "dc-tokyo",
+                          fabricate_leg_latency(topology.latency, "dc-tokyo",
+                                                "JP", rng), 0.0)
+            for _ in range(200)
+        ]
+        db.ingest(record, legs)
+        estimated = estimate_latency_matrix(db, topology)
+        truth = topology.latency.latency_ms("dc-tokyo", "JP")
+        assert estimated.latency_ms("dc-tokyo", "JP") == pytest.approx(
+            truth, rel=0.15
+        )
+
+    def test_sparse_pairs_fall_back_to_reference(self, topology):
+        db = CallRecordsDatabase()
+        db.ingest(_record("c", {"JP": 1}, "dc-tokyo", 0.0))
+        estimated = estimate_latency_matrix(db, topology)
+        # No telemetry at all: every pair equals the reference model.
+        assert estimated.latency_ms("dc-pune", "BR") == pytest.approx(
+            topology.latency.latency_ms("dc-pune", "BR")
+        )
+
+    def test_estimation_error_keys(self, topology):
+        db = CallRecordsDatabase()
+        db.ingest(_record("c", {"JP": 1}, "dc-tokyo", 0.0))
+        estimated = estimate_latency_matrix(db, topology)
+        errors = estimation_error_ms(estimated, topology.latency)
+        assert all(err >= 0 for err in errors.values())
+
+    def test_fabricate_latency_positive(self, topology):
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            assert fabricate_leg_latency(
+                topology.latency, "dc-tokyo", "IN", rng
+            ) > 0
+
+
+class TestAggregation:
+    def test_ingest_trace_round_trip(self, topology, trace):
+        db = CallRecordsDatabase()
+        ingest_trace(db, trace, topology, seed=3)
+        assert len(db) == len(trace)
+        demand = demand_from_database(db)
+        assert demand.total_calls() == pytest.approx(len(trace))
+
+    def test_demand_from_database_subset(self, topology, trace):
+        db = CallRecordsDatabase()
+        ingest_trace(db, trace, topology, seed=3)
+        top = db.top_configs(0.1)
+        demand = demand_from_database(db, top)
+        assert demand.n_configs == len(top)
+        assert demand.total_calls() <= len(trace)
+
+    def test_cushion_factor_inverse_of_coverage(self, topology, trace):
+        db = CallRecordsDatabase()
+        ingest_trace(db, trace, topology, seed=3)
+        top = db.top_configs(0.2)
+        cushion = cushion_factor(db, top)
+        assert cushion == pytest.approx(1.0 / db.coverage_of(top))
+        assert cushion >= 1.0
+
+    def test_trace_latency_telemetry_recorded(self, topology, trace):
+        db = CallRecordsDatabase()
+        ingest_trace(db, trace, topology, seed=3)
+        assert db.latency_pairs()

@@ -1,0 +1,75 @@
+"""Tests for the resource-log provisioner (§4.4 comparator)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import SwitchboardError
+from repro.core.types import CallConfig, MediaType, make_slots
+from repro.baselines.locality_first import LocalityFirstStrategy
+from repro.baselines.resource_log import ResourceLogProvisioner
+from repro.workload.arrivals import Demand
+
+
+@pytest.fixture(scope="module")
+def setup(topology, load_model):
+    configs = [
+        CallConfig.build({"JP": 2}, MediaType.AUDIO),
+        CallConfig.build({"US": 3}, MediaType.VIDEO),
+    ]
+    slots = make_slots(2 * 1800.0, 1800.0)
+    demand = Demand(slots, configs, np.array([[10.0, 4.0], [6.0, 12.0]]))
+    plan = LocalityFirstStrategy(topology, load_model).allocation_plan(demand)
+    return topology, load_model, demand, plan
+
+
+class TestUsageLogs:
+    def test_logs_match_placement(self, setup):
+        topology, load_model, demand, plan = setup
+        provisioner = ResourceLogProvisioner(topology, load_model)
+        dc_usage, link_usage = provisioner.usage_logs(plan, demand)
+        jp_config = demand.configs[0]
+        expected = 10.0 * load_model.call_cores(jp_config)
+        assert dc_usage["dc-tokyo"][0] == pytest.approx(expected)
+        assert link_usage  # traffic flows somewhere
+
+
+class TestProvision:
+    def test_capacity_equals_per_resource_peaks(self, setup):
+        topology, load_model, demand, plan = setup
+        provisioner = ResourceLogProvisioner(topology, load_model)
+        capacity = provisioner.provision(plan, demand)
+        dc_usage, link_usage = provisioner.usage_logs(plan, demand)
+        for dc_id, series in dc_usage.items():
+            assert capacity.cores[dc_id] == pytest.approx(series.max())
+        for link_id, series in link_usage.items():
+            assert capacity.link_gbps[link_id] == pytest.approx(series.max())
+
+    def test_headroom_scales(self, setup):
+        topology, load_model, demand, plan = setup
+        provisioner = ResourceLogProvisioner(topology, load_model)
+        plain = provisioner.provision(plan, demand)
+        padded = provisioner.provision(plan, demand, headroom=1.2)
+        assert padded.total_cores() == pytest.approx(1.2 * plain.total_cores())
+
+    def test_invalid_headroom(self, setup):
+        topology, load_model, demand, plan = setup
+        provisioner = ResourceLogProvisioner(topology, load_model)
+        with pytest.raises(SwitchboardError):
+            provisioner.provision(plan, demand, headroom=0.5)
+
+    def test_surge_grows_only_surging_dc(self, setup):
+        """The §4.4 rigidity: a JP surge lands entirely on dc-tokyo."""
+        topology, load_model, demand, plan = setup
+        counts = demand.counts.copy()
+        counts[:, 0] *= 1.5  # surge the JP config
+        surged = Demand(demand.slots, demand.configs, counts)
+        surged_plan = LocalityFirstStrategy(
+            topology, load_model
+        ).allocation_plan(surged)
+        provisioner = ResourceLogProvisioner(topology, load_model)
+        before = provisioner.provision(plan, demand)
+        after = provisioner.provision(surged_plan, surged)
+        assert after.cores["dc-tokyo"] > before.cores["dc-tokyo"]
+        assert after.cores["dc-virginia"] == pytest.approx(
+            before.cores["dc-virginia"]
+        )

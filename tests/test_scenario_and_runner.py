@@ -1,0 +1,120 @@
+"""Tests for the shared experiment scenario, the CLI runner, and a few
+cross-cutting LP behaviours not covered elsewhere."""
+
+import json
+
+import pytest
+
+from repro.core.errors import SwitchboardError
+from repro.experiments.common import build_scenario
+from repro.experiments.runner import main as runner_main
+
+
+class TestBuildScenario:
+    def test_presets_scale(self):
+        small = build_scenario("small", seed=1)
+        default = build_scenario("default", seed=1)
+        assert len(default.population) > len(small.population)
+        assert (default.expected_demand.total_calls()
+                > small.expected_demand.total_calls())
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(SwitchboardError):
+            build_scenario("gigantic")
+
+    def test_sampled_demand_cached(self):
+        scenario = build_scenario("small", seed=2)
+        assert scenario.sampled_demand is scenario.sampled_demand
+
+    def test_trace_matches_sampled_demand(self):
+        scenario = build_scenario("small", seed=2)
+        assert len(scenario.trace) == int(scenario.sampled_demand.total_calls())
+
+    def test_history_demand_length(self):
+        scenario = build_scenario("small", seed=2)
+        history = scenario.history_demand(days=3)
+        assert history.n_slots == 3 * 48
+
+    def test_history_demand_invalid_days(self):
+        scenario = build_scenario("small", seed=2)
+        with pytest.raises(SwitchboardError):
+            scenario.history_demand(days=0)
+
+    def test_seed_changes_workload(self):
+        a = build_scenario("small", seed=1)
+        b = build_scenario("small", seed=2)
+        assert a.population.configs != b.population.configs
+
+
+class TestRunnerCLI:
+    def test_runs_named_subset(self, capsys):
+        assert runner_main(["table1", "fig3", "--size", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "=== table1" in out
+        assert "=== fig3" in out
+        assert "=== table3" not in out
+
+    def test_unknown_experiment_errors(self):
+        with pytest.raises(SystemExit):
+            runner_main(["flux_capacitor"])
+
+    def test_json_dump(self, tmp_path, capsys):
+        path = str(tmp_path / "results.json")
+        assert runner_main(["table1", "--json", path]) == 0
+        with open(path) as handle:
+            data = json.load(handle)
+        assert "table1" in data
+        assert data["table1"]["table"]["video"]["NL"] == 35.0
+
+
+class TestJointWithLinkScenarios:
+    def test_joint_covers_link_failure(self, small_topology):
+        """The joint plan must host demand even with a WAN link cut (the
+        reroute path through options_under_scenario)."""
+        import numpy as np
+
+        from repro.core.types import CallConfig, MediaType, make_slots
+        from repro.provisioning.demand import PlacementData
+        from repro.provisioning.failures import enumerate_scenarios
+        from repro.provisioning.formulation import ScenarioLP
+        from repro.provisioning.joint import JointProvisioningLP
+        from repro.workload.arrivals import Demand
+        from repro.workload.media import MediaLoadModel
+
+        configs = [CallConfig.build({"JP": 2}, MediaType.VIDEO)]
+        placement = PlacementData(small_topology, configs, MediaLoadModel())
+        demand = Demand(make_slots(1800.0, 1800.0), configs,
+                        np.array([[30.0]]))
+        scenarios = enumerate_scenarios(small_topology, max_link_scenarios=2)
+        plan = JointProvisioningLP(placement, demand, scenarios).solve()
+        for scenario in scenarios:
+            result = ScenarioLP(
+                placement, demand, scenario,
+                base_cores=plan.cores, base_links=plan.link_gbps,
+            ).solve()
+            assert sum(result.excess_cores.values()) == pytest.approx(
+                0.0, abs=1e-5
+            ), scenario.name
+            assert sum(result.excess_links.values()) == pytest.approx(
+                0.0, abs=1e-5
+            ), scenario.name
+
+
+class TestLPSolutionDetails:
+    def test_solution_value_default(self):
+        from repro.provisioning.lp import LinearProgram
+
+        lp = LinearProgram()
+        lp.variables.add("x", objective=1.0)
+        lp.less_equal.add_row([(0, -1.0)], -2.0)  # x >= 2
+        solution = lp.solve()
+        assert solution.value("x") == pytest.approx(2.0)
+        assert solution.value("missing", default=7.0) == 7.0
+
+    def test_constraint_row_helper_returns_index(self):
+        from repro.provisioning.lp import ConstraintSet
+
+        constraints = ConstraintSet()
+        assert constraints.add_row([(0, 1.0)], 5.0) == 0
+        assert constraints.add_row([(1, 1.0)], 6.0) == 1
+        assert len(constraints) == 2

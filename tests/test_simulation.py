@@ -1,0 +1,77 @@
+"""Tests for the multi-day service simulator."""
+
+import pytest
+
+from repro.core.errors import SwitchboardError
+from repro.simulation import ServiceSimulator, SimulationReport
+from repro.topology import Topology
+from repro.workload import DemandModel, generate_population
+
+
+@pytest.fixture(scope="module")
+def simulator_report(topology):
+    population = generate_population(topology.world, n_configs=30, seed=3)
+    model = DemandModel(topology.world, population, calls_per_slot_at_peak=25.0)
+    simulator = ServiceSimulator(
+        topology, model, bootstrap_days=3, reprovision_every=2, seed=5
+    )
+    return simulator, simulator.run(n_days=6)
+
+
+class TestServiceSimulator:
+    def test_day_count_and_order(self, simulator_report):
+        _, report = simulator_report
+        assert [d.day for d in report.days] == list(range(6))
+
+    def test_bootstrap_days_have_no_plan(self, simulator_report):
+        _, report = simulator_report
+        for day in report.days[:3]:
+            assert day.unplanned_rate == 1.0
+            assert day.capacity_cost == 0.0
+            assert not day.reprovisioned
+
+    def test_first_operational_day_reprovisions(self, simulator_report):
+        _, report = simulator_report
+        assert report.days[3].reprovisioned
+        assert report.days[3].capacity_cost > 0
+
+    def test_reprovision_cadence(self, simulator_report):
+        _, report = simulator_report
+        flags = [d.reprovisioned for d in report.days[3:]]
+        assert flags == [True, False, True]
+
+    def test_migrations_stay_low(self, simulator_report):
+        _, report = simulator_report
+        assert report.overall_migration_rate < 0.1
+
+    def test_acl_reasonable_every_day(self, simulator_report):
+        _, report = simulator_report
+        for day in report.days:
+            if day.n_calls:
+                assert 0 < day.mean_acl_ms < 120.0
+
+    def test_records_accumulate(self, simulator_report):
+        simulator, report = simulator_report
+        assert len(simulator.db) == report.total_calls
+
+    def test_summary_renders(self, simulator_report):
+        _, report = simulator_report
+        text = report.summary()
+        assert "total" in text
+        assert str(report.total_calls) in text
+
+    def test_invalid_parameters(self, topology):
+        population = generate_population(topology.world, n_configs=10, seed=3)
+        model = DemandModel(topology.world, population,
+                            calls_per_slot_at_peak=10.0)
+        with pytest.raises(SwitchboardError):
+            ServiceSimulator(topology, model, bootstrap_days=0)
+        with pytest.raises(SwitchboardError):
+            ServiceSimulator(topology, model, reprovision_every=0)
+        simulator = ServiceSimulator(topology, model, bootstrap_days=3)
+        with pytest.raises(SwitchboardError):
+            simulator.run(n_days=3)  # must exceed bootstrap
+
+    def test_empty_report_migration_rate_raises(self):
+        with pytest.raises(SwitchboardError):
+            SimulationReport().overall_migration_rate

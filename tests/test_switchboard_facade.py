@@ -1,0 +1,93 @@
+"""Tests for the Switchboard facade and the end-to-end pipeline."""
+
+import pytest
+
+from repro.core.errors import SwitchboardError
+from repro.records.aggregation import ingest_trace
+from repro.records.database import CallRecordsDatabase
+from repro.switchboard import Switchboard, SwitchboardPipeline
+
+
+class TestSwitchboardStrategy:
+    def test_provision_without_backup(self, switchboard, expected_demand):
+        plan = switchboard.provision(expected_demand, with_backup=False)
+        assert plan.total_cores() > 0
+        assert plan.total_wan_gbps(switchboard.topology) >= 0
+
+    def test_backup_plan_dominates_serving(self, switchboard, expected_demand):
+        serving = switchboard.provision(expected_demand, with_backup=False)
+        backup = switchboard.provision(expected_demand, with_backup=True)
+        assert backup.total_cores() >= serving.total_cores() - 1e-6
+        assert backup.cost(switchboard.topology) >= serving.cost(
+            switchboard.topology
+        ) - 1e-6
+
+    def test_allocation_fits_and_is_complete(self, switchboard, expected_demand):
+        capacity = switchboard.provision(expected_demand, with_backup=False)
+        outcome = switchboard.allocate(expected_demand, capacity)
+        assert not outcome.overflowed
+        assert outcome.plan.planned_calls() == pytest.approx(
+            expected_demand.total_calls()
+        )
+
+    def test_mean_acl_below_threshold(self, switchboard, expected_demand):
+        capacity = switchboard.provision(expected_demand, with_backup=False)
+        acl = switchboard.mean_acl_with_capacity(expected_demand, capacity)
+        assert 0 < acl < 120.0
+
+    def test_allocation_plan_interface(self, switchboard, expected_demand):
+        plan = switchboard.allocation_plan(expected_demand)
+        assert plan.planned_calls() == pytest.approx(expected_demand.total_calls())
+
+    def test_allocation_plan_under_failure_avoids_dc(self, switchboard,
+                                                     expected_demand):
+        plan = switchboard.allocation_plan(expected_demand,
+                                           failed_dc="dc-tokyo")
+        for cell in plan.shares.values():
+            assert "dc-tokyo" not in cell
+
+    def test_placement_cached(self, switchboard, expected_demand):
+        first = switchboard.placement_for(expected_demand.configs)
+        second = switchboard.placement_for(expected_demand.configs)
+        assert first is second
+
+    def test_realtime_selector_construction(self, switchboard, expected_demand):
+        capacity = switchboard.provision(expected_demand, with_backup=False)
+        plan = switchboard.allocate(expected_demand, capacity).plan
+        selector = switchboard.realtime_selector(plan)
+        assert selector.freeze_window_s == 300.0
+
+
+class TestPipeline:
+    @pytest.fixture(scope="class")
+    def records_db(self, topology, trace):
+        db = CallRecordsDatabase()
+        ingest_trace(db, trace, topology, seed=8)
+        return db
+
+    def test_empty_database_rejected(self, topology):
+        pipeline = SwitchboardPipeline(topology)
+        with pytest.raises(SwitchboardError):
+            pipeline.run(CallRecordsDatabase(), horizon_slots=4)
+
+    def test_pipeline_end_to_end(self, topology, records_db):
+        pipeline = SwitchboardPipeline(
+            topology, top_config_fraction=0.2, season_length=8,
+            max_link_scenarios=0,
+        )
+        result = pipeline.run(records_db, horizon_slots=8, with_backup=False)
+        assert result.top_configs
+        assert result.cushion >= 1.0
+        assert result.forecast_demand.n_slots == 8
+        assert result.capacity.total_cores() > 0
+        assert result.allocation.plan.planned_calls() == pytest.approx(
+            result.forecast_demand.total_calls(), rel=1e-6
+        )
+
+    def test_pipeline_with_geodesic_latency(self, topology, records_db):
+        pipeline = SwitchboardPipeline(
+            topology, top_config_fraction=0.2, season_length=8,
+            max_link_scenarios=0, use_estimated_latency=False,
+        )
+        result = pipeline.run(records_db, horizon_slots=4, with_backup=False)
+        assert result.capacity.total_cores() > 0

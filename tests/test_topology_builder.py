@@ -1,0 +1,132 @@
+"""Tests for the assembled Topology: candidate DCs, closest-DC, costs."""
+
+import pytest
+
+from repro.core.errors import TopologyError
+from repro.core.types import CallConfig, MediaType
+from repro.topology.builder import Topology
+from repro.topology.latency import MatrixLatencyModel
+
+
+def _config(spread, media=MediaType.AUDIO):
+    return CallConfig.build(spread, media)
+
+
+class TestFactories:
+    def test_default_world(self, topology):
+        assert len(topology.world) == 24
+        assert len(topology.fleet) == 15
+
+    def test_small_world(self, small_topology):
+        assert len(small_topology.world) == 3
+        assert len(small_topology.fleet) == 3
+
+    def test_with_latency_swaps_model(self, small_topology):
+        matrix = {
+            (dc_id, country): 50.0
+            for dc_id in small_topology.fleet.ids
+            for country in small_topology.world.codes
+        }
+        swapped = small_topology.with_latency(MatrixLatencyModel(matrix))
+        config = _config({"JP": 1})
+        assert swapped.acl_ms("dc-pune", config) == 50.0
+        # The original is untouched.
+        assert small_topology.acl_ms("dc-pune", config) != 50.0
+
+
+class TestClosestDc:
+    def test_home_country_maps_to_local_dc(self, topology):
+        assert topology.closest_dc("JP") == "dc-tokyo"
+        assert topology.closest_dc("IN") == "dc-pune"
+        assert topology.closest_dc("DE") == "dc-frankfurt"
+
+    def test_dcless_country_maps_to_neighbour(self, topology):
+        assert topology.closest_dc("ID") == "dc-singapore"
+        assert topology.closest_dc("SE") in ("dc-amsterdam", "dc-frankfurt")
+
+    def test_cached_consistency(self, topology):
+        assert topology.closest_dc("TH") == topology.closest_dc("TH")
+
+
+class TestFeasibleDcs:
+    def test_local_config_has_local_candidates(self, topology):
+        dcs = topology.feasible_dcs(_config({"JP": 3}))
+        assert "dc-tokyo" in dcs
+        # Region scoping: only APAC DCs for an intra-Japan call.
+        assert all(topology.fleet.dc(dc).region == "apac" for dc in dcs)
+
+    def test_threshold_filters(self, topology):
+        config = _config({"JP": 3})
+        tight = topology.feasible_dcs(config, threshold_ms=5.0)
+        assert tight == ["dc-tokyo"]
+
+    def test_fallback_when_nothing_feasible(self, topology):
+        config = _config({"JP": 1, "BR": 1})
+        dcs = topology.feasible_dcs(config, threshold_ms=1.0)
+        assert len(dcs) == 1  # min-ACL fallback (§5.3 Note)
+
+    def test_exclusion_respected(self, topology):
+        config = _config({"JP": 3})
+        dcs = topology.feasible_dcs(config, exclude=("dc-tokyo",))
+        assert "dc-tokyo" not in dcs
+        assert dcs  # someone else still hosts it
+
+    def test_all_excluded_raises(self, topology):
+        config = _config({"JP": 3})
+        with pytest.raises(TopologyError):
+            topology.feasible_dcs(config, exclude=tuple(topology.fleet.ids))
+
+    def test_region_widening_when_region_fully_excluded(self, topology):
+        config = _config({"JP": 3})
+        apac = tuple(topology.dcs_in_region("apac"))
+        dcs = topology.feasible_dcs(config, exclude=apac)
+        assert dcs  # widened beyond the region rather than failing
+        assert all(dc not in apac for dc in dcs)
+
+    def test_no_region_restriction_widens_pool(self, topology):
+        config = _config({"JP": 3})
+        scoped = set(topology.feasible_dcs(config))
+        unscoped = set(topology.feasible_dcs(config, restrict_regions=False))
+        assert scoped <= unscoped
+
+
+class TestBestDc:
+    def test_best_is_min_acl(self, topology):
+        config = _config({"JP": 2, "KR": 1})
+        best = topology.best_dc(config)
+        candidates = topology.dcs_in_region("apac")
+        acls = {dc: topology.acl_ms(dc, config) for dc in candidates}
+        assert acls[best] == min(acls.values())
+
+    def test_best_dc_excludes(self, topology):
+        config = _config({"JP": 3})
+        assert topology.best_dc(config) == "dc-tokyo"
+        assert topology.best_dc(config, exclude=("dc-tokyo",)) != "dc-tokyo"
+
+
+class TestCosts:
+    def test_dc_cost_lookup(self, topology):
+        assert topology.dc_cost("dc-pune") < topology.dc_cost("dc-singapore")
+
+    def test_wan_cost_lookup(self, topology):
+        link = topology.wan.links[0]
+        assert topology.wan_cost(link.link_id) == link.unit_cost
+
+    def test_region_of_country(self, topology):
+        assert topology.region_of_country("JP") == "apac"
+        assert topology.region_of_country("US") == "americas"
+
+    def test_region_dcs_for_multi_region_config(self, topology):
+        config = _config({"JP": 2, "GB": 1})
+        dcs = topology.region_dcs_for(config)
+        regions = {topology.fleet.dc(dc).region for dc in dcs}
+        assert regions == {"apac", "emea"}
+
+
+class TestAclCache:
+    def test_acl_cache_consistency(self, topology):
+        config = _config({"JP": 2, "IN": 1})
+        first = topology.acl_ms("dc-tokyo", config)
+        second = topology.acl_ms("dc-tokyo", config)
+        assert first == second
+        assert first == pytest.approx(topology.latency.acl("dc-tokyo", config))

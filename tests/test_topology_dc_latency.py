@@ -1,0 +1,122 @@
+"""Tests for datacenters and the latency models."""
+
+import pytest
+
+from repro.core.errors import TopologyError
+from repro.core.types import CallConfig, MediaType
+from repro.topology.datacenter import Datacenter, DatacenterFleet
+from repro.topology.geo import World
+from repro.topology.latency import GeodesicLatencyModel, MatrixLatencyModel
+
+
+@pytest.fixture(scope="module")
+def world():
+    return World.default()
+
+
+@pytest.fixture(scope="module")
+def fleet(world):
+    return DatacenterFleet.default(world)
+
+
+class TestFleet:
+    def test_default_fleet_size(self, fleet):
+        assert len(fleet) == 15
+
+    def test_unknown_dc_raises(self, fleet):
+        with pytest.raises(TopologyError):
+            fleet.dc("dc-nowhere")
+
+    def test_duplicate_dc_rejected(self, world):
+        dc = Datacenter.in_country("dc-x", world.country("JP"), 1.0)
+        with pytest.raises(TopologyError):
+            DatacenterFleet([dc, dc])
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(TopologyError):
+            DatacenterFleet([])
+
+    def test_non_positive_cost_rejected(self, world):
+        with pytest.raises(TopologyError):
+            Datacenter.in_country("dc-x", world.country("JP"), 0.0)
+
+    def test_in_region(self, fleet):
+        apac = fleet.in_region("apac")
+        assert all(dc.region == "apac" for dc in apac)
+        assert {"dc-tokyo", "dc-pune"} <= {dc.dc_id for dc in apac}
+
+    def test_us_dcs_have_distinct_coordinates(self, fleet):
+        """Regression: both US DCs once shared the country's reference
+        point, making their latencies tie everywhere."""
+        east = fleet.dc("dc-virginia")
+        west = fleet.dc("dc-california")
+        assert abs(east.lon - west.lon) > 30.0
+
+    def test_iteration_sorted(self, fleet):
+        ids = [dc.dc_id for dc in fleet]
+        assert ids == sorted(ids)
+
+
+class TestGeodesicLatency:
+    def test_colocated_dc_has_base_latency(self, world, fleet):
+        model = GeodesicLatencyModel(world, fleet)
+        assert model.latency_ms("dc-tokyo", "JP") == pytest.approx(3.0, abs=0.1)
+
+    def test_monotone_in_distance(self, world, fleet):
+        model = GeodesicLatencyModel(world, fleet)
+        assert (model.latency_ms("dc-tokyo", "KR")
+                < model.latency_ms("dc-tokyo", "IN")
+                < model.latency_ms("dc-tokyo", "BR"))
+
+    def test_acl_is_participant_weighted_mean(self, world, fleet):
+        model = GeodesicLatencyModel(world, fleet)
+        config = CallConfig.build({"JP": 3, "IN": 1}, MediaType.AUDIO)
+        expected = (3 * model.latency_ms("dc-tokyo", "JP")
+                    + model.latency_ms("dc-tokyo", "IN")) / 4
+        assert model.acl("dc-tokyo", config) == pytest.approx(expected)
+
+    def test_invalid_parameters_rejected(self, world, fleet):
+        with pytest.raises(TopologyError):
+            GeodesicLatencyModel(world, fleet, ms_per_km=0.0)
+
+    def test_dc_to_dc(self, world, fleet):
+        model = GeodesicLatencyModel(world, fleet)
+        assert model.dc_to_dc_ms("dc-tokyo", "dc-tokyo") == pytest.approx(3.0)
+        assert model.dc_to_dc_ms("dc-tokyo", "dc-seoul") == pytest.approx(
+            model.dc_to_dc_ms("dc-seoul", "dc-tokyo")
+        )
+
+    def test_unknown_names_raise(self, world, fleet):
+        model = GeodesicLatencyModel(world, fleet)
+        with pytest.raises(TopologyError):
+            model.latency_ms("dc-nowhere", "JP")
+        with pytest.raises(TopologyError):
+            model.latency_ms("dc-tokyo", "XX")
+
+
+class TestMatrixLatency:
+    def test_lookup(self):
+        model = MatrixLatencyModel({("dc-a", "US"): 12.0})
+        assert model.latency_ms("dc-a", "US") == 12.0
+
+    def test_missing_pair_raises(self):
+        model = MatrixLatencyModel({("dc-a", "US"): 12.0})
+        with pytest.raises(TopologyError):
+            model.latency_ms("dc-a", "CA")
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(TopologyError):
+            MatrixLatencyModel({("dc-a", "US"): -1.0})
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(TopologyError):
+            MatrixLatencyModel({})
+
+    def test_acl_from_matrix(self):
+        model = MatrixLatencyModel({("dc-a", "US"): 10.0, ("dc-a", "CA"): 30.0})
+        config = CallConfig.build({"US": 1, "CA": 1}, MediaType.AUDIO)
+        assert model.acl("dc-a", config) == pytest.approx(20.0)
+
+    def test_pairs_sorted(self):
+        model = MatrixLatencyModel({("b", "Y"): 1.0, ("a", "X"): 2.0})
+        assert model.pairs() == [("a", "X"), ("b", "Y")]

@@ -1,0 +1,97 @@
+"""Tests for the geography substrate."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import TopologyError
+from repro.topology.geo import REGIONS, Country, World, haversine_km
+
+_LAT = st.floats(min_value=-89.0, max_value=89.0)
+_LON = st.floats(min_value=-180.0, max_value=180.0)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_km(10.0, 20.0, 10.0, 20.0) == 0.0
+
+    def test_known_distance_tokyo_london(self):
+        d = haversine_km(35.68, 139.69, 51.51, -0.13)
+        assert 9300 < d < 9800  # great-circle ~9560 km
+
+    def test_antipodal_bounded_by_half_circumference(self):
+        d = haversine_km(0.0, 0.0, 0.0, 180.0)
+        assert d == pytest.approx(20015, rel=0.01)
+
+    @given(_LAT, _LON, _LAT, _LON)
+    def test_symmetry(self, lat1, lon1, lat2, lon2):
+        assert haversine_km(lat1, lon1, lat2, lon2) == pytest.approx(
+            haversine_km(lat2, lon2, lat1, lon1)
+        )
+
+    @given(_LAT, _LON, _LAT, _LON)
+    def test_non_negative_and_bounded(self, lat1, lon1, lat2, lon2):
+        d = haversine_km(lat1, lon1, lat2, lon2)
+        assert 0.0 <= d <= 20038.0  # half Earth circumference
+
+
+class TestCountry:
+    def test_local_hour_wraps(self):
+        jp = Country("JP", "Japan", 35.0, 139.0, 9.0, "apac", 1.0)
+        assert jp.local_hour(0.0) == 9.0
+        assert jp.local_hour(20.0) == 5.0  # 20 + 9 = 29 -> 5
+
+    def test_negative_offset(self):
+        us = Country("US", "USA", 38.0, -77.0, -5.0, "americas", 1.0)
+        assert us.local_hour(3.0) == 22.0
+
+
+class TestWorld:
+    def test_default_world_loads(self):
+        world = World.default()
+        assert len(world) == 24
+        assert "JP" in world and "US" in world
+
+    def test_unknown_country_raises(self):
+        with pytest.raises(TopologyError):
+            World.default().country("XX")
+
+    def test_duplicate_code_rejected(self):
+        country = Country("JP", "Japan", 35.0, 139.0, 9.0, "apac", 1.0)
+        with pytest.raises(TopologyError):
+            World([country, country])
+
+    def test_unknown_region_rejected(self):
+        with pytest.raises(TopologyError):
+            World([Country("ZZ", "Z", 0.0, 0.0, 0.0, "mars", 1.0)])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(TopologyError):
+            World([Country("ZZ", "Z", 0.0, 0.0, 0.0, "apac", -1.0)])
+
+    def test_empty_world_rejected(self):
+        with pytest.raises(TopologyError):
+            World([])
+
+    def test_regions_partition_default_world(self):
+        world = World.default()
+        by_region = [c.code for region in REGIONS for c in world.in_region(region)]
+        assert sorted(by_region) == world.codes
+
+    def test_in_region_unknown_raises(self):
+        with pytest.raises(TopologyError):
+            World.default().in_region("atlantis")
+
+    def test_distance_between_countries(self):
+        world = World.default()
+        assert world.distance_km("JP", "JP") == 0.0
+        assert world.distance_km("JP", "KR") == pytest.approx(
+            world.distance_km("KR", "JP")
+        )
+        assert world.distance_km("JP", "BR") > world.distance_km("JP", "KR")
+
+    def test_total_weight_positive(self):
+        assert World.default().total_weight() > 0
+
+    def test_codes_sorted(self):
+        codes = World.default().codes
+        assert codes == sorted(codes)

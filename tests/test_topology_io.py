@@ -1,0 +1,113 @@
+"""Tests for topology serialization (custom-world support)."""
+
+import json
+
+import pytest
+
+from repro.core.errors import TopologyError
+from repro.topology.builder import Topology
+from repro.topology.io import (
+    dump_topology,
+    load_topology,
+    topology_from_dict,
+    topology_to_dict,
+)
+
+
+class TestRoundTrip:
+    def test_default_world_round_trips(self, topology):
+        restored = topology_from_dict(topology_to_dict(topology))
+        assert restored.world.codes == topology.world.codes
+        assert restored.fleet.ids == topology.fleet.ids
+        # Latencies rebuilt identically (same coordinates, same model).
+        assert restored.latency.latency_ms("dc-tokyo", "IN") == pytest.approx(
+            topology.latency.latency_ms("dc-tokyo", "IN")
+        )
+        # Derived WAN identical (same construction knobs).
+        assert {l.link_id for l in restored.wan.links} == {
+            l.link_id for l in topology.wan.links
+        }
+
+    def test_json_serializable(self, topology):
+        json.dumps(topology_to_dict(topology))
+
+    def test_file_round_trip(self, topology, tmp_path):
+        path = str(tmp_path / "world.json")
+        dump_topology(topology, path)
+        restored = load_topology(path)
+        assert restored.fleet.ids == topology.fleet.ids
+
+    def test_small_world_round_trips(self, small_topology):
+        restored = topology_from_dict(topology_to_dict(small_topology))
+        assert len(restored.world) == 3
+        assert restored.closest_dc("JP") == small_topology.closest_dc("JP")
+
+
+class TestCustomWorld:
+    def _minimal(self):
+        return {
+            "version": 1,
+            "countries": [
+                {"code": "AA", "name": "Aland", "lat": 10.0, "lon": 20.0,
+                 "utc_offset_h": 1.0, "region": "emea", "user_weight": 2.0},
+                {"code": "BB", "name": "Bland", "lat": 12.0, "lon": 25.0,
+                 "utc_offset_h": 2.0, "region": "emea", "user_weight": 1.0},
+            ],
+            "datacenters": [
+                {"dc_id": "dc-aa", "country_code": "AA", "core_cost": 1.0,
+                 "lat": 10.0, "lon": 20.0},
+                {"dc_id": "dc-bb", "country_code": "BB", "core_cost": 1.2,
+                 "lat": 12.0, "lon": 25.0},
+            ],
+            "wan": {"dc_degree": 1, "country_homing": 2},
+        }
+
+    def test_custom_world_builds_and_routes(self):
+        topology = topology_from_dict(self._minimal())
+        assert topology.closest_dc("AA") == "dc-aa"
+        assert topology.wan.path("dc-aa", "BB")
+
+    def test_custom_world_provisions(self):
+        """A user-supplied world drives the full pipeline."""
+        from repro.core.types import make_slots
+        from repro.switchboard import Switchboard
+        from repro.workload.arrivals import DemandModel
+        from repro.workload.configs import generate_population
+
+        topology = topology_from_dict(self._minimal())
+        population = generate_population(topology.world, n_configs=10, seed=1)
+        demand = DemandModel(
+            topology.world, population, calls_per_slot_at_peak=20.0
+        ).expected(make_slots(4 * 1800.0, 1800.0))
+        plan = Switchboard(topology, max_link_scenarios=0).provision(
+            demand, with_backup=True
+        )
+        assert plan.total_cores() > 0
+
+    def test_missing_fields_rejected(self):
+        doc = self._minimal()
+        del doc["countries"][0]["region"]
+        with pytest.raises(TopologyError):
+            topology_from_dict(doc)
+
+    def test_unknown_version_rejected(self):
+        doc = self._minimal()
+        doc["version"] = 9
+        with pytest.raises(TopologyError):
+            topology_from_dict(doc)
+
+    def test_dc_in_unknown_country_rejected(self):
+        doc = self._minimal()
+        doc["datacenters"][0]["country_code"] = "ZZ"
+        with pytest.raises(TopologyError):
+            topology_from_dict(doc)
+
+    def test_non_positive_core_cost_rejected(self):
+        doc = self._minimal()
+        doc["datacenters"][0]["core_cost"] = 0.0
+        with pytest.raises(TopologyError):
+            topology_from_dict(doc)
+
+    def test_empty_document_rejected(self):
+        with pytest.raises(TopologyError):
+            topology_from_dict({"version": 1, "countries": [], "datacenters": []})

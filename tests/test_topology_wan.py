@@ -1,0 +1,122 @@
+"""Tests for the WAN graph: links, paths, failures."""
+
+import pytest
+
+from repro.core.errors import TopologyError
+from repro.topology.datacenter import DatacenterFleet
+from repro.topology.geo import World
+from repro.topology.wan import WanNetwork
+
+
+@pytest.fixture(scope="module")
+def world():
+    return World.default()
+
+
+@pytest.fixture(scope="module")
+def wan(world):
+    return WanNetwork(world, DatacenterFleet.default(world))
+
+
+class TestConstruction:
+    def test_invalid_parameters(self, world):
+        fleet = DatacenterFleet.default(world)
+        with pytest.raises(TopologyError):
+            WanNetwork(world, fleet, dc_degree=0)
+        with pytest.raises(TopologyError):
+            WanNetwork(world, fleet, country_homing=0)
+
+    def test_every_country_reachable_from_every_dc(self, wan, world):
+        for dc_id in ("dc-tokyo", "dc-virginia", "dc-london"):
+            for country in world.codes:
+                assert len(wan.path(dc_id, country)) >= 1
+
+    def test_links_sorted_and_unique(self, wan):
+        ids = [link.link_id for link in wan.links]
+        assert ids == sorted(ids)
+        assert len(ids) == len(set(ids))
+
+    def test_inter_country_flags(self, wan):
+        for link in wan.links:
+            # A link between dc-tokyo and JP's edge node is intra-country.
+            if link.endpoints == frozenset(("dc-tokyo", "JP")):
+                assert not link.inter_country
+            if link.endpoints == frozenset(("dc-tokyo", "dc-seoul")):
+                assert link.inter_country
+
+    def test_longer_links_cost_more(self, wan):
+        links = sorted(wan.links, key=lambda l: l.distance_km)
+        assert links[0].unit_cost < links[-1].unit_cost
+
+
+class TestPaths:
+    def test_path_links_exist(self, wan):
+        for link_id in wan.path("dc-tokyo", "IN"):
+            wan.link(link_id)  # must not raise
+
+    def test_path_endpoints_connect(self, wan):
+        path = wan.path("dc-virginia", "BR")
+        first, last = wan.link(path[0]), wan.link(path[-1])
+        assert "dc-virginia" in first.endpoints
+        assert "BR" in last.endpoints
+
+    def test_colocated_path_is_single_access_link(self, wan):
+        path = wan.path("dc-tokyo", "JP")
+        assert len(path) == 1
+        assert not wan.link(path[0]).inter_country
+
+    def test_in_path(self, wan):
+        path = wan.path("dc-tokyo", "IN")
+        for link_id in path:
+            assert wan.in_path(link_id, "dc-tokyo", "IN")
+        other = [l.link_id for l in wan.links if l.link_id not in path]
+        assert not wan.in_path(other[0], "dc-tokyo", "IN")
+
+    def test_unknown_endpoints_raise(self, wan):
+        with pytest.raises(TopologyError):
+            wan.path("dc-nowhere", "JP")
+        with pytest.raises(TopologyError):
+            wan.path("dc-tokyo", "XX")
+
+    def test_path_distance_positive(self, wan):
+        assert wan.path_distance_km("dc-tokyo", "IN") > 0
+
+    def test_exclude_link_reroutes(self, wan):
+        path = wan.path("dc-tokyo", "IN")
+        # Excluding a mid-path backbone link must produce a different path
+        # that avoids it (the access link may be unavoidable).
+        for link_id in path:
+            if wan.is_bridge(link_id):
+                continue
+            alternate = wan.path("dc-tokyo", "IN", exclude_link=link_id)
+            assert link_id not in alternate
+            break
+
+    def test_excluding_only_access_link_of_single_homed_pair_raises(self, wan):
+        # If a (dc, country) pair's every path crosses one bridge link,
+        # excluding it must raise rather than fabricate a path.
+        bridges = [l for l in wan.links if wan.is_bridge(l.link_id)]
+        if not bridges:
+            pytest.skip("default WAN has no bridges")
+        link = bridges[0]
+        # Removing a bridge disconnects the graph; any path that needed
+        # it must now raise.
+        node_a, node_b = sorted(link.endpoints)
+        country = node_b if node_b.isupper() and len(node_b) == 2 else None
+        if country is None:
+            pytest.skip("bridge does not touch a country edge node")
+        dc = node_a
+        if dc not in [d for d in (node_a,) if d.startswith("dc-")]:
+            pytest.skip("bridge does not touch a DC")
+        with pytest.raises(TopologyError):
+            wan.path(dc, country, exclude_link=link.link_id)
+
+    def test_links_touching_dc(self, wan):
+        touching = wan.links_touching_dc("dc-tokyo")
+        assert touching
+        assert all("dc-tokyo" in link.endpoints for link in touching)
+        with pytest.raises(TopologyError):
+            wan.links_touching_dc("dc-nowhere")
+
+    def test_path_cached_deterministic(self, wan):
+        assert wan.path("dc-london", "ZA") == wan.path("dc-london", "ZA")

@@ -1,0 +1,45 @@
+"""Tests for unit helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.units import (
+    DEFAULT_FREEZE_WINDOW_S,
+    DEFAULT_LATENCY_THRESHOLD_MS,
+    DEFAULT_SLOT_S,
+    approx_equal,
+    gbps_to_mbps,
+    mbps_to_gbps,
+    normalize,
+)
+
+
+def test_paper_constants():
+    assert DEFAULT_LATENCY_THRESHOLD_MS == 120.0   # §5.3
+    assert DEFAULT_FREEZE_WINDOW_S == 300.0        # §6.4, A = 5 minutes
+    assert DEFAULT_SLOT_S == 1800.0                # §5.2, 30-minute buckets
+
+
+def test_bandwidth_conversions():
+    assert mbps_to_gbps(1000.0) == 1.0
+    assert gbps_to_mbps(2.5) == 2500.0
+
+
+@given(st.floats(min_value=0.0, max_value=1e9))
+def test_conversion_roundtrip(mbps):
+    assert gbps_to_mbps(mbps_to_gbps(mbps)) == pytest.approx(mbps)
+
+
+def test_normalize():
+    assert normalize([2.0, 4.0], 2.0) == [1.0, 2.0]
+
+
+def test_normalize_zero_baseline_raises():
+    with pytest.raises(ZeroDivisionError):
+        normalize([1.0], 0.0)
+
+
+def test_approx_equal():
+    assert approx_equal(1.0, 1.0 + 1e-9)
+    assert not approx_equal(1.0, 1.1)
+    assert approx_equal(0.0, 0.0)

@@ -1,0 +1,168 @@
+"""Tests for Demand matrices, the demand model, and trace generation."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import WorkloadError
+from repro.core.types import CallConfig, MediaType, make_slots
+from repro.workload.arrivals import Demand, DemandModel
+from repro.workload.trace import TraceGenerator
+
+
+class TestDemand:
+    def _demand(self):
+        slots = make_slots(3600.0, 1800.0)
+        configs = [
+            CallConfig.build({"US": 2}, MediaType.AUDIO),
+            CallConfig.build({"JP": 3}, MediaType.VIDEO),
+        ]
+        counts = np.array([[1.0, 2.0], [3.0, 4.0]])
+        return Demand(slots, configs, counts)
+
+    def test_shape_validation(self):
+        slots = make_slots(3600.0, 1800.0)
+        configs = [CallConfig.build({"US": 2}, MediaType.AUDIO)]
+        with pytest.raises(WorkloadError):
+            Demand(slots, configs, np.zeros((3, 1)))
+
+    def test_negative_counts_rejected(self):
+        slots = make_slots(1800.0, 1800.0)
+        configs = [CallConfig.build({"US": 2}, MediaType.AUDIO)]
+        with pytest.raises(WorkloadError):
+            Demand(slots, configs, np.array([[-1.0]]))
+
+    def test_duplicate_configs_rejected(self):
+        slots = make_slots(1800.0, 1800.0)
+        config = CallConfig.build({"US": 2}, MediaType.AUDIO)
+        with pytest.raises(WorkloadError):
+            Demand(slots, [config, config], np.ones((1, 2)))
+
+    def test_count_lookup(self):
+        demand = self._demand()
+        config = demand.configs[1]
+        assert demand.count(0, config) == 2.0
+        assert demand.count(1, config) == 4.0
+
+    def test_config_series(self):
+        demand = self._demand()
+        series = demand.config_series(demand.configs[0])
+        assert series.tolist() == [1.0, 3.0]
+
+    def test_total_calls(self):
+        assert self._demand().total_calls() == 10.0
+
+    def test_restrict(self):
+        demand = self._demand()
+        sub = demand.restrict([demand.configs[1]])
+        assert sub.n_configs == 1
+        assert sub.total_calls() == 6.0
+
+    def test_scale(self):
+        scaled = self._demand().scale(2.0)
+        assert scaled.total_calls() == 20.0
+        with pytest.raises(WorkloadError):
+            self._demand().scale(-1.0)
+
+    def test_contains(self):
+        demand = self._demand()
+        assert demand.configs[0] in demand
+        assert CallConfig.build({"DE": 9}, MediaType.AUDIO) not in demand
+
+
+class TestDemandModel:
+    def test_expected_scales_with_peak(self, topology, population, day_slots):
+        small = DemandModel(topology.world, population, calls_per_slot_at_peak=50.0)
+        big = DemandModel(topology.world, population, calls_per_slot_at_peak=100.0)
+        ratio = big.expected(day_slots).total_calls() / small.expected(day_slots).total_calls()
+        assert ratio == pytest.approx(2.0)
+
+    def test_invalid_scale_rejected(self, topology, population):
+        with pytest.raises(WorkloadError):
+            DemandModel(topology.world, population, calls_per_slot_at_peak=0.0)
+
+    def test_sample_mean_tracks_expectation(self, demand_model, day_slots):
+        expected = demand_model.expected(day_slots)
+        sampled = demand_model.sample(day_slots, seed=1)
+        assert sampled.total_calls() == pytest.approx(
+            expected.total_calls(), rel=0.1
+        )
+
+    def test_sample_deterministic_by_seed(self, demand_model, day_slots):
+        a = demand_model.sample(day_slots, seed=1)
+        b = demand_model.sample(day_slots, seed=1)
+        assert np.array_equal(a.counts, b.counts)
+
+    def test_sample_counts_are_integral(self, demand_model, day_slots):
+        sampled = demand_model.sample(day_slots, seed=2)
+        assert np.array_equal(sampled.counts, np.round(sampled.counts))
+
+    def test_demand_follows_majority_timezone(self, topology, population,
+                                              demand_model, day_slots):
+        """A Japan-majority config should peak in Japan's morning (UTC
+        early hours), not America's."""
+        expected = demand_model.expected(day_slots)
+        jp_configs = [
+            c for c in expected.configs
+            if c.majority_country == "JP" and c.is_intra_country()
+        ]
+        if not jp_configs:
+            pytest.skip("no intra-JP config in this population")
+        series = expected.config_series(jp_configs[0])
+        peak_slot = int(np.argmax(series))
+        assert 0 <= peak_slot <= 16  # 00:00-08:00 UTC
+
+
+class TestTraceGenerator:
+    def test_trace_matches_demand_counts(self, sampled_demand, trace):
+        assert len(trace) == int(sampled_demand.total_calls())
+
+    def test_calls_sorted_by_start(self, trace):
+        starts = [call.start_s for call in trace]
+        assert starts == sorted(starts)
+
+    def test_first_joiner_offset_zero(self, trace):
+        for call in list(trace)[:200]:
+            assert call.first_joiner.join_offset_s == 0.0
+
+    def test_media_matches_config(self, trace):
+        for call in list(trace)[:200]:
+            media = call.config().media
+            participant_media = {p.media for p in call.participants}
+            assert media in participant_media
+
+    def test_majority_matches_first_joiner_mostly(self, trace):
+        assert trace.majority_matches_first_joiner_rate() > 0.9
+
+    def test_join_cdf_monotone(self, trace):
+        cdf = trace.join_cdf(900.0, points=10)
+        values = [v for _, v in cdf]
+        assert values == sorted(values)
+        assert 0.75 <= dict(cdf)[300.0] <= 0.95 if 300.0 in dict(cdf) else True
+
+    def test_fraction_joined_by_freeze(self, trace):
+        offsets = trace.join_offsets()
+        fraction = float((offsets <= 300.0).mean())
+        assert 0.75 <= fraction <= 0.95  # "about 80%" (Fig 8)
+
+    def test_to_demand_reaggregates_exactly(self, sampled_demand, trace):
+        rebuilt = trace.to_demand()
+        assert rebuilt.total_calls() == pytest.approx(sampled_demand.total_calls())
+        # Every rebuilt config must exist in the source demand.
+        for config in rebuilt.configs:
+            assert config in sampled_demand
+
+    def test_to_demand_with_freeze_can_differ(self, trace):
+        full = trace.to_demand()
+        frozen = trace.to_demand(freeze_after_s=300.0)
+        assert frozen.total_calls() == full.total_calls()
+
+    def test_empty_demand_yields_empty_trace_error(self):
+        slots = make_slots(1800.0, 1800.0)
+        config = CallConfig.build({"US": 2}, MediaType.AUDIO)
+        demand = __import__("repro.workload.arrivals", fromlist=["Demand"]).Demand(
+            slots, [config], np.zeros((1, 1))
+        )
+        generated = TraceGenerator(seed=1).generate(demand)
+        assert len(generated) == 0
+        with pytest.raises(WorkloadError):
+            generated.to_demand()

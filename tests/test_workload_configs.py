@@ -1,0 +1,130 @@
+"""Tests for the call-config population generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import WorkloadError
+from repro.core.types import CallConfig, MediaType
+from repro.workload.configs import ConfigEntry, ConfigPopulation, generate_population
+
+
+class TestConfigPopulation:
+    def _entries(self, weights):
+        return [
+            ConfigEntry(
+                CallConfig.build({"US": i + 2}, MediaType.AUDIO), w, 0.1
+            )
+            for i, w in enumerate(weights)
+        ]
+
+    def test_sorted_by_weight(self):
+        population = ConfigPopulation(self._entries([1.0, 5.0, 3.0]))
+        weights = [e.weight for e in population]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            ConfigPopulation([])
+
+    def test_zero_total_weight_rejected(self):
+        with pytest.raises(WorkloadError):
+            ConfigPopulation(self._entries([0.0, 0.0]))
+
+    def test_normalized_weights_sum_to_one(self):
+        population = ConfigPopulation(self._entries([1.0, 2.0, 3.0]))
+        assert population.normalized_weights().sum() == pytest.approx(1.0)
+
+    def test_top_fraction(self):
+        population = ConfigPopulation(self._entries([4.0, 3.0, 2.0, 1.0]))
+        top = population.top_fraction(0.5)
+        assert len(top) == 2
+        assert top.entries[0].weight == 4.0
+
+    def test_top_fraction_bounds(self):
+        population = ConfigPopulation(self._entries([1.0, 2.0]))
+        with pytest.raises(WorkloadError):
+            population.top_fraction(0.0)
+        with pytest.raises(WorkloadError):
+            population.top_fraction(1.5)
+        assert len(population.top_fraction(0.001)) == 1  # at least one
+
+    def test_coverage_curve_monotone(self):
+        population = ConfigPopulation(self._entries([8.0, 4.0, 2.0, 1.0]))
+        curve = population.coverage_curve([0.25, 0.5, 1.0])
+        values = list(curve.values())
+        assert values == sorted(values)
+        assert values[-1] == pytest.approx(1.0)
+
+
+class TestGeneratePopulation:
+    @pytest.fixture(scope="class")
+    def world(self, topology):
+        return topology.world
+
+    def test_deterministic_for_seed(self, world):
+        a = generate_population(world, n_configs=50, seed=3)
+        b = generate_population(world, n_configs=50, seed=3)
+        assert a.configs == b.configs
+
+    def test_different_seeds_differ(self, world):
+        a = generate_population(world, n_configs=50, seed=3)
+        b = generate_population(world, n_configs=50, seed=4)
+        assert a.configs != b.configs
+
+    def test_per_country_mass_tracks_user_weight(self, world):
+        population = generate_population(world, n_configs=400, seed=3)
+        mass = {}
+        for entry in population:
+            home = entry.config.majority_country
+            mass[home] = mass.get(home, 0.0) + entry.weight
+        us = world.country("US")
+        ar = world.country("AR")
+        ratio = mass["US"] / mass["AR"]
+        expected = us.user_weight / ar.user_weight
+        assert ratio == pytest.approx(expected, rel=0.4)
+
+    def test_multi_country_configs_have_strong_majority(self, world):
+        population = generate_population(world, n_configs=300, seed=3)
+        for entry in population:
+            config = entry.config
+            if config.is_intra_country():
+                continue
+            majority = config.count_for(config.majority_country)
+            assert majority >= config.participant_count - majority
+
+    def test_no_two_person_international_calls(self, world):
+        """1-1 cross-country calls have no majority; the generator avoids
+        them so the §5.4 majority machinery stays meaningful."""
+        population = generate_population(world, n_configs=300, seed=3)
+        for entry in population:
+            if not entry.config.is_intra_country():
+                assert entry.config.participant_count >= 3
+
+    def test_invalid_args(self, world):
+        with pytest.raises(WorkloadError):
+            generate_population(world, n_configs=0)
+        with pytest.raises(WorkloadError):
+            generate_population(world, zipf_exponent=1.0)
+
+    def test_coverage_steepens_with_exponent(self, world):
+        shallow = generate_population(world, n_configs=800, seed=3,
+                                      zipf_exponent=1.3)
+        steep = generate_population(world, n_configs=800, seed=3,
+                                    zipf_exponent=2.5)
+        assert (steep.coverage_curve([0.01])[0.01]
+                > shallow.coverage_curve([0.01])[0.01])
+
+    def test_growth_rates_vary(self, world):
+        population = generate_population(world, n_configs=100, seed=3)
+        rates = [entry.growth_rate for entry in population]
+        assert max(rates) - min(rates) > 0.1  # the Fig 7b spread
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=1, max_value=200))
+    def test_media_types_valid_property(self, n):
+        from repro.topology.geo import World
+        population = generate_population(World.default(), n_configs=n, seed=1)
+        for entry in population:
+            assert isinstance(entry.config.media, MediaType)
+            assert entry.weight > 0

@@ -1,0 +1,111 @@
+"""Tests for the media load model (Table 1) and the diurnal demand model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import WorkloadError
+from repro.core.types import CallConfig, MediaType, make_slots
+from repro.workload.diurnal import DiurnalModel, DiurnalProfile
+from repro.workload.media import MediaLoadModel
+
+
+class TestMediaLoadModel:
+    def test_relative_table_within_paper_ranges(self):
+        table = MediaLoadModel().relative_table()
+        assert table["audio"] == {"CL": 1.0, "NL": 1.0, "NL/CL": 1.0}
+        assert 1.0 <= table["screen_share"]["CL"] <= 2.0
+        assert 10.0 <= table["screen_share"]["NL"] <= 20.0
+        assert 10.0 <= table["screen_share"]["NL/CL"] <= 15.0
+        assert 2.0 <= table["video"]["CL"] <= 4.0
+        assert 30.0 <= table["video"]["NL"] <= 40.0
+        assert 15.0 <= table["video"]["NL/CL"] <= 20.0
+
+    def test_call_cores_scales_with_participants(self):
+        model = MediaLoadModel()
+        small = CallConfig.build({"US": 2}, MediaType.VIDEO)
+        large = CallConfig.build({"US": 8}, MediaType.VIDEO)
+        assert model.call_cores(large) == pytest.approx(4 * model.call_cores(small))
+
+    def test_leg_mbps_by_media(self):
+        model = MediaLoadModel()
+        audio = CallConfig.build({"US": 2}, MediaType.AUDIO)
+        video = CallConfig.build({"US": 2}, MediaType.VIDEO)
+        assert model.leg_mbps(video) == pytest.approx(35 * model.leg_mbps(audio))
+
+    def test_invalid_loads_rejected(self):
+        with pytest.raises(WorkloadError):
+            MediaLoadModel(cl_cores={MediaType.AUDIO: 1.0})  # missing types
+        with pytest.raises(WorkloadError):
+            MediaLoadModel(cl_cores={m: 0.0 for m in MediaType})
+
+    def test_offload_order_is_audio_first(self):
+        order = MediaLoadModel.offload_order()
+        assert order[0] is MediaType.AUDIO
+        assert order[-1] is MediaType.VIDEO
+
+
+class TestDiurnalProfile:
+    def test_shape_peaks_at_morning(self):
+        profile = DiurnalProfile()
+        assert profile.shape(profile.morning_peak_h) > profile.shape(3.0)
+
+    def test_night_floor(self):
+        profile = DiurnalProfile()
+        assert profile.shape(3.0) >= profile.night_floor
+
+    @given(st.floats(min_value=0.0, max_value=24.0))
+    def test_shape_positive_and_bounded(self, hour):
+        value = DiurnalProfile().shape(hour)
+        assert 0.0 < value <= 2.0
+
+
+class TestDiurnalModel:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return DiurnalModel()
+
+    def test_peaks_shift_with_timezone(self, topology, model):
+        jp = model.peak_utc_hour(topology.world.country("JP"))
+        hk = model.peak_utc_hour(topology.world.country("HK"))
+        india = model.peak_utc_hour(topology.world.country("IN"))
+        us = model.peak_utc_hour(topology.world.country("US"))
+        assert jp < hk < india < us  # the Fig 3 ordering, extended
+
+    def test_peak_near_local_morning(self, topology, model):
+        country = topology.world.country("IN")
+        peak_utc = model.peak_utc_hour(country)
+        local = (peak_utc + country.utc_offset_h) % 24
+        assert abs(local - 10.5) < 1.5
+
+    def test_weekend_suppression(self, topology, model):
+        country = topology.world.country("DE")
+        monday_noon = 11 * 3600.0
+        saturday_noon = 5 * 86400.0 + 11 * 3600.0
+        assert model.intensity(country, saturday_noon) < 0.5 * model.intensity(
+            country, monday_noon
+        )
+
+    def test_intensity_scales_with_user_weight(self, topology, model):
+        us = topology.world.country("US")
+        ar = topology.world.country("AR")
+        # Compare at each country's own local noon to isolate the weight.
+        t_us = ((12 - us.utc_offset_h) % 24) * 3600.0
+        t_ar = ((12 - ar.utc_offset_h) % 24) * 3600.0
+        ratio = model.intensity(us, t_us) / model.intensity(ar, t_ar)
+        assert ratio == pytest.approx(us.user_weight / ar.user_weight, rel=0.01)
+
+    def test_negative_time_rejected(self, topology, model):
+        with pytest.raises(WorkloadError):
+            model.intensity(topology.world.country("US"), -1.0)
+
+    def test_bad_weekday_factors_rejected(self):
+        with pytest.raises(WorkloadError):
+            DiurnalModel(weekday_factors=(1.0, 1.0))
+        with pytest.raises(WorkloadError):
+            DiurnalModel(weekday_factors=(1,) * 6 + (-0.5,))
+
+    def test_daily_series_length(self, topology, model):
+        slots = make_slots(86400.0)
+        series = model.daily_series(topology.world.country("JP"), slots)
+        assert len(series) == 48
+        assert all(v >= 0 for v in series)

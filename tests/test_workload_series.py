@@ -1,0 +1,115 @@
+"""Tests for recurring meeting series generation."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import WorkloadError
+from repro.workload.series import MeetingSeries, SeriesMember, generate_series
+
+
+@pytest.fixture(scope="module")
+def series_list(topology):
+    return generate_series(topology.world, n_series=40, occurrences=10, seed=9)
+
+
+class TestSeriesMember:
+    def test_probability_uses_last_two_bits(self):
+        member = SeriesMember("p", "US", "regular", {
+            (1, 1): 0.9, (0, 1): 0.7, (1, 0): 0.3, (0, 0): 0.1,
+        })
+        assert member.probability([1, 1]) == 0.9
+        assert member.probability([0, 1, 1, 0]) == 0.3
+        assert member.probability([]) == 0.9  # padded with "attended"
+
+    def test_short_history_padding(self):
+        member = SeriesMember("p", "US", "regular", {
+            (1, 1): 0.9, (0, 1): 0.7, (1, 0): 0.3, (0, 0): 0.1,
+        })
+        # One bit of history: padded to (1, bit).
+        assert member.probability([0]) == 0.3
+        assert member.probability([1]) == 0.9
+
+
+class TestGenerateSeries:
+    def test_counts(self, series_list):
+        assert len(series_list) == 40
+        for series in series_list:
+            assert series.n_occurrences == 10
+            assert len(series.members) >= 4
+
+    def test_invalid_args(self, topology):
+        with pytest.raises(WorkloadError):
+            generate_series(topology.world, n_series=0)
+        with pytest.raises(WorkloadError):
+            generate_series(topology.world, occurrences=2)
+
+    def test_every_occurrence_has_attendees(self, series_list):
+        for series in series_list:
+            for occurrence in range(series.n_occurrences):
+                assert sum(series.attendance[occurrence]) >= 1
+
+    def test_instance_config_matches_attendance(self, series_list):
+        series = series_list[0]
+        config = series.instance_config(0)
+        assert config.participant_count == sum(series.attendance[0])
+        assert config.media is series.media
+
+    def test_member_history_length(self, series_list):
+        series = series_list[0]
+        assert len(series.member_history(0)) == series.n_occurrences
+
+    def test_attendance_is_sticky_for_regulars(self, series_list):
+        """P(attend | attended twice) should far exceed
+        P(attend | missed twice), aggregated over regular members."""
+        after_11, after_00 = [], []
+        for series in series_list:
+            for m, member in enumerate(series.members):
+                if member.archetype != "regular":
+                    continue
+                history = series.member_history(m)
+                for t in range(2, len(history)):
+                    if history[t - 2] == 1 and history[t - 1] == 1:
+                        after_11.append(history[t])
+                    elif history[t - 2] == 0 and history[t - 1] == 0:
+                        after_00.append(history[t])
+        assert np.mean(after_11) > np.mean(after_00) + 0.3
+
+    def test_alternators_alternate(self, series_list):
+        """Alternators in small (non-town-hall) series flip more often
+        than they repeat."""
+        flips, total = 0, 0
+        for series in series_list:
+            if len(series.members) > 40:
+                continue
+            for m, member in enumerate(series.members):
+                if member.archetype != "alternator":
+                    continue
+                history = series.member_history(m)
+                for a, b in zip(history, history[1:]):
+                    flips += a != b
+                    total += 1
+        if total == 0:
+            pytest.skip("no alternators in sample")
+        assert flips / total > 0.6
+
+    def test_town_halls_swing(self, topology):
+        """Large series' total attendance must swing between consecutive
+        instances (the §8 baseline-killer)."""
+        series_list = generate_series(topology.world, n_series=100,
+                                      occurrences=8, seed=10)
+        town_halls = [s for s in series_list if len(s.members) > 60]
+        if not town_halls:
+            pytest.skip("no town halls generated")
+        series = town_halls[0]
+        totals = [sum(bits) for bits in series.attendance]
+        swings = [abs(a - b) for a, b in zip(totals, totals[1:])]
+        assert max(swings) > 0.3 * len(series.members)
+
+    def test_empty_instance_config_raises(self):
+        member = SeriesMember("p", "US", "casual", {
+            (1, 1): 0.5, (0, 1): 0.5, (1, 0): 0.5, (0, 0): 0.5,
+        })
+        from repro.core.types import MediaType
+        series = MeetingSeries("s", [member], MediaType.AUDIO, attendance=[[0]])
+        with pytest.raises(WorkloadError):
+            series.instance_config(0)
