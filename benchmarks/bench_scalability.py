@@ -7,11 +7,15 @@ paper optimizes over call configs instead of individual calls (§5.1's
 "30x fewer configs than calls").
 """
 
+import os
+import time
+
 import pytest
 
 from repro.core.types import make_slots
 from repro.provisioning.demand import PlacementData
 from repro.provisioning.formulation import ScenarioLP
+from repro.provisioning.planner import CapacityPlanner
 from repro.topology.builder import Topology
 from repro.workload.arrivals import DemandModel
 from repro.workload.configs import generate_population
@@ -40,3 +44,56 @@ def test_f0_lp_scaling(benchmark, topology, n_configs):
         rounds=2, iterations=1, warmup_rounds=0,
     )
     assert result.cores
+    benchmark.extra_info["assembly_s"] = round(result.stats.assembly_seconds, 4)
+    benchmark.extra_info["solver_s"] = round(result.stats.solver_seconds, 4)
+    benchmark.extra_info["nnz"] = result.stats.nnz
+
+
+def test_parallel_scenario_sweep(benchmark, topology):
+    """The max-combining planner sweep: workers=4 vs sequential.
+
+    Every failure scenario is an independent LP in ``method="max"``, so
+    the sweep fans out over a process pool.  On a multi-core box the
+    4-worker sweep must finish in at most half the sequential wall-clock;
+    on a single-core container (no physical parallelism possible) the
+    speedup is only reported, not asserted.  Either way the parallel plan
+    must be identical to the sequential one.
+    """
+    population = generate_population(topology.world, n_configs=40, seed=61)
+    demand = DemandModel(
+        topology.world, population, DiurnalModel(),
+        calls_per_slot_at_peak=200.0,
+    ).expected(make_slots(86400.0))
+    placement = PlacementData(topology, demand.configs)
+    planner = CapacityPlanner(placement, demand)
+
+    start = time.perf_counter()
+    sequential = planner.plan_with_backup(method="max")
+    sequential_s = time.perf_counter() - start
+
+    # Timed directly (not via benchmark.stats) so the comparison also
+    # works under --benchmark-disable, where no stats are collected.
+    start = time.perf_counter()
+    parallel = benchmark.pedantic(
+        lambda: planner.plan_with_backup(method="max", workers=4),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    parallel_s = time.perf_counter() - start
+    speedup = sequential_s / parallel_s if parallel_s > 0 else 0.0
+
+    aggregate = parallel.aggregate_stats()
+    benchmark.extra_info["n_scenarios"] = len(parallel.scenario_results)
+    benchmark.extra_info["sequential_s"] = round(sequential_s, 3)
+    benchmark.extra_info["speedup_at_4_workers"] = round(speedup, 2)
+    benchmark.extra_info["lp_rows_total"] = aggregate.n_rows
+    benchmark.extra_info["lp_assembly_s"] = round(aggregate.assembly_seconds, 3)
+    benchmark.extra_info["lp_solver_s"] = round(aggregate.solver_seconds, 3)
+
+    # Deterministic merge: parallel == sequential within LP tolerance.
+    for dc_id, cores in sequential.cores.items():
+        assert abs(parallel.cores.get(dc_id, 0.0) - cores) < 1e-6
+    for link_id, gbps in sequential.link_gbps.items():
+        assert abs(parallel.link_gbps.get(link_id, 0.0) - gbps) < 1e-6
+    assert all(r.stats.n_rows > 0 for r in parallel.scenario_results)
+    if (os.cpu_count() or 1) >= 4:
+        assert speedup >= 2.0

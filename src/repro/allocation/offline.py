@@ -15,13 +15,16 @@ plan — the quantity a production system would alarm on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Tuple
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
 
 from repro.core.types import CallConfig
 from repro.allocation.plan import AllocationPlan
 from repro.provisioning.demand import PlacementData
-from repro.provisioning.lp import LinearProgram
+from repro.provisioning.lp import LinearProgram, SolveStats
 from repro.provisioning.planner import CapacityPlan
 from repro.workload.arrivals import Demand
 
@@ -45,6 +48,7 @@ class AllocationOutcome:
     compute_overflow_cores: float
     network_overflow_gbps: float
     objective_acl_sum: float
+    stats: SolveStats = field(default_factory=SolveStats)
 
     @property
     def overflowed(self) -> bool:
@@ -59,55 +63,125 @@ class AllocationOptimizer:
         self.capacity = capacity
 
     def allocate(self, demand: Demand) -> AllocationOutcome:
+        """Assemble (batched, slot axis vectorized) and solve the LP."""
+        t_build = time.perf_counter()
         lp = LinearProgram()
-        compute_rows: Dict[Tuple[int, str], int] = {}
-        network_rows: Dict[Tuple[int, str], int] = {}
-        overflow_keys = []
+        counts = demand.counts
+        n_slots = demand.n_slots
 
-        for t in range(demand.n_slots):
-            for j, config in enumerate(demand.configs):
-                count = demand.counts[t, j]
-                if count <= 0:
-                    continue
-                completeness_row = lp.equal.new_row(count)
-                guess_dc = self.placement.topology.closest_dc(
-                    config.majority_country
+        # Pass 1 — which (slot, DC) / (slot, link) capacity rows exist.
+        active = counts > 0
+        active_slots: List[np.ndarray] = []
+        dc_mask: Dict[str, np.ndarray] = {}
+        link_mask: Dict[str, np.ndarray] = {}
+        options_by_config = {}
+        for j, config in enumerate(demand.configs):
+            slots_j = np.nonzero(active[:, j])[0]
+            active_slots.append(slots_j)
+            options = self.placement.options(config)
+            options_by_config[config] = options
+            if slots_j.size == 0:
+                continue
+            for option in options:
+                if option.dc_id not in dc_mask:
+                    dc_mask[option.dc_id] = np.zeros(n_slots, dtype=bool)
+                dc_mask[option.dc_id][slots_j] = True
+                for link_id in option.link_gbps:
+                    if link_id not in link_mask:
+                        link_mask[link_id] = np.zeros(n_slots, dtype=bool)
+                    link_mask[link_id][slots_j] = True
+
+        # Capacity rows carry an expensive overflow slack each, so the LP
+        # always solves and reports how far demand outran the plan.
+        compute_row: Dict[str, np.ndarray] = {}
+        for dc_id in sorted(dc_mask):
+            slots = np.nonzero(dc_mask[dc_id])[0]
+            cap = self.capacity.cores.get(dc_id, 0.0)
+            start = lp.less_equal.new_rows(np.full(slots.size, cap))
+            rows = np.arange(start, start + slots.size)
+            over_start = lp.variables.add_batch(
+                [("over_cp", int(t), dc_id) for t in slots],
+                objective=_OVERFLOW_PENALTY,
+            )
+            lp.less_equal.add_terms(
+                rows, np.arange(over_start, over_start + slots.size), -1.0
+            )
+            row_of = np.full(n_slots, -1, dtype=np.int64)
+            row_of[slots] = rows
+            compute_row[dc_id] = row_of
+
+        network_row: Dict[str, np.ndarray] = {}
+        for link_id in sorted(link_mask):
+            slots = np.nonzero(link_mask[link_id])[0]
+            cap = self.capacity.link_gbps.get(link_id, 0.0)
+            start = lp.less_equal.new_rows(np.full(slots.size, cap))
+            rows = np.arange(start, start + slots.size)
+            over_start = lp.variables.add_batch(
+                [("over_np", int(t), link_id) for t in slots],
+                objective=_OVERFLOW_PENALTY,
+            )
+            lp.less_equal.add_terms(
+                rows, np.arange(over_start, over_start + slots.size), -1.0
+            )
+            row_of = np.full(n_slots, -1, dtype=np.int64)
+            row_of[slots] = rows
+            network_row[link_id] = row_of
+
+        # Pass 2 — S variables, one contiguous block (option-major ×
+        # active slots) and four batched appends per config.
+        for j, config in enumerate(demand.configs):
+            slots_j = active_slots[j]
+            if slots_j.size == 0:
+                continue
+            n_active = slots_j.size
+            slot_list = slots_j.tolist()
+            options = options_by_config[config]
+            eq_start = lp.equal.new_rows(counts[slots_j, j])
+            eq_rows = np.arange(eq_start, eq_start + n_active)
+            guess_dc = self.placement.topology.closest_dc(
+                config.majority_country
+            )
+
+            keys = [
+                ("S", t, j, option.dc_id)
+                for option in options for t in slot_list
+            ]
+            objective = np.repeat(
+                [option.acl_ms - (_GUESS_ALIGNMENT_BONUS_MS
+                                  if option.dc_id == guess_dc else 0.0)
+                 for option in options],
+                n_active,
+            )
+            col_start = lp.variables.add_batch(keys, objective=objective)
+            cols = np.arange(
+                col_start, col_start + len(options) * n_active
+            ).reshape(len(options), n_active)
+
+            lp.equal.add_terms(np.tile(eq_rows, len(options)), cols.ravel(), 1.0)
+            lp.less_equal.add_terms(
+                np.concatenate([
+                    compute_row[option.dc_id][slots_j] for option in options
+                ]),
+                cols.ravel(),
+                np.repeat([option.cores_per_call for option in options],
+                          n_active),
+            )
+            link_rows, link_cols, link_vals = [], [], []
+            for k, option in enumerate(options):
+                for link_id, gbps in option.link_gbps.items():
+                    link_rows.append(network_row[link_id][slots_j])
+                    link_cols.append(cols[k])
+                    link_vals.append(gbps)
+            if link_rows:
+                lp.less_equal.add_terms(
+                    np.concatenate(link_rows),
+                    np.concatenate(link_cols),
+                    np.repeat(link_vals, n_active),
                 )
-                for option in self.placement.options(config):
-                    objective = option.acl_ms
-                    if option.dc_id == guess_dc:
-                        objective -= _GUESS_ALIGNMENT_BONUS_MS
-                    col = lp.variables.add(
-                        ("S", t, j, option.dc_id), objective=objective
-                    )
-                    lp.equal.add_term(completeness_row, col, 1.0)
 
-                    row = compute_rows.get((t, option.dc_id))
-                    if row is None:
-                        cap = self.capacity.cores.get(option.dc_id, 0.0)
-                        row = lp.less_equal.new_row(cap)
-                        over_key = ("over_cp", t, option.dc_id)
-                        over_col = lp.variables.add(over_key, objective=_OVERFLOW_PENALTY)
-                        overflow_keys.append(over_key)
-                        lp.less_equal.add_term(row, over_col, -1.0)
-                        compute_rows[(t, option.dc_id)] = row
-                    lp.less_equal.add_term(row, col, option.cores_per_call)
-
-                    for link_id, gbps in option.link_gbps.items():
-                        row = network_rows.get((t, link_id))
-                        if row is None:
-                            cap = self.capacity.link_gbps.get(link_id, 0.0)
-                            row = lp.less_equal.new_row(cap)
-                            over_key = ("over_np", t, link_id)
-                            over_col = lp.variables.add(
-                                over_key, objective=_OVERFLOW_PENALTY
-                            )
-                            overflow_keys.append(over_key)
-                            lp.less_equal.add_term(row, over_col, -1.0)
-                            network_rows[(t, link_id)] = row
-                        lp.less_equal.add_term(row, col, gbps)
-
-        solution = lp.solve(description="daily allocation LP")
+        assembly_seconds = time.perf_counter() - t_build
+        solution = lp.solve(description="daily allocation LP",
+                            assembly_seconds=assembly_seconds)
 
         shares: Dict[Tuple[int, CallConfig], Dict[str, float]] = {}
         acl_sum = 0.0
@@ -134,4 +208,5 @@ class AllocationOptimizer:
             compute_overflow_cores=compute_overflow,
             network_overflow_gbps=network_overflow,
             objective_acl_sum=acl_sum,
+            stats=solution.stats,
         )

@@ -14,6 +14,7 @@ from repro.provisioning.lp import (
     ConstraintSet,
     LinearProgram,
     LPSolution,
+    SolveStats,
     VariableRegistry,
 )
 from repro.provisioning.planner import CapacityPlan, CapacityPlanner
@@ -31,6 +32,7 @@ __all__ = [
     "PlacementOption",
     "ScenarioLP",
     "ScenarioResult",
+    "SolveStats",
     "VariableRegistry",
     "diurnal_background",
     "enumerate_compound_scenarios",

@@ -53,6 +53,30 @@ class BackgroundTraffic:
         series = self._usage.get(link_id)
         return float(series[slot_index]) if series is not None else 0.0
 
+    def series(self, link_id: str) -> np.ndarray:
+        """The full per-slot series for one link (zeros when absent)."""
+        series = self._usage.get(link_id)
+        if series is None:
+            return np.zeros(self.n_slots)
+        return series.copy()
+
+    def divided_by(self, divisor: float) -> "BackgroundTraffic":
+        """This traffic with every series divided by ``divisor``.
+
+        The provisioning LP conditions its inputs by dividing them by a
+        common scale before assembly (see :meth:`ScenarioLP.solve`);
+        background traffic enters the same constraint rows, so it must be
+        rescaled by the same divisor to preserve the LP's positive
+        homogeneity exactly.  Division (not multiplication by the
+        reciprocal) keeps subnormal scales finite.
+        """
+        if divisor <= 0:
+            raise TopologyError("scale divisor must be positive")
+        return BackgroundTraffic(
+            {link_id: series / divisor for link_id, series in self._usage.items()},
+            self.n_slots,
+        )
+
     def peak(self, link_id: str) -> float:
         series = self._usage.get(link_id)
         return float(series.max()) if series is not None else 0.0

@@ -19,36 +19,53 @@ from __future__ import annotations
 
 from typing import Dict, Mapping
 
+import numpy as np
+
 from repro.core.errors import SolverError
-from repro.provisioning.lp import LinearProgram
+from repro.provisioning.lp import LinearProgram, conditioning_scale
 
 
 def solve_backup_lp(serving: Mapping[str, float]) -> Dict[str, float]:
     """Minimal per-DC backup capacity surviving any single DC failure.
 
     ``serving`` maps DC id to its provisioned serving cores (or Gbps —
-    the LP is unit-agnostic).  Returns the backup capacity per DC.  With a
-    single DC no other site can back it up, which the paper's failure
-    model simply cannot cover; that degenerate input is rejected.
+    the LP is unit-agnostic, and positively homogeneous: the input is
+    divided by a conditioning scale before the solve and the answer
+    rescaled, so sub-tolerance serving values do not get zeroed by
+    presolve.  The scale is the geometric mean of the smallest and
+    largest positive servings — see
+    :func:`~repro.provisioning.lp.conditioning_scale` — which keeps
+    wide-dynamic-range inputs like ``{a: 611, b: 6e-5}`` clear of the
+    tolerance at both ends).
+    Returns the backup capacity per DC.  With a single DC no other site
+    can back it up, which the paper's failure model simply cannot cover;
+    that degenerate input is rejected.
     """
     if len(serving) < 2:
         raise SolverError("backup against DC failure needs at least two DCs")
     if any(value < 0 for value in serving.values()):
         raise SolverError("serving capacities must be non-negative")
 
+    dc_ids = sorted(serving)
+    required = np.array([float(serving[dc_id]) for dc_id in dc_ids])
+    if required.max() <= 0:
+        return {dc_id: 0.0 for dc_id in serving}
+    scale = conditioning_scale(required)
+
     lp = LinearProgram()
-    for dc_id in sorted(serving):
-        lp.variables.add(("Backup", dc_id), objective=1.0)
-    for dc_id, required in sorted(serving.items()):
-        # Serving_x <= sum_{y != x} Backup_y   ==>   -sum Backup_y <= -Serving_x
-        terms = [
-            (lp.variables[("Backup", other)], -1.0)
-            for other in sorted(serving)
-            if other != dc_id
-        ]
-        lp.less_equal.add_row(terms, -float(required))
+    n = len(dc_ids)
+    lp.variables.add_batch([("Backup", dc_id) for dc_id in dc_ids],
+                           objective=1.0)
+    # Serving_x <= sum_{y != x} Backup_y   ==>   -sum Backup_y <= -Serving_x
+    start = lp.less_equal.new_rows(-required / scale)
+    rows = np.repeat(np.arange(n), n)
+    cols = np.tile(np.arange(n), n)
+    off_diagonal = rows != cols
+    lp.less_equal.add_terms(start + rows[off_diagonal], cols[off_diagonal], -1.0)
     solution = lp.solve(description="baseline backup LP")
-    return {dc_id: solution.value(("Backup", dc_id)) for dc_id in serving}
+    return {
+        dc_id: solution.value(("Backup", dc_id)) * scale for dc_id in serving
+    }
 
 
 def total_backup(serving: Mapping[str, float]) -> float:

@@ -78,6 +78,13 @@ class PlacementData:
         self._options: Dict[CallConfig, List[PlacementOption]] = {}
         for config in self.configs:
             self._options[config] = self._build_options(config, restrict_regions)
+        # Survivor-option memo keyed by (config, failed DCs, failed links).
+        # Scenario LPs ask for the same survivor sets once per slot and the
+        # planner asks again per scenario, so reroute/path work is cached
+        # here; callers treat the returned lists as read-only.
+        self._scenario_cache: Dict[
+            tuple, List[PlacementOption]
+        ] = {}
 
     def _build_options(self, config: CallConfig,
                        restrict_regions: bool) -> List[PlacementOption]:
@@ -113,15 +120,27 @@ class PlacementData:
         """Surviving options under a single failure (the §5.3 model)."""
         failed_dcs = (failed_dc,) if failed_dc is not None else ()
         failed_links = (failed_link,) if failed_link is not None else ()
-        return self._surviving_options(config, failed_dcs, failed_links)
+        return self._cached_surviving_options(config, failed_dcs, failed_links)
 
     def options_under_scenario(self, config: CallConfig,
                                scenario) -> List[PlacementOption]:
         """Surviving options under any :class:`FailureScenario`, including
-        compound ones (multiple DCs/links down at once)."""
-        return self._surviving_options(
+        compound ones (multiple DCs/links down at once).  Results are
+        memoized per (config, failure set) across slots and scenarios."""
+        return self._cached_surviving_options(
             config, scenario.all_failed_dcs, scenario.all_failed_links
         )
+
+    def _cached_surviving_options(self, config: CallConfig,
+                                  failed_dcs: Sequence[str],
+                                  failed_links: Sequence[str]
+                                  ) -> List[PlacementOption]:
+        key = (config, tuple(failed_dcs), tuple(failed_links))
+        cached = self._scenario_cache.get(key)
+        if cached is None:
+            cached = self._surviving_options(config, failed_dcs, failed_links)
+            self._scenario_cache[key] = cached
+        return cached
 
     def _surviving_options(self, config: CallConfig,
                            failed_dcs: Sequence[str],

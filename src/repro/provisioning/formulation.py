@@ -30,20 +30,44 @@ serving peak is free when the Japan-failure scenario reuses it as backup
 at 00:00.  The planner feeds scenarios through in sequence, growing the
 base, which realises Eqs 7-8's max-combining while keeping every capacity
 unit priced exactly once.
+
+**Numerical conditioning.**  HiGHS applies absolute feasibility
+tolerances (~1e-7); demand below that scale is silently zeroed in
+presolve, breaking the positive homogeneity the formulation assumes
+(``cost(α·D) = α·cost(D)``).  :meth:`ScenarioLP.solve` therefore divides
+every absolute input (demand, base capacities, DC core limits,
+background traffic — they share constraint rows) by a common
+conditioning scale before assembly, so the LP is *exactly* the original
+problem rescaled, and multiplies the solution (shares, capacities, cost)
+back afterwards.  The scale is the geometric mean of the inputs'
+smallest and largest positive entries (see
+:func:`~repro.provisioning.lp.conditioning_scale`), which keeps wide
+dynamic ranges centered instead of pushing the small end under the
+tolerance the way max-normalization would.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Tuple
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple
 
+import numpy as np
 
 from repro.core.errors import SolverError
 from repro.core.types import CallConfig
 from repro.provisioning.demand import PlacementData
 from repro.provisioning.failures import NO_FAILURE, FailureScenario
-from repro.provisioning.lp import LinearProgram, LPSolution
+from repro.provisioning.lp import (
+    LinearProgram,
+    LPSolution,
+    SolveStats,
+    conditioning_scale,
+)
 from repro.workload.arrivals import Demand
+
+if TYPE_CHECKING:
+    from repro.provisioning.background import BackgroundTraffic
 
 
 @dataclass
@@ -52,7 +76,8 @@ class ScenarioResult:
 
     ``cores``/``link_gbps`` are the *total* capacity this scenario needs
     (base + excess); ``excess_cores``/``excess_links`` are what it needed
-    beyond the base it was given.
+    beyond the base it was given.  ``stats`` records the LP's size and
+    where its wall-clock time went.
     """
 
     scenario: FailureScenario
@@ -62,6 +87,7 @@ class ScenarioResult:
     excess_links: Dict[str, float]
     shares: Dict[Tuple[int, CallConfig], Dict[str, float]]
     cost: float
+    stats: SolveStats = field(default_factory=SolveStats)
 
     def mean_acl_ms(self, placement: PlacementData, demand: Demand) -> float:
         """Demand-weighted mean ACL of this scenario's allocation."""
@@ -117,10 +143,44 @@ class ScenarioLP:
     def _survivor_options(self, config: CallConfig):
         return self.placement.options_under_scenario(config, self.scenario)
 
+    def _normalized(self, divisor: float) -> "ScenarioLP":
+        """A copy of this problem with every absolute quantity ÷ divisor.
+
+        Because the LP is positively homogeneous, the copy's optimum is
+        exactly the original optimum ÷ divisor — but solved at a magnitude
+        HiGHS's absolute tolerances handle well.  Division (rather than
+        multiplying by ``1/divisor``) stays finite for subnormal scales.
+        """
+        return ScenarioLP(
+            self.placement,
+            Demand(self.demand.slots, self.demand.configs,
+                   self.demand.counts / divisor),
+            self.scenario,
+            base_cores={k: v / divisor for k, v in self.base_cores.items()},
+            base_links={k: v / divisor for k, v in self.base_links.items()},
+            latency_weight=self.latency_weight,
+            background=(
+                self.background.divided_by(divisor)
+                if self.background is not None else None
+            ),
+            dc_core_limits={
+                k: v / divisor for k, v in self.dc_core_limits.items()
+            },
+        )
+
     def build(self) -> LinearProgram:
+        """Assemble the LP with numpy-batched appends.
+
+        The slot axis is vectorized: each (config, option) contributes
+        one contiguous block of ``S`` variables across its active slots,
+        appended to the completeness / compute / network rows as whole
+        arrays rather than per-slot Python triplets.
+        """
         lp = LinearProgram()
         topology = self.placement.topology
         demand = self.demand
+        counts = demand.counts
+        n_slots = demand.n_slots
 
         # Capacity variables only for DCs/links that can actually be used.
         used_dcs = set()
@@ -149,44 +209,106 @@ class ScenarioLP:
         for link_id in sorted(used_links):
             lp.variables.add(("NP", link_id), objective=topology.wan_cost(link_id))
 
-        compute_rows: Dict[Tuple[int, str], int] = {}
-        network_rows: Dict[Tuple[int, str], int] = {}
+        # Pass 1 — which (slot, DC) and (slot, link) capacity rows exist:
+        # a row is needed for every slot where some config with demand has
+        # an option touching that DC/link.
+        active = counts > 0  # (n_slots, n_configs)
+        dc_mask: Dict[str, np.ndarray] = {
+            dc_id: np.zeros(n_slots, dtype=bool) for dc_id in used_dcs
+        }
+        link_mask: Dict[str, np.ndarray] = {
+            link_id: np.zeros(n_slots, dtype=bool) for link_id in used_links
+        }
+        active_slots: List[np.ndarray] = []
+        for j, config in enumerate(demand.configs):
+            slots_j = np.nonzero(active[:, j])[0]
+            active_slots.append(slots_j)
+            if slots_j.size == 0:
+                continue
+            for option in options_by_config[config]:
+                dc_mask[option.dc_id][slots_j] = True
+                for link_id in option.link_gbps:
+                    link_mask[link_id][slots_j] = True
 
-        for t in range(demand.n_slots):
-            for j, config in enumerate(demand.configs):
-                count = demand.counts[t, j]
-                if count <= 0:
-                    continue
-                options = options_by_config[config]
-                completeness_row = lp.equal.new_row(count)
-                for option in options:
-                    key = ("S", t, j, option.dc_id)
-                    objective = self.latency_weight * option.acl_ms
-                    col = lp.variables.add(key, objective=objective)
-                    lp.equal.add_term(completeness_row, col, 1.0)
+        # Create the capacity rows in one block per DC/link.  compute_row
+        # and network_row map slot index -> row id (-1 where unused).
+        compute_row: Dict[str, np.ndarray] = {}
+        for dc_id in sorted(used_dcs):
+            slots = np.nonzero(dc_mask[dc_id])[0]
+            if slots.size == 0:
+                continue
+            base = self.base_cores.get(dc_id, 0.0)
+            start = lp.less_equal.new_rows(np.full(slots.size, base))
+            rows = np.arange(start, start + slots.size)
+            lp.less_equal.add_terms(rows, lp.variables[("CP", dc_id)], -1.0)
+            row_of = np.full(n_slots, -1, dtype=np.int64)
+            row_of[slots] = rows
+            compute_row[dc_id] = row_of
 
-                    row = compute_rows.get((t, option.dc_id))
-                    if row is None:
-                        base = self.base_cores.get(option.dc_id, 0.0)
-                        row = lp.less_equal.new_row(base)
-                        lp.less_equal.add_term(
-                            row, lp.variables[("CP", option.dc_id)], -1.0
-                        )
-                        compute_rows[(t, option.dc_id)] = row
-                    lp.less_equal.add_term(row, col, option.cores_per_call)
+        network_row: Dict[str, np.ndarray] = {}
+        for link_id in sorted(used_links):
+            slots = np.nonzero(link_mask[link_id])[0]
+            if slots.size == 0:
+                continue
+            rhs = np.full(slots.size, self.base_links.get(link_id, 0.0))
+            if self.background is not None:
+                rhs -= self.background.series(link_id)[slots]
+            start = lp.less_equal.new_rows(rhs)
+            rows = np.arange(start, start + slots.size)
+            lp.less_equal.add_terms(rows, lp.variables[("NP", link_id)], -1.0)
+            row_of = np.full(n_slots, -1, dtype=np.int64)
+            row_of[slots] = rows
+            network_row[link_id] = row_of
 
-                    for link_id, gbps in option.link_gbps.items():
-                        row = network_rows.get((t, link_id))
-                        if row is None:
-                            base = self.base_links.get(link_id, 0.0)
-                            if self.background is not None:
-                                base -= self.background.gbps(link_id, t)
-                            row = lp.less_equal.new_row(base)
-                            lp.less_equal.add_term(
-                                row, lp.variables[("NP", link_id)], -1.0
-                            )
-                            network_rows[(t, link_id)] = row
-                        lp.less_equal.add_term(row, col, gbps)
+        # Pass 2 — S variables and their terms.  Each config contributes
+        # one contiguous variable block (option-major × active slots) and
+        # exactly four batched appends: completeness, compute, and one
+        # concatenated network append, so per-triplet Python overhead is
+        # gone from the hot path.
+        for j, config in enumerate(demand.configs):
+            slots_j = active_slots[j]
+            if slots_j.size == 0:
+                continue
+            n_active = slots_j.size
+            slot_list = slots_j.tolist()
+            options = options_by_config[config]
+            eq_start = lp.equal.new_rows(counts[slots_j, j])
+            eq_rows = np.arange(eq_start, eq_start + n_active)
+
+            keys = [
+                ("S", t, j, option.dc_id)
+                for option in options for t in slot_list
+            ]
+            objective = np.repeat(
+                [self.latency_weight * option.acl_ms for option in options],
+                n_active,
+            )
+            col_start = lp.variables.add_batch(keys, objective=objective)
+            cols = np.arange(
+                col_start, col_start + len(options) * n_active
+            ).reshape(len(options), n_active)
+
+            lp.equal.add_terms(np.tile(eq_rows, len(options)), cols.ravel(), 1.0)
+            lp.less_equal.add_terms(
+                np.concatenate([
+                    compute_row[option.dc_id][slots_j] for option in options
+                ]),
+                cols.ravel(),
+                np.repeat([option.cores_per_call for option in options],
+                          n_active),
+            )
+            link_rows, link_cols, link_vals = [], [], []
+            for k, option in enumerate(options):
+                for link_id, gbps in option.link_gbps.items():
+                    link_rows.append(network_row[link_id][slots_j])
+                    link_cols.append(cols[k])
+                    link_vals.append(gbps)
+            if link_rows:
+                lp.less_equal.add_terms(
+                    np.concatenate(link_rows),
+                    np.concatenate(link_cols),
+                    np.repeat(link_vals, n_active),
+                )
 
         if self.background is not None:
             # NP must cover the background's own peak even in slots where
@@ -201,24 +323,54 @@ class ScenarioLP:
         return lp
 
     def solve(self) -> ScenarioResult:
-        lp = self.build()
-        solution = lp.solve(description=f"provisioning[{self.scenario.name}]")
-        return self._extract(solution)
+        """Normalize, assemble, solve, and rescale (see module docstring)."""
+        t0 = time.perf_counter()
+        groups = [
+            self.demand.counts,
+            list(self.base_cores.values()),
+            list(self.base_links.values()),
+            list(self.dc_core_limits.values()),
+        ]
+        if self.background is not None:
+            groups.extend(
+                self.background.series(link_id)
+                for link_id in self.background.links()
+            )
+        scale = conditioning_scale(*groups)
+        problem = self._normalized(scale) if scale != 1.0 else self
+        lp = problem.build()
+        assembly_seconds = time.perf_counter() - t0
+        solution = lp.solve(
+            description=f"provisioning[{self.scenario.name}]",
+            assembly_seconds=assembly_seconds,
+        )
+        return self._extract(solution, problem.demand, scale)
 
-    def _extract(self, solution: LPSolution) -> ScenarioResult:
+    def _extract(self, solution: LPSolution, solved_demand: Demand,
+                 scale: float = 1.0) -> ScenarioResult:
+        """Map a (possibly normalized) solution back to original units.
+
+        ``solved_demand`` is the demand matrix the LP actually saw;
+        ``scale`` multiplies every solution quantity back to the caller's
+        units.  The share filter is *relative* to each slot's demand —
+        an absolute cutoff would drop every share of a sub-tolerance slot
+        and leave tiny-but-nonzero demand looking unhosted.
+        """
         excess_cores: Dict[str, float] = {}
         excess_links: Dict[str, float] = {}
         shares: Dict[Tuple[int, CallConfig], Dict[str, float]] = {}
         configs = self.demand.configs
+        solved_counts = solved_demand.counts
         for key, value in solution.values.items():
             kind = key[0]
             if kind == "CP":
-                excess_cores[key[1]] = value
+                excess_cores[key[1]] = value * scale
             elif kind == "NP":
-                excess_links[key[1]] = value
-            elif kind == "S" and value > 1e-9:
+                excess_links[key[1]] = value * scale
+            elif kind == "S":
                 _, t, j, dc_id = key
-                shares.setdefault((t, configs[j]), {})[dc_id] = value
+                if value > 0.0 and value >= 1e-9 * solved_counts[t, j]:
+                    shares.setdefault((t, configs[j]), {})[dc_id] = value * scale
 
         cores = dict(self.base_cores)
         for dc_id, extra in excess_cores.items():
@@ -240,4 +392,5 @@ class ScenarioLP:
             excess_links=excess_links,
             shares=shares,
             cost=cost,
+            stats=solution.stats,
         )

@@ -5,18 +5,126 @@ allocation-plan LP, the §3.2 backup LP — is assembled through this layer:
 a variable registry that hands out column indices by name, a constraint
 accumulator that collects COO triplets, and a ``solve`` wrapper that maps
 solver statuses onto the library's exception types.
+
+Two things make the layer fast enough for the planner's many-scenario
+sweeps:
+
+* **batched assembly** — ``VariableRegistry.add_batch`` and
+  ``ConstraintSet.new_rows``/``add_terms`` accept whole numpy arrays of
+  rows/columns/values, so formulations append one array per (config,
+  option) instead of one Python triplet per call;
+* **instrumentation** — every solve returns a :class:`SolveStats` record
+  (problem size, nnz, assembly and solver seconds, HiGHS status) so
+  benchmarks and the planner can report where wall-clock time goes.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 from scipy import sparse
 from scipy.optimize import linprog
 
 from repro.core.errors import InfeasibleError, SolverError
+
+
+#: Largest magnitude conditioning aims to leave in the problem data.
+#: HiGHS treats finite bounds beyond its ``infinite_bound`` threshold
+#: (~1e20) as infinite, turning huge-but-real requirements into
+#: infeasibility; 1e12 leaves headroom for O(1e3) cost coefficients on
+#: top without approaching that cliff.
+_MAX_CONDITIONED_VALUE = 1e12
+
+
+def conditioning_scale(*value_groups) -> float:
+    """Divisor that centers the inputs' positive dynamic range on 1.
+
+    HiGHS applies *absolute* feasibility tolerances (~1e-7): rows whose
+    right-hand side sits below that scale are silently zeroed in presolve.
+    Dividing every absolute input by the geometric mean of its smallest
+    and largest positive entries maps the range ``[lo, hi]`` onto the
+    symmetric window ``[sqrt(lo/hi), sqrt(hi/lo)]`` — both ends as far
+    from the tolerance cliff as the data's dynamic range allows.  (A plain
+    max-normalization fails on wide-range inputs: dividing ``[611, 6e-5]``
+    by 611 pushes the small entry to 1e-7, straight into presolve's
+    zeroing band.)
+
+    When the dynamic range is so wide that no divisor can hold both ends
+    (ratio beyond ~1e24), the scale is clamped so the *largest* value
+    lands at :data:`_MAX_CONDITIONED_VALUE`: exceeding HiGHS's
+    infinite-bound threshold makes the whole problem infeasible, whereas
+    entries 24 orders of magnitude below the largest are beneath any
+    meaningful tolerance whether conditioned or not.
+
+    Callers must apply the scale by *division*.  Multiplying by the
+    reciprocal overflows for subnormal inputs (``1.0 / 2.2e-313 == inf``),
+    while ``x / scale`` stays finite and exact at the extremes.
+
+    Each ``value_groups`` entry is array-like (arrays, dict-value lists,
+    scalars).  Non-finite and non-positive entries are ignored; with no
+    positive finite entry at all the scale is 1.0 (nothing to condition).
+    """
+    lo = np.inf
+    hi = 0.0
+    for group in value_groups:
+        values = np.asarray(group, dtype=float).ravel()
+        positive = values[(values > 0) & np.isfinite(values)]
+        if positive.size:
+            lo = min(lo, float(positive.min()))
+            hi = max(hi, float(positive.max()))
+    if hi <= 0.0:
+        return 1.0
+    scale = float(np.sqrt(lo) * np.sqrt(hi))
+    scale = max(scale, hi / _MAX_CONDITIONED_VALUE)
+    if not np.isfinite(scale) or scale <= 0.0:
+        return 1.0
+    return scale
+
+
+@dataclass
+class SolveStats:
+    """Observability record for one (or several merged) LP solves.
+
+    ``assembly_seconds`` covers formulation build plus COO→CSR conversion;
+    ``solver_seconds`` is the HiGHS call itself.  ``merge`` sums records,
+    which is how :class:`~repro.provisioning.planner.CapacityPlan`
+    aggregates a whole scenario sweep.
+    """
+
+    n_rows: int = 0
+    n_cols: int = 0
+    nnz: int = 0
+    assembly_seconds: float = 0.0
+    solver_seconds: float = 0.0
+    status: int = 0
+    n_solves: int = 1
+
+    @property
+    def total_seconds(self) -> float:
+        return self.assembly_seconds + self.solver_seconds
+
+    def merge(self, other: "SolveStats") -> "SolveStats":
+        """Sum of two records (sizes, times, and solve counts add)."""
+        return SolveStats(
+            n_rows=self.n_rows + other.n_rows,
+            n_cols=self.n_cols + other.n_cols,
+            nnz=self.nnz + other.nnz,
+            assembly_seconds=self.assembly_seconds + other.assembly_seconds,
+            solver_seconds=self.solver_seconds + other.solver_seconds,
+            status=max(self.status, other.status),
+            n_solves=self.n_solves + other.n_solves,
+        )
+
+    @classmethod
+    def combine(cls, records: Iterable["SolveStats"]) -> "SolveStats":
+        """Merge many records; the empty iterable gives a zero record."""
+        total = cls(n_solves=0)
+        for record in records:
+            total = total.merge(record)
+        return total
 
 
 class VariableRegistry:
@@ -39,6 +147,41 @@ class VariableRegistry:
         self._upper.append(upper)
         self._objective.append(objective)
         return index
+
+    def add_batch(self, keys: Sequence[Hashable],
+                  objective: Union[float, Sequence[float]] = 0.0,
+                  lower: float = 0.0,
+                  upper: Optional[float] = None) -> int:
+        """Register a block of variables at consecutive indices.
+
+        Returns the index of the first variable; key *i* of the block gets
+        index ``start + i``.  ``objective`` may be a scalar (shared) or a
+        per-key sequence.  Duplicate keys — within the batch or against
+        already-registered variables — are an error.
+        """
+        n = len(keys)
+        if n == 0:
+            return len(self._index)
+        start = len(self._index)
+        index = self._index
+        for offset, key in enumerate(keys):
+            if key in index:
+                raise SolverError(f"variable {key!r} registered twice")
+            index[key] = start + offset
+        if len(index) != start + n:
+            raise SolverError("duplicate keys inside add_batch block")
+        if np.isscalar(objective):
+            self._objective.extend([float(objective)] * n)
+        else:
+            coeffs = np.asarray(objective, dtype=float)
+            if coeffs.shape != (n,):
+                raise SolverError(
+                    f"objective batch has shape {coeffs.shape}, expected ({n},)"
+                )
+            self._objective.extend(coeffs.tolist())
+        self._lower.extend([lower] * n)
+        self._upper.extend([upper] * n)
+        return start
 
     def __getitem__(self, key: Hashable) -> int:
         try:
@@ -69,17 +212,30 @@ class VariableRegistry:
 
 
 class ConstraintSet:
-    """COO accumulator for one family (<= or ==) of linear constraints."""
+    """COO accumulator for one family (<= or ==) of linear constraints.
+
+    Scalar appends (``new_row``/``add_term``/``add_row``) and batched
+    numpy appends (``new_rows``/``add_terms``) can be mixed freely; the
+    matrix is materialized once in :meth:`matrix`.
+    """
 
     def __init__(self):
         self._rows: List[int] = []
         self._cols: List[int] = []
         self._vals: List[float] = []
+        self._chunks: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
         self._rhs: List[float] = []
 
     def new_row(self, rhs: float) -> int:
         self._rhs.append(rhs)
         return len(self._rhs) - 1
+
+    def new_rows(self, rhs: Sequence[float]) -> int:
+        """Append a block of rows; returns the first row's index."""
+        values = np.asarray(rhs, dtype=float).ravel()
+        start = len(self._rhs)
+        self._rhs.extend(values.tolist())
+        return start
 
     def add_term(self, row: int, col: int, value: float) -> None:
         if not 0 <= row < len(self._rhs):
@@ -88,19 +244,56 @@ class ConstraintSet:
         self._cols.append(col)
         self._vals.append(value)
 
+    def add_terms(self, rows, cols, values) -> None:
+        """Append a batch of COO triplets; scalars broadcast.
+
+        ``rows``/``cols``/``values`` are broadcast against each other, so
+        e.g. a whole column of identical coefficients is
+        ``add_terms(row_block, col_block, 1.0)``.
+        """
+        rows, cols, values = np.broadcast_arrays(
+            np.asarray(rows, dtype=np.int64),
+            np.asarray(cols, dtype=np.int64),
+            np.asarray(values, dtype=float),
+        )
+        if rows.size == 0:
+            return
+        if rows.min() < 0 or rows.max() >= len(self._rhs):
+            raise SolverError(
+                f"constraint rows [{rows.min()}, {rows.max()}] out of range "
+                f"(have {len(self._rhs)} rows)"
+            )
+        self._chunks.append((
+            rows.ravel().copy(), cols.ravel().copy(), values.ravel().copy()
+        ))
+
     def add_row(self, terms: Sequence[Tuple[int, float]], rhs: float) -> int:
         row = self.new_row(rhs)
         for col, value in terms:
             self.add_term(row, col, value)
         return row
 
+    def _triplets(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        rows = [np.asarray(self._rows, dtype=np.int64)]
+        cols = [np.asarray(self._cols, dtype=np.int64)]
+        vals = [np.asarray(self._vals, dtype=float)]
+        for chunk_rows, chunk_cols, chunk_vals in self._chunks:
+            rows.append(chunk_rows)
+            cols.append(chunk_cols)
+            vals.append(chunk_vals)
+        return np.concatenate(rows), np.concatenate(cols), np.concatenate(vals)
+
     def matrix(self, n_cols: int) -> Optional[sparse.csr_matrix]:
         if not self._rhs:
             return None
+        rows, cols, vals = self._triplets()
         return sparse.coo_matrix(
-            (self._vals, (self._rows, self._cols)),
-            shape=(len(self._rhs), n_cols),
+            (vals, (rows, cols)), shape=(len(self._rhs), n_cols)
         ).tocsr()
+
+    @property
+    def nnz(self) -> int:
+        return len(self._rows) + sum(chunk[0].size for chunk in self._chunks)
 
     @property
     def rhs(self) -> np.ndarray:
@@ -112,10 +305,11 @@ class ConstraintSet:
 
 @dataclass
 class LPSolution:
-    """A solved LP: objective value and per-variable values by key."""
+    """A solved LP: objective value, per-variable values, and solve stats."""
 
     objective: float
     values: Dict[Hashable, float]
+    stats: SolveStats = field(default_factory=SolveStats)
 
     def value(self, key: Hashable, default: float = 0.0) -> float:
         return self.values.get(key, default)
@@ -129,22 +323,33 @@ class LinearProgram:
         self.less_equal = ConstraintSet()
         self.equal = ConstraintSet()
 
-    def solve(self, description: str = "LP") -> LPSolution:
-        """Solve with HiGHS; raise typed errors on failure."""
+    def solve(self, description: str = "LP",
+              assembly_seconds: float = 0.0) -> LPSolution:
+        """Solve with HiGHS; raise typed errors on failure.
+
+        ``assembly_seconds`` lets callers fold their formulation-build
+        time into the returned :class:`SolveStats` (the matrix conversion
+        done here is added on top).
+        """
         n = len(self.variables)
         if n == 0:
             raise SolverError(f"{description}: no variables")
+        t0 = time.perf_counter()
         a_ub = self.less_equal.matrix(n)
         a_eq = self.equal.matrix(n)
+        c = self.variables.objective
+        bounds = self.variables.bounds
+        t1 = time.perf_counter()
         result = linprog(
-            c=self.variables.objective,
+            c=c,
             A_ub=a_ub,
             b_ub=self.less_equal.rhs if a_ub is not None else None,
             A_eq=a_eq,
             b_eq=self.equal.rhs if a_eq is not None else None,
-            bounds=self.variables.bounds,
+            bounds=bounds,
             method="highs",
         )
+        t2 = time.perf_counter()
         if result.status == 2:
             raise InfeasibleError(f"{description}: infeasible")
         if result.status != 0:
@@ -153,4 +358,13 @@ class LinearProgram:
             key: float(result.x[self.variables[key]])
             for key in self.variables.keys()
         }
-        return LPSolution(objective=float(result.fun), values=values)
+        stats = SolveStats(
+            n_rows=len(self.less_equal) + len(self.equal),
+            n_cols=n,
+            nnz=(a_ub.nnz if a_ub is not None else 0)
+            + (a_eq.nnz if a_eq is not None else 0),
+            assembly_seconds=assembly_seconds + (t1 - t0),
+            solver_seconds=t2 - t1,
+            status=int(result.status),
+        )
+        return LPSolution(objective=float(result.fun), values=values, stats=stats)

@@ -7,10 +7,25 @@ joint serving+backup multiplexing of §4.2 falls out of the max: capacity
 that scenario ``F_0`` provisions for India's 05:30 peak is the same
 capacity that scenario ``F_dc:tokyo`` reuses as Japan's 00:00 backup — it
 is only paid for once.
+
+Two sweep modes implement the combining:
+
+* ``combine="incremental"`` (default) — scenario *k* sees everything
+  scenarios 0..k-1 provisioned as free base capacity and pays only for
+  its excess.  The base grows as the sweep proceeds, so the scenarios are
+  **dependent** and the sweep is sequential by design.
+* ``combine="max"`` — every scenario is solved independently against an
+  empty base and the plan takes the element-wise maximum (the literal
+  Eqs 7-8).  The scenarios are independent LPs, so the sweep fans out
+  over a :class:`~concurrent.futures.ProcessPoolExecutor` when
+  ``workers > 1``; results are merged in deterministic scenario order
+  regardless of completion order.
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -18,6 +33,7 @@ from repro.core.errors import SolverError
 from repro.provisioning.demand import PlacementData
 from repro.provisioning.failures import NO_FAILURE, FailureScenario, enumerate_scenarios
 from repro.provisioning.formulation import ScenarioLP, ScenarioResult
+from repro.provisioning.lp import SolveStats
 from repro.topology.builder import Topology
 from repro.workload.arrivals import Demand
 
@@ -53,6 +69,17 @@ class CapacityPlan:
                 return result
         raise SolverError("plan has no F_0 scenario result")
 
+    def aggregate_stats(self) -> SolveStats:
+        """Merged :class:`SolveStats` over every scenario solve.
+
+        Sizes, nnz, and seconds sum across scenarios, so the record
+        answers "how much LP work did this plan cost, and was it spent
+        assembling or solving?".
+        """
+        return SolveStats.combine(
+            result.stats for result in self.scenario_results
+        )
+
     def fits(self, other: "CapacityPlan", tolerance: float = 1e-6) -> bool:
         """True when ``other``'s capacities fit inside this plan's."""
         for dc_id, cores in other.cores.items():
@@ -62,6 +89,27 @@ class CapacityPlan:
             if gbps > self.link_gbps.get(link_id, 0.0) + tolerance:
                 return False
         return True
+
+
+# ---------------------------------------------------------------------------
+# Process-pool plumbing for the independent-scenario ("max") sweep.  The
+# heavyweight shared inputs are shipped once per worker via the pool
+# initializer; each task then sends only its FailureScenario.
+# ---------------------------------------------------------------------------
+
+_WORKER_CONTEXT: dict = {}
+
+
+def _init_scenario_worker(placement, demand, background, dc_core_limits):
+    _WORKER_CONTEXT["args"] = (placement, demand, background, dc_core_limits)
+
+
+def _solve_scenario_in_worker(scenario: FailureScenario) -> ScenarioResult:
+    placement, demand, background, dc_core_limits = _WORKER_CONTEXT["args"]
+    return ScenarioLP(
+        placement, demand, scenario,
+        background=background, dc_core_limits=dc_core_limits,
+    ).solve()
 
 
 class CapacityPlanner:
@@ -81,7 +129,8 @@ class CapacityPlanner:
                          method: str = "joint",
                          latency_tiebreak: float = 1e-6,
                          background=None,
-                         dc_core_limits=None) -> CapacityPlan:
+                         dc_core_limits=None,
+                         workers: Optional[int] = None) -> CapacityPlan:
         """Serving + backup: all DC and (non-bridge) link failures.
 
         ``method="joint"`` (default) co-optimizes serving placement with
@@ -89,7 +138,14 @@ class CapacityPlanner:
         serving+backup of §4.2, where the no-failure placement itself
         shifts to make failures cheap to absorb.  ``method="incremental"``
         runs one LP per scenario against a growing base — much faster, and
-        an upper bound the ablation benchmark quantifies.
+        an upper bound the ablation benchmark quantifies.  ``method="max"``
+        solves every scenario independently and element-wise
+        max-combines, which is the only mode whose scenario LPs are
+        independent — ``workers`` fans them out across processes there.
+        ``workers`` is ignored by the single-LP joint method and by the
+        incremental sweep (sequential by design); the parallel plan is
+        bitwise-deterministic and identical to the sequential one because
+        results are merged in scenario order.
         """
         scenarios = enumerate_scenarios(
             self.placement.topology, max_link_scenarios=max_link_scenarios
@@ -106,24 +162,53 @@ class CapacityPlanner:
         if method == "incremental":
             return self.plan(scenarios=scenarios, background=background,
                              dc_core_limits=dc_core_limits)
+        if method == "max":
+            return self.plan(scenarios=scenarios, background=background,
+                             dc_core_limits=dc_core_limits,
+                             combine="max", workers=workers)
         raise SolverError(f"unknown provisioning method {method!r}")
 
     def plan(self, scenarios: List[FailureScenario], background=None,
-             dc_core_limits=None) -> CapacityPlan:
-        """Incremental pass over the scenario set.
+             dc_core_limits=None, combine: str = "incremental",
+             workers: Optional[int] = None) -> CapacityPlan:
+        """Sweep the scenario set and combine into one plan.
 
-        Scenario *k* is solved with everything scenarios 0..k-1 already
-        provisioned available as free base capacity, and pays only for the
-        excess it needs.  This is the operational form of §4.2's
-        repurposing: the max-combination of Eqs 7-8 emerges with every
-        core and Gbps priced exactly once.  The no-failure scenario runs
-        first so serving capacity anchors the base.
+        ``combine="incremental"``: scenario *k* is solved with everything
+        scenarios 0..k-1 already provisioned available as free base
+        capacity, and pays only for the excess it needs.  This is the
+        operational form of §4.2's repurposing: the max-combination of
+        Eqs 7-8 emerges with every core and Gbps priced exactly once.
+        The no-failure scenario runs first so serving capacity anchors
+        the base; the data dependence makes this mode inherently
+        sequential (``workers`` is ignored).
+
+        ``combine="max"``: every scenario is solved against an empty base
+        and the plan takes per-DC / per-link maxima (the literal Eqs
+        7-8).  The LPs are independent, so ``workers > 1`` solves them in
+        a process pool; the merge always walks results in scenario order,
+        so the plan is identical to a sequential run.
         """
         if not scenarios:
             raise SolverError("need at least one scenario")
+        if combine not in ("incremental", "max"):
+            raise SolverError(f"unknown combine mode {combine!r}")
         ordered = sorted(scenarios, key=lambda s: not s.is_baseline)
-        cores: Dict[str, float] = {}
-        link_gbps: Dict[str, float] = {}
+        if combine == "max":
+            results = self._solve_independent(
+                ordered, background, dc_core_limits, workers
+            )
+            cores: Dict[str, float] = {}
+            link_gbps: Dict[str, float] = {}
+            for result in results:
+                for dc_id, value in result.cores.items():
+                    cores[dc_id] = max(cores.get(dc_id, 0.0), value)
+                for link_id, value in result.link_gbps.items():
+                    link_gbps[link_id] = max(link_gbps.get(link_id, 0.0), value)
+            return CapacityPlan(cores=cores, link_gbps=link_gbps,
+                                scenario_results=results)
+
+        cores = {}
+        link_gbps = {}
         results = []
         for scenario in ordered:
             result = ScenarioLP(
@@ -138,3 +223,36 @@ class CapacityPlanner:
             for link_id, extra in result.excess_links.items():
                 link_gbps[link_id] = link_gbps.get(link_id, 0.0) + extra
         return CapacityPlan(cores=cores, link_gbps=link_gbps, scenario_results=results)
+
+    def _solve_independent(self, ordered: List[FailureScenario],
+                           background, dc_core_limits,
+                           workers: Optional[int]) -> List[ScenarioResult]:
+        """Solve independent scenario LPs, optionally process-parallel.
+
+        ``executor.map`` yields results in submission order, so the
+        returned list is in scenario order whichever worker finished
+        first — the merge is deterministic.
+        """
+        n_workers = self._effective_workers(workers, len(ordered))
+        if n_workers <= 1:
+            return [
+                ScenarioLP(
+                    self.placement, self.demand, scenario,
+                    background=background, dc_core_limits=dc_core_limits,
+                ).solve()
+                for scenario in ordered
+            ]
+        with ProcessPoolExecutor(
+            max_workers=n_workers,
+            initializer=_init_scenario_worker,
+            initargs=(self.placement, self.demand, background, dc_core_limits),
+        ) as executor:
+            return list(executor.map(_solve_scenario_in_worker, ordered))
+
+    @staticmethod
+    def _effective_workers(workers: Optional[int], n_scenarios: int) -> int:
+        if workers is None:
+            return 1
+        if workers < 1:
+            raise SolverError("workers must be a positive integer")
+        return min(workers, n_scenarios, max(os.cpu_count() or 1, 1) * 4)

@@ -48,16 +48,22 @@ class Switchboard(ProvisioningStrategy):
                  max_link_scenarios: Optional[int] = None,
                  backup_method: str = "joint",
                  background=None,
-                 dc_core_limits=None):
+                 dc_core_limits=None,
+                 workers: Optional[int] = None):
         """``background`` folds non-conferencing link traffic into the
         provisioned peaks (§6.1 note); ``dc_core_limits`` caps per-DC
-        cores (regional capacity exhaustion, §7 refs [1-3])."""
+        cores (regional capacity exhaustion, §7 refs [1-3]).  ``workers``
+        fans the independent scenario LPs of ``backup_method="max"`` out
+        over a process pool (ignored by the other methods — the joint LP
+        is a single solve and the incremental sweep is sequential by
+        design)."""
         super().__init__(topology, load_model)
         self.latency_threshold_ms = latency_threshold_ms
         self.max_link_scenarios = max_link_scenarios
         self.backup_method = backup_method
         self.background = background
         self.dc_core_limits = dc_core_limits
+        self.workers = workers
         self._placement_cache: Dict[int, PlacementData] = {}
 
     # ------------------------------------------------------------------
@@ -86,6 +92,7 @@ class Switchboard(ProvisioningStrategy):
                 method=self.backup_method,
                 background=self.background,
                 dc_core_limits=self.dc_core_limits,
+                workers=self.workers,
             )
         return planner.plan_without_backup(
             background=self.background,

@@ -1,11 +1,43 @@
 """Tests for the LP scaffolding and the §3.2 backup LP."""
 
+import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.errors import InfeasibleError, SolverError
 from repro.provisioning.backup_lp import solve_backup_lp, total_backup
-from repro.provisioning.lp import ConstraintSet, LinearProgram, VariableRegistry
+from repro.provisioning.lp import (
+    ConstraintSet,
+    LinearProgram,
+    VariableRegistry,
+    conditioning_scale,
+)
+
+
+class TestConditioningScale:
+    def test_uniform_values_normalize_to_one(self):
+        assert conditioning_scale([5.0, 5.0]) == pytest.approx(5.0)
+
+    def test_geometric_mean_centers_the_range(self):
+        scale = conditioning_scale([1e-4, 1e4])
+        assert scale == pytest.approx(1.0)
+
+    def test_ignores_zeros_and_gathers_all_groups(self):
+        scale = conditioning_scale([0.0, 4.0], [9.0], np.zeros(3))
+        assert scale == pytest.approx(6.0)  # sqrt(4 * 9)
+
+    def test_no_positive_entries_means_unit_scale(self):
+        assert conditioning_scale([0.0, 0.0], []) == 1.0
+
+    def test_subnormal_scale_divides_finitely(self):
+        tiny = 2.2250738585e-313
+        scale = conditioning_scale([tiny])
+        assert np.isfinite(tiny / scale)
+        assert tiny / scale == pytest.approx(1.0)
+
+    def test_extreme_range_clamps_largest_to_solver_window(self):
+        scale = conditioning_scale([1e-78, 1.0])
+        assert 1.0 / scale <= 1e12 * (1 + 1e-12)
 
 
 class TestVariableRegistry:
@@ -37,6 +69,38 @@ class TestVariableRegistry:
         assert registry.bounds == [(1.0, 5.0)]
 
 
+class TestVariableRegistryBatch:
+    def test_batch_indices_consecutive(self):
+        registry = VariableRegistry()
+        registry.add("first")
+        start = registry.add_batch(["a", "b", "c"], objective=2.0)
+        assert start == 1
+        assert registry["c"] == 3
+        assert registry.objective.tolist() == [0.0, 2.0, 2.0, 2.0]
+
+    def test_batch_per_key_objectives_and_bounds(self):
+        registry = VariableRegistry()
+        registry.add_batch(["a", "b"], objective=[1.0, 3.0],
+                           lower=0.5, upper=9.0)
+        assert registry.objective.tolist() == [1.0, 3.0]
+        assert registry.bounds == [(0.5, 9.0), (0.5, 9.0)]
+
+    def test_batch_duplicate_rejected(self):
+        registry = VariableRegistry()
+        registry.add("a")
+        with pytest.raises(SolverError):
+            registry.add_batch(["b", "a"])
+
+    def test_batch_objective_shape_mismatch_rejected(self):
+        with pytest.raises(SolverError):
+            VariableRegistry().add_batch(["a", "b"], objective=[1.0])
+
+    def test_empty_batch_is_noop(self):
+        registry = VariableRegistry()
+        assert registry.add_batch([]) == 0
+        assert len(registry) == 0
+
+
 class TestConstraintSet:
     def test_rows_and_matrix(self):
         constraints = ConstraintSet()
@@ -55,6 +119,46 @@ class TestConstraintSet:
 
     def test_empty_matrix_is_none(self):
         assert ConstraintSet().matrix(3) is None
+
+    def test_batched_rows_and_terms_match_scalar_path(self):
+        scalar = ConstraintSet()
+        for rhs in (1.0, 2.0, 3.0):
+            scalar.new_row(rhs)
+        for row in range(3):
+            scalar.add_term(row, 0, -1.0)
+            scalar.add_term(row, row + 1, 2.0)
+
+        batched = ConstraintSet()
+        start = batched.new_rows([1.0, 2.0, 3.0])
+        rows = np.arange(start, start + 3)
+        batched.add_terms(rows, 0, -1.0)
+        batched.add_terms(rows, rows + 1, 2.0)
+
+        assert (scalar.matrix(4).toarray() == batched.matrix(4).toarray()).all()
+        assert scalar.rhs.tolist() == batched.rhs.tolist()
+        assert scalar.nnz == batched.nnz == 6
+
+    def test_scalar_and_batched_appends_mix(self):
+        constraints = ConstraintSet()
+        row = constraints.new_row(5.0)
+        constraints.add_term(row, 1, 1.0)
+        start = constraints.new_rows(np.array([7.0]))
+        constraints.add_terms([start], [0], [4.0])
+        matrix = constraints.matrix(2)
+        assert matrix.toarray().tolist() == [[0.0, 1.0], [4.0, 0.0]]
+
+    def test_batched_out_of_range_row_rejected(self):
+        constraints = ConstraintSet()
+        constraints.new_rows([1.0, 2.0])
+        with pytest.raises(SolverError):
+            constraints.add_terms([0, 2], [0, 0], 1.0)
+
+    def test_empty_batch_is_noop(self):
+        constraints = ConstraintSet()
+        constraints.new_row(1.0)
+        constraints.add_terms(np.array([], dtype=int), np.array([], dtype=int),
+                              np.array([]))
+        assert constraints.nnz == 0
 
 
 class TestLinearProgram:
