@@ -21,6 +21,7 @@ from repro.provisioning.demand import PlacementData
 from repro.provisioning.failures import enumerate_scenarios
 from repro.provisioning.joint import JointProvisioningLP
 from repro.provisioning.planner import CapacityPlanner
+from repro.config import PlannerConfig
 from repro.switchboard import Switchboard
 
 
@@ -55,7 +56,8 @@ def test_peak_aware_vs_dedicated_backup(benchmark, small_scenario):
     demand = scn.expected_demand
 
     def run_both():
-        sb = Switchboard(scn.topology, scn.load_model, max_link_scenarios=0)
+        sb = Switchboard(scn.topology, scn.load_model,
+                         config=PlannerConfig(max_link_scenarios=0))
         peak_aware = sb.provision(demand, with_backup=True)
         dedicated = LocalityFirstStrategy(
             scn.topology, scn.load_model
@@ -75,7 +77,8 @@ def test_latency_tiebreak_effect(benchmark, small_scenario):
     demand = scn.expected_demand
     placement = PlacementData(scn.topology, demand.configs, scn.load_model)
     scenarios = enumerate_scenarios(scn.topology, include_link_failures=False)
-    sb = Switchboard(scn.topology, scn.load_model, max_link_scenarios=0)
+    sb = Switchboard(scn.topology, scn.load_model,
+                     config=PlannerConfig(max_link_scenarios=0))
 
     def run_both():
         with_tiebreak = JointProvisioningLP(

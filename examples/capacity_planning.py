@@ -15,7 +15,8 @@ Simulates the production workflow of a conferencing provider:
 Run:  python examples/capacity_planning.py
 """
 
-from repro import SwitchboardPipeline, Topology, generate_population
+from repro import PlannerConfig, SwitchboardPipeline, Topology, \
+    generate_population
 from repro.core import make_slots
 from repro.metrics import capacity_summary, cost_breakdown, per_region_cores
 from repro.records import CallRecordsDatabase, ingest_trace
@@ -41,7 +42,7 @@ def main() -> None:
         topology,
         top_config_fraction=0.2,   # small synthetic universe -> larger top-N
         season_length=48,          # daily seasonality over one week
-        max_link_scenarios=2,
+        config=PlannerConfig(max_link_scenarios=2),
     )
     result = pipeline.run(db, horizon_slots=48, with_backup=True)
 

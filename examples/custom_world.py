@@ -13,7 +13,7 @@ Shows the two adoption-oriented layers:
 Run:  python examples/custom_world.py
 """
 
-from repro import Switchboard, generate_population
+from repro import PlannerConfig, Switchboard, generate_population
 from repro.core import make_slots
 from repro.mpservers import MPServerFleet
 from repro.topology import topology_from_dict
@@ -53,7 +53,8 @@ def main() -> None:
         topology.world, population, calls_per_slot_at_peak=120.0
     ).expected(make_slots(86400.0))
 
-    controller = Switchboard(topology, max_link_scenarios=2)
+    controller = Switchboard(topology,
+                             config=PlannerConfig(max_link_scenarios=2))
     capacity = controller.provision(demand, with_backup=True)
     print(f"Provisioned {capacity.total_cores():.0f} cores, "
           f"{capacity.total_wan_gbps(topology):.2f} Gbps inter-country WAN "

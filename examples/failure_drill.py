@@ -1,17 +1,25 @@
 #!/usr/bin/env python3
-"""Failure drill: what happens when a whole DC goes dark.
+"""Failure drill: what happens when a whole DC goes dark — or the solver.
 
-Provisions Switchboard capacity with backup (§5.3's failure model: any
-one DC or WAN link can fail), then walks through every DC failure and
-verifies that the surviving capacity hosts the full demand — reporting
-where the failed DC's calls land and what the latency penalty is.  This
-is the §4.2 story made concrete: the backup that absorbs Japan's peak is
-India's and Hong Kong's off-peak serving capacity.
+Part 1 provisions Switchboard capacity with backup (§5.3's failure
+model: any one DC or WAN link can fail), then walks through every DC
+failure and verifies that the surviving capacity hosts the full demand —
+reporting where the failed DC's calls land and what the latency penalty
+is.  This is the §4.2 story made concrete: the backup that absorbs
+Japan's peak is India's and Hong Kong's off-peak serving capacity.
+
+Part 2 drills the *control plane* instead of the topology: a
+:class:`~repro.resilience.faults.FaultPlan` injects solver crashes,
+hangs, and worker-pool deaths, and the degradation ladder
+(``joint → max → incremental → locality``) keeps ``provision()``
+returning usable plans, each tagged with how far it degraded, with the
+full attempt/retry/fallback trail in the event log.
 
 Run:  python examples/failure_drill.py
 """
 
-from repro import Switchboard, Topology, generate_population
+from repro import FaultPlan, PlannerConfig, Switchboard, Topology, \
+    generate_population
 from repro.core import make_slots
 from repro.provisioning import FailureScenario, PlacementData, ScenarioLP
 from repro.workload import DemandModel
@@ -24,7 +32,8 @@ def main() -> None:
         topology.world, population, calls_per_slot_at_peak=150.0
     ).expected(make_slots(86400.0))
 
-    controller = Switchboard(topology, max_link_scenarios=0)
+    controller = Switchboard(topology,
+                             config=PlannerConfig(max_link_scenarios=0))
     capacity = controller.provision(demand, with_backup=True)
     placement = controller.placement_for(demand.configs)
     baseline = controller.allocate(demand, capacity)
@@ -54,6 +63,47 @@ def main() -> None:
 
     print("\nEvery row should fit: the plan provisions the max over all "
           "failure scenarios (Eqs 7-8).")
+
+    resilience_drill(topology, demand)
+
+
+def resilience_drill(topology: Topology, demand) -> None:
+    """Part 2: crash/hang/worker-death faults against the solve pipeline."""
+    print("\n--- resilience drill: faults against the solver itself ---")
+    print(f"{'fault':<34}{'method':>12}{'level':>7}{'retries':>9}"
+          f"{'fallbacks':>11}")
+
+    drills = [
+        ("2 crashes (retries absorb them)",
+         FaultPlan().crash("provision", times=2),
+         PlannerConfig(max_link_scenarios=0, solve_retries=2,
+                       retry_backoff_s=0.0)),
+        ("crash every attempt",
+         FaultPlan().crash("provision", times=100),
+         PlannerConfig(max_link_scenarios=0, solve_retries=1,
+                       retry_backoff_s=0.0)),
+        ("joint LP hangs past its budget",
+         FaultPlan().hang("provision.joint", seconds=30.0, times=10),
+         PlannerConfig(max_link_scenarios=0, solve_timeout_s=8.0,
+                       solve_retries=1, retry_backoff_s=0.0)),
+        ("worker death in the max sweep",
+         FaultPlan().worker_death("provision.scenario", times=1),
+         PlannerConfig(max_link_scenarios=0, backup_method="max",
+                       workers=2, solve_retries=1, retry_backoff_s=0.0)),
+    ]
+    for title, faults, base in drills:
+        controller = Switchboard(
+            topology, config=base.but(fault_plan=faults)
+        )
+        plan = controller.provision(demand, with_backup=True)
+        retries = controller.obs.counters.get("solve.retry")
+        fallbacks = controller.obs.counters.get("ladder.fallback")
+        print(f"{title:<34}{plan.method:>12}{plan.degradation_level:>7}"
+              f"{retries:>9}{fallbacks:>11}")
+        assert plan.total_cores() > 0
+
+    print("\nEvery drill produced a usable plan; 'level' is how far down "
+          "the ladder (0 = configured method) it had to go.")
 
 
 if __name__ == "__main__":

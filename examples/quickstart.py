@@ -9,7 +9,7 @@ compares the result against the Round-Robin and Locality-First baselines
 Run:  python examples/quickstart.py
 """
 
-from repro import Switchboard, Topology, generate_population
+from repro import PlannerConfig, Switchboard, Topology, generate_population
 from repro.baselines import LocalityFirstStrategy, RoundRobinStrategy
 from repro.core import make_slots
 from repro.metrics import comparison_table, evaluate_strategy, render_table
@@ -35,7 +35,7 @@ def main() -> None:
     strategies = [
         RoundRobinStrategy(topology),
         LocalityFirstStrategy(topology),
-        Switchboard(topology, max_link_scenarios=2),
+        Switchboard(topology, config=PlannerConfig(max_link_scenarios=2)),
     ]
     metrics = []
     for with_backup in (False, True):

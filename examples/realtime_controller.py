@@ -10,7 +10,7 @@ throughput (Fig 10).
 Run:  python examples/realtime_controller.py
 """
 
-from repro import Switchboard, Topology, generate_population
+from repro import PlannerConfig, Switchboard, Topology, generate_population
 from repro.controller import ControllerService, ReplayEngine, event_stream
 from repro.core import make_slots
 from repro.kvstore import InMemoryKVStore, LatencyProfile
@@ -36,7 +36,8 @@ def main() -> None:
     from repro.provisioning import CapacityPlan
 
     demand = trace.to_demand(freeze_after_s=300.0)
-    controller = Switchboard(topology, max_link_scenarios=0)
+    controller = Switchboard(topology,
+                             config=PlannerConfig(max_link_scenarios=0))
     capacity = controller.provision(demand, with_backup=True)
     cushioned = CapacityPlan(
         cores={dc: 1.25 * v for dc, v in capacity.cores.items()},

@@ -15,8 +15,11 @@ See README.md for the architecture overview and examples/ for runnable
 end-to-end scenarios.
 """
 
-from repro.core.errors import SwitchboardError
+from repro.core.errors import SwitchboardDeprecationWarning, SwitchboardError
 from repro.core.types import Call, CallConfig, MediaType
+from repro.config import PlannerConfig
+from repro.obs import Observability
+from repro.resilience import FaultPlan, SolveSupervisor
 from repro.simulation import ServiceSimulator, SimulationReport
 from repro.switchboard import PipelineResult, Switchboard, SwitchboardPipeline
 from repro.topology.builder import Topology
@@ -27,11 +30,16 @@ __version__ = "1.0.0"
 __all__ = [
     "Call",
     "CallConfig",
+    "FaultPlan",
     "MediaType",
+    "Observability",
     "PipelineResult",
+    "PlannerConfig",
     "ServiceSimulator",
     "SimulationReport",
+    "SolveSupervisor",
     "Switchboard",
+    "SwitchboardDeprecationWarning",
     "SwitchboardError",
     "SwitchboardPipeline",
     "Topology",

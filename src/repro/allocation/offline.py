@@ -42,17 +42,30 @@ _GUESS_ALIGNMENT_BONUS_MS = 0.5
 
 @dataclass
 class AllocationOutcome:
-    """The plan plus how much capacity overflow it needed."""
+    """The plan plus how much capacity overflow it needed.
+
+    ``method`` / ``degradation_level`` mirror
+    :class:`~repro.provisioning.planner.CapacityPlan`'s tags: ``"lp"`` at
+    level 0 is the Eq 10 optimum; ``"locality"`` at level 1 means the
+    allocation LP failed persistently and the min-ACL heuristic produced
+    the plan instead.
+    """
 
     plan: AllocationPlan
     compute_overflow_cores: float
     network_overflow_gbps: float
     objective_acl_sum: float
     stats: SolveStats = field(default_factory=SolveStats)
+    method: str = "lp"
+    degradation_level: int = 0
 
     @property
     def overflowed(self) -> bool:
         return self.compute_overflow_cores > 1e-6 or self.network_overflow_gbps > 1e-6
+
+    @property
+    def degraded(self) -> bool:
+        return self.degradation_level > 0
 
 
 class AllocationOptimizer:

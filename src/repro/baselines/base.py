@@ -113,8 +113,15 @@ class ProvisioningStrategy(abc.ABC):
 
     @abc.abstractmethod
     def allocation_plan(self, demand: Demand,
-                        failed_dc: Optional[str] = None) -> AllocationPlan:
-        """Fractional shares for the demand, optionally with a DC failed."""
+                        failed_dc: Optional[str] = None,
+                        failed_link: Optional[str] = None) -> AllocationPlan:
+        """Fractional shares for the demand, optionally under a failure.
+
+        ``failed_link`` matters to strategies that place around network
+        paths (Switchboard's LP); the DC-picking baselines ignore it —
+        a link cut changes routing (handled by the usage layer's
+        reroute), not which DC hosts the call.
+        """
 
     def plan_without_backup(self, demand: Demand) -> CapacityPlan:
         plan = self.allocation_plan(demand)

@@ -27,7 +27,8 @@ class LocalityFirstStrategy(ProvisioningStrategy):
     name = "locality_first"
 
     def allocation_plan(self, demand: Demand,
-                        failed_dc: Optional[str] = None) -> AllocationPlan:
+                        failed_dc: Optional[str] = None,
+                        failed_link: Optional[str] = None) -> AllocationPlan:
         exclude = (failed_dc,) if failed_dc else ()
         best: Dict[CallConfig, str] = {}
         shares: Dict = {}

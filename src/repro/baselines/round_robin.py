@@ -56,7 +56,8 @@ class RoundRobinStrategy(ProvisioningStrategy):
         return tuple(dcs)
 
     def allocation_plan(self, demand: Demand,
-                        failed_dc: Optional[str] = None) -> AllocationPlan:
+                        failed_dc: Optional[str] = None,
+                        failed_link: Optional[str] = None) -> AllocationPlan:
         shares: Dict = {}
         for t in range(demand.n_slots):
             for j, config in enumerate(demand.configs):

@@ -1,0 +1,135 @@
+"""The unified planner configuration: one frozen object, every knob.
+
+:class:`Switchboard` historically grew one keyword per feature
+(``latency_threshold_ms``, ``max_link_scenarios``, ``backup_method``,
+``background``, ``dc_core_limits``, ``workers``) — sprawl that
+:class:`~repro.switchboard.SwitchboardPipeline` could not even pass
+through.  :class:`PlannerConfig` consolidates them, adds the resilience
+knobs (timeouts, retries, backoff, the degradation ladder, fault
+injection), and travels as a single immutable value:
+
+>>> from repro import PlannerConfig, Switchboard, Topology
+>>> config = PlannerConfig(backup_method="max", workers=4,
+...                        solve_timeout_s=30.0)
+>>> controller = Switchboard(Topology.default(), config=config)
+
+The old keywords still work on :class:`~repro.switchboard.Switchboard`
+as deprecated shims (they emit
+:class:`~repro.core.errors.SwitchboardDeprecationWarning` and build the
+equivalent config), so existing callers keep running while they migrate.
+
+``dataclasses.replace`` (or :meth:`PlannerConfig.but`) derives variants::
+
+    fast = config.but(backup_method="incremental", solve_retries=0)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Mapping, Optional, Tuple
+
+from repro.core.errors import SwitchboardError
+from repro.core.units import DEFAULT_LATENCY_THRESHOLD_MS
+
+if TYPE_CHECKING:
+    # Annotation-only: importing the faults module at runtime would pull
+    # in the whole resilience package, which itself needs this module.
+    from repro.provisioning.background import BackgroundTraffic
+    from repro.resilience.faults import FaultPlan
+
+#: Methods plan_with_backup understands, i.e. valid non-terminal rungs.
+BACKUP_METHODS = ("joint", "incremental", "max")
+
+#: The full degradation ladder, most faithful first.  ``locality`` is the
+#: LP-free terminal rung that can always produce *a* plan.
+DEFAULT_LADDER: Tuple[str, ...] = ("joint", "max", "incremental", "locality")
+
+
+@dataclass(frozen=True)
+class PlannerConfig:
+    """Every provisioning/allocation/resilience knob in one frozen value.
+
+    Provisioning:
+
+    * ``latency_threshold_ms`` — Eq 4's ACL ceiling for placement options.
+    * ``max_link_scenarios`` — cap on WAN-link failure scenarios
+      (``None`` = all non-bridge links, ``0`` = DC failures only).
+    * ``backup_method`` — the rung provisioning *starts* at
+      (``joint`` | ``incremental`` | ``max``).
+    * ``background`` — non-conferencing link traffic folded into peaks.
+    * ``dc_core_limits`` — per-DC core caps (regional exhaustion).
+    * ``workers`` — process fan-out for the ``max`` sweep.
+
+    Resilience:
+
+    * ``solve_timeout_s`` — wall-clock budget per supervised solve
+      (``None`` disables timeouts).
+    * ``solve_retries`` — additional attempts after the first failure.
+    * ``retry_backoff_s`` / ``retry_backoff_jitter`` — base delay
+      (doubled per retry) and multiplicative jitter fraction drawn from
+      the supervisor's seeded RNG.
+    * ``degradation_ladder`` — the ordered rungs provisioning walks on
+      persistent failure, starting at ``backup_method``'s position.
+    * ``pool_restarts`` — how many times a died-worker process pool is
+      rebuilt before the ``max`` sweep counts as failed.
+    * ``fault_plan`` — injected faults for drills/tests (``None`` = none).
+    * ``rng_seed`` — seeds the backoff-jitter RNG (deterministic drills).
+    """
+
+    latency_threshold_ms: float = DEFAULT_LATENCY_THRESHOLD_MS
+    max_link_scenarios: Optional[int] = None
+    backup_method: str = "joint"
+    background: Optional["BackgroundTraffic"] = None
+    dc_core_limits: Optional[Mapping[str, float]] = None
+    workers: Optional[int] = None
+    solve_timeout_s: Optional[float] = None
+    solve_retries: int = 2
+    retry_backoff_s: float = 0.05
+    retry_backoff_jitter: float = 0.5
+    degradation_ladder: Tuple[str, ...] = DEFAULT_LADDER
+    pool_restarts: int = 2
+    fault_plan: Optional[FaultPlan] = None
+    rng_seed: int = 0
+
+    def __post_init__(self):
+        if self.backup_method not in BACKUP_METHODS:
+            raise SwitchboardError(
+                f"unknown backup_method {self.backup_method!r}; "
+                f"expected one of {BACKUP_METHODS}"
+            )
+        known = BACKUP_METHODS + ("locality",)
+        for rung in self.degradation_ladder:
+            if rung not in known:
+                raise SwitchboardError(
+                    f"unknown degradation ladder rung {rung!r}; "
+                    f"expected one of {known}"
+                )
+        if not self.degradation_ladder:
+            raise SwitchboardError("degradation ladder cannot be empty")
+        if self.solve_retries < 0:
+            raise SwitchboardError("solve_retries must be >= 0")
+        if self.solve_timeout_s is not None and self.solve_timeout_s <= 0:
+            raise SwitchboardError("solve_timeout_s must be positive")
+        if self.retry_backoff_s < 0 or self.retry_backoff_jitter < 0:
+            raise SwitchboardError("backoff parameters must be non-negative")
+        if self.pool_restarts < 0:
+            raise SwitchboardError("pool_restarts must be >= 0")
+        if self.workers is not None and self.workers < 1:
+            raise SwitchboardError("workers must be a positive integer")
+
+    def but(self, **overrides: Any) -> "PlannerConfig":
+        """A copy with the given fields replaced (frozen-friendly)."""
+        return dataclasses.replace(self, **overrides)
+
+    def provisioning_ladder(self) -> Tuple[str, ...]:
+        """The rungs provisioning walks, starting at ``backup_method``.
+
+        If the configured method appears in ``degradation_ladder``, the
+        walk starts there (never escalating back *up* to a more expensive
+        method); otherwise the method is prepended to the whole ladder.
+        """
+        ladder = self.degradation_ladder
+        if self.backup_method in ladder:
+            return ladder[ladder.index(self.backup_method):]
+        return (self.backup_method,) + ladder

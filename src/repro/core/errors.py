@@ -25,11 +25,22 @@ class InfeasibleError(SwitchboardError):
 
     Raised when the LP solver reports infeasibility, e.g. when a capacity
     bound handed to the allocation planner is too small to host the demand.
+    ``diagnosis`` (when the raiser could work one out) names the constraint
+    family and scenario responsible — see
+    :func:`repro.provisioning.formulation.diagnose_infeasibility`.
     """
+
+    def __init__(self, message: str = "", diagnosis: dict = None):
+        super().__init__(message)
+        self.diagnosis = diagnosis
 
 
 class SolverError(SwitchboardError):
     """The LP solver failed for a reason other than infeasibility."""
+
+
+class SolveTimeoutError(SolverError):
+    """A supervised LP solve exceeded its configured wall-clock budget."""
 
 
 class CapacityError(SwitchboardError):
@@ -42,3 +53,12 @@ class ForecastError(SwitchboardError):
 
 class RecordError(SwitchboardError):
     """The call-records database was queried or fed inconsistently."""
+
+
+class SwitchboardDeprecationWarning(DeprecationWarning):
+    """A deprecated repro API was used (e.g. Switchboard keyword sprawl).
+
+    A library-specific subclass so the test suite can escalate *our*
+    deprecations to errors without fighting third-party dependencies'
+    ``DeprecationWarning`` noise.
+    """

@@ -36,6 +36,7 @@ from repro.baselines.locality_first import LocalityFirstStrategy
 from repro.baselines.resource_log import ResourceLogProvisioner
 from repro.core.types import CallConfig, MediaType, make_slots
 from repro.experiments.common import Scenario, build_scenario
+from repro.config import PlannerConfig
 from repro.switchboard import Switchboard
 from repro.topology.builder import Topology
 from repro.workload.arrivals import Demand
@@ -70,7 +71,8 @@ def _compare(topology: Topology, load_model: MediaLoadModel,
              base: Demand, surged: Demand) -> Dict[str, Dict[str, float]]:
     lf = LocalityFirstStrategy(topology, load_model)
     logs = ResourceLogProvisioner(topology, load_model)
-    sb = Switchboard(topology, load_model, max_link_scenarios=0)
+    sb = Switchboard(topology, load_model,
+                     config=PlannerConfig(max_link_scenarios=0))
 
     log_before = logs.provision(lf.allocation_plan(base), base)
     log_after = logs.provision(lf.allocation_plan(surged), surged)

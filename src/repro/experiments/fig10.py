@@ -23,6 +23,7 @@ from repro.controller.replay import ReplayEngine, ReplayResult
 from repro.controller.service import ControllerService
 from repro.experiments.common import Scenario, build_scenario
 from repro.kvstore.store import InMemoryKVStore, LatencyProfile
+from repro.config import PlannerConfig
 from repro.switchboard import Switchboard
 
 DEFAULT_THREADS = (1, 2, 4, 6, 8, 10, 12)
@@ -37,7 +38,8 @@ def run(scenario: Optional[Scenario] = None,
     trace = scn.trace
     demand = trace.to_demand(freeze_after_s=300.0)
 
-    controller = Switchboard(scn.topology, scn.load_model, max_link_scenarios=0)
+    controller = Switchboard(scn.topology, scn.load_model,
+                             config=PlannerConfig(max_link_scenarios=0))
     capacity = controller.provision(demand, with_backup=False)
     plan = controller.allocate(demand, capacity).plan
 

@@ -19,6 +19,7 @@ from typing import Dict, Optional
 from repro.allocation.realtime import RealTimeSelector
 from repro.experiments.common import Scenario, build_scenario
 from repro.provisioning.planner import CapacityPlan
+from repro.config import PlannerConfig
 from repro.switchboard import Switchboard
 
 
@@ -30,8 +31,10 @@ def run(scenario: Optional[Scenario] = None,
     trace = scn.trace
     demand = trace.to_demand(freeze_after_s=300.0)
 
-    controller = Switchboard(scn.topology, scn.load_model,
-                             max_link_scenarios=max_link_scenarios)
+    controller = Switchboard(
+        scn.topology, scn.load_model,
+        config=PlannerConfig(max_link_scenarios=max_link_scenarios),
+    )
     capacity = controller.provision(demand, with_backup=with_backup)
     cushioned = CapacityPlan(
         cores={dc: v * cushion for dc, v in capacity.cores.items()},

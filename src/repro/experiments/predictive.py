@@ -21,6 +21,7 @@ from typing import Dict, Optional
 from repro.allocation.predictive import compare_selectors, series_hint_fn
 from repro.prediction.predictor import CallConfigPredictor
 from repro.provisioning.planner import CapacityPlan
+from repro.config import PlannerConfig
 from repro.switchboard import Switchboard
 from repro.topology.builder import Topology
 from repro.workload.series import generate_series, series_to_calls
@@ -47,7 +48,7 @@ def run(topology: Optional[Topology] = None,
     trace = CallTrace(calls, make_slots(slot_horizon, 1800.0))
     demand = trace.to_demand(freeze_after_s=300.0)
 
-    controller = Switchboard(topo, max_link_scenarios=0)
+    controller = Switchboard(topo, config=PlannerConfig(max_link_scenarios=0))
     capacity = controller.provision(demand, with_backup=with_backup)
     cushioned = CapacityPlan(
         cores={dc: cushion * v for dc, v in capacity.cores.items()},

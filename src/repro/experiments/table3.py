@@ -35,6 +35,7 @@ from repro.metrics.report import (
     evaluate_strategy,
     render_table,
 )
+from repro.config import PlannerConfig
 from repro.switchboard import Switchboard
 
 
@@ -47,7 +48,8 @@ def run(scenario: Optional[Scenario] = None,
         RoundRobinStrategy(scn.topology, scn.load_model),
         LocalityFirstStrategy(scn.topology, scn.load_model),
         Switchboard(scn.topology, scn.load_model,
-                    max_link_scenarios=max_link_scenarios),
+                    config=PlannerConfig(
+                        max_link_scenarios=max_link_scenarios)),
     ]
     metrics: List[SchemeMetrics] = []
     for with_backup in (False, True):

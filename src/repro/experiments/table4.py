@@ -25,6 +25,7 @@ from repro.core.types import make_slots
 from repro.core.units import DEFAULT_SLOT_S
 from repro.experiments.common import Scenario, build_scenario
 from repro.forecasting.forecaster import CallCountForecaster
+from repro.config import PlannerConfig
 from repro.switchboard import Switchboard
 from repro.workload.arrivals import Demand
 
@@ -88,7 +89,8 @@ def run(scenario: Optional[Scenario] = None,
         RoundRobinStrategy(scn.topology, scn.load_model),
         LocalityFirstStrategy(scn.topology, scn.load_model),
         Switchboard(scn.topology, scn.load_model,
-                    max_link_scenarios=max_link_scenarios),
+                    config=PlannerConfig(
+                        max_link_scenarios=max_link_scenarios)),
     ]
     deltas: Dict[str, Dict[str, float]] = {}
     for with_backup in (False, True):

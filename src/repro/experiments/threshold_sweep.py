@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.common import Scenario, build_scenario
+from repro.config import PlannerConfig
 from repro.switchboard import Switchboard
 
 DEFAULT_THRESHOLDS_MS = (10.0, 20.0, 30.0, 45.0, 60.0, 120.0)
@@ -28,7 +29,8 @@ def run(scenario: Optional[Scenario] = None,
     for threshold in thresholds_ms:
         controller = Switchboard(
             scn.topology, scn.load_model,
-            latency_threshold_ms=threshold, max_link_scenarios=0,
+            config=PlannerConfig(latency_threshold_ms=threshold,
+                                 max_link_scenarios=0),
         )
         capacity = controller.provision(demand, with_backup=False)
         acl = controller.mean_acl_with_capacity(demand, capacity)

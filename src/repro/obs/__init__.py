@@ -1,0 +1,5 @@
+"""Observability: structured event log + counters for the solve pipeline."""
+
+from repro.obs.events import Counters, Event, EventLog, Observability
+
+__all__ = ["Counters", "Event", "EventLog", "Observability"]

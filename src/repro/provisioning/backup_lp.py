@@ -17,15 +17,20 @@ repurposing against in Fig 4(b).
 
 from __future__ import annotations
 
-from typing import Dict, Mapping
+from typing import TYPE_CHECKING, Dict, Mapping, Optional
 
 import numpy as np
 
 from repro.core.errors import SolverError
 from repro.provisioning.lp import LinearProgram, conditioning_scale
 
+if TYPE_CHECKING:
+    from repro.resilience.supervisor import SolveSupervisor
 
-def solve_backup_lp(serving: Mapping[str, float]) -> Dict[str, float]:
+
+def solve_backup_lp(serving: Mapping[str, float],
+                    supervisor: Optional["SolveSupervisor"] = None
+                    ) -> Dict[str, float]:
     """Minimal per-DC backup capacity surviving any single DC failure.
 
     ``serving`` maps DC id to its provisioned serving cores (or Gbps —
@@ -40,6 +45,10 @@ def solve_backup_lp(serving: Mapping[str, float]) -> Dict[str, float]:
     Returns the backup capacity per DC.  With a single DC no other site
     can back it up, which the paper's failure model simply cannot cover;
     that degenerate input is rejected.
+
+    ``supervisor`` (optional) runs the solve under the resilience
+    policy — per-solve timeout, bounded retries, structured events —
+    labelled ``"backup"``.
     """
     if len(serving) < 2:
         raise SolverError("backup against DC failure needs at least two DCs")
@@ -62,7 +71,9 @@ def solve_backup_lp(serving: Mapping[str, float]) -> Dict[str, float]:
     cols = np.tile(np.arange(n), n)
     off_diagonal = rows != cols
     lp.less_equal.add_terms(start + rows[off_diagonal], cols[off_diagonal], -1.0)
-    solution = lp.solve(description="baseline backup LP")
+    def _solve():
+        return lp.solve(description="baseline backup LP")
+    solution = supervisor.run("backup", _solve) if supervisor else _solve()
     return {
         dc_id: solution.value(("Backup", dc_id)) * scale for dc_id in serving
     }

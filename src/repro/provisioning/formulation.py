@@ -54,7 +54,7 @@ from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
-from repro.core.errors import SolverError
+from repro.core.errors import InfeasibleError, SolverError
 from repro.core.types import CallConfig
 from repro.provisioning.demand import PlacementData
 from repro.provisioning.failures import NO_FAILURE, FailureScenario
@@ -68,6 +68,67 @@ from repro.workload.arrivals import Demand
 
 if TYPE_CHECKING:
     from repro.provisioning.background import BackgroundTraffic
+
+
+def diagnose_infeasibility(placement: PlacementData, demand: Demand,
+                           scenario: FailureScenario,
+                           dc_core_limits: Optional[Mapping[str, float]] = None
+                           ) -> Dict[str, object]:
+    """Best-effort diagnosis: which constraint family, which scenario.
+
+    Checked in order of how often they bite in practice:
+
+    * **completeness (Eq 9)** — a config with demand has *zero* surviving
+      placement options under the scenario, so its calls cannot be
+      hosted anywhere;
+    * **dc_core_limits (Eqs 5-6 caps)** — every usable DC is capped and a
+      simple lower bound on required cores (each config priced at its
+      cheapest option) already exceeds the combined cap;
+    * otherwise the family is ``"unknown"`` (numerical trouble, or a
+      binding interaction the cheap checks cannot see).
+
+    The result is attached to the raised
+    :class:`~repro.core.errors.InfeasibleError` as ``.diagnosis`` and
+    recorded in the supervisor's ``solve.infeasible`` event.
+    """
+    diagnosis: Dict[str, object] = {"scenario": scenario.name}
+    counts = demand.counts
+    stranded: List[str] = []
+    min_cores: List[float] = []
+    capped = True
+    caps = dict(dc_core_limits) if dc_core_limits else {}
+    usable_dcs: set = set()
+    for j, config in enumerate(demand.configs):
+        options = placement.options_under_scenario(config, scenario)
+        has_demand = bool((counts[:, j] > 0).any())
+        if not options:
+            min_cores.append(0.0)
+            if has_demand:
+                stranded.append(str(config))
+            continue
+        min_cores.append(min(option.cores_per_call for option in options))
+        for option in options:
+            usable_dcs.add(option.dc_id)
+            if option.dc_id not in caps:
+                capped = False
+    if stranded:
+        diagnosis["family"] = "completeness (Eq 9)"
+        diagnosis["stranded_configs"] = stranded[:8]
+        diagnosis["n_stranded"] = len(stranded)
+        return diagnosis
+    if caps and capped and usable_dcs:
+        required_floor = float((counts * np.array(min_cores)).sum(axis=1).max())
+        cap_total = sum(caps[dc_id] for dc_id in usable_dcs)
+        if required_floor > cap_total:
+            diagnosis["family"] = "dc_core_limits (capacity caps)"
+            diagnosis["required_cores_floor"] = required_floor
+            diagnosis["capped_cores_total"] = cap_total
+            return diagnosis
+    if caps:
+        diagnosis["family"] = "dc_core_limits (capacity caps)"
+        return diagnosis
+    diagnosis["family"] = "unknown"
+    return diagnosis
 
 
 @dataclass
@@ -340,10 +401,21 @@ class ScenarioLP:
         problem = self._normalized(scale) if scale != 1.0 else self
         lp = problem.build()
         assembly_seconds = time.perf_counter() - t0
-        solution = lp.solve(
-            description=f"provisioning[{self.scenario.name}]",
-            assembly_seconds=assembly_seconds,
-        )
+        try:
+            solution = lp.solve(
+                description=f"provisioning[{self.scenario.name}]",
+                assembly_seconds=assembly_seconds,
+            )
+        except InfeasibleError as exc:
+            diagnosis = diagnose_infeasibility(
+                self.placement, self.demand, self.scenario,
+                self.dc_core_limits,
+            )
+            raise InfeasibleError(
+                f"{exc} [family: {diagnosis.get('family')}, "
+                f"scenario: {self.scenario.name}]",
+                diagnosis=diagnosis,
+            ) from None
         return self._extract(solution, problem.demand, scale)
 
     def _extract(self, solution: LPSolution, solved_demand: Demand,

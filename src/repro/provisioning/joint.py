@@ -24,11 +24,11 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.errors import SolverError
+from repro.core.errors import InfeasibleError, SolverError
 from repro.core.types import CallConfig
 from repro.provisioning.demand import PlacementData
 from repro.provisioning.failures import FailureScenario
-from repro.provisioning.formulation import ScenarioResult
+from repro.provisioning.formulation import ScenarioResult, diagnose_infeasibility
 from repro.provisioning.lp import LinearProgram, conditioning_scale
 from repro.provisioning.planner import CapacityPlan
 from repro.workload.arrivals import Demand
@@ -220,8 +220,29 @@ class JointProvisioningLP:
                     lp.less_equal.add_term(row, lp.variables[("NP", link_id)], -1.0)
 
         assembly_seconds = time.perf_counter() - t0
-        solution = lp.solve(description="joint provisioning LP",
-                            assembly_seconds=assembly_seconds)
+        try:
+            solution = lp.solve(description="joint provisioning LP",
+                                assembly_seconds=assembly_seconds)
+        except InfeasibleError as exc:
+            # Find the scenario that breaks: the first whose own cheap
+            # diagnosis is conclusive, else report the whole set.
+            diagnosis = None
+            for scenario in self.scenarios:
+                candidate = diagnose_infeasibility(
+                    self.placement, self.demand, scenario,
+                    self.dc_core_limits,
+                )
+                if candidate.get("family") != "unknown":
+                    diagnosis = candidate
+                    break
+            if diagnosis is None:
+                diagnosis = {"family": "unknown",
+                             "scenario": [s.name for s in self.scenarios]}
+            raise InfeasibleError(
+                f"{exc} [family: {diagnosis.get('family')}, "
+                f"scenario: {diagnosis.get('scenario')}]",
+                diagnosis=diagnosis,
+            ) from None
 
         cores: Dict[str, float] = {}
         link_gbps: Dict[str, float] = {}

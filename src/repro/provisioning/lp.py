@@ -33,10 +33,14 @@ from repro.core.errors import InfeasibleError, SolverError
 
 #: Largest magnitude conditioning aims to leave in the problem data.
 #: HiGHS treats finite bounds beyond its ``infinite_bound`` threshold
-#: (~1e20) as infinite, turning huge-but-real requirements into
-#: infeasibility; 1e12 leaves headroom for O(1e3) cost coefficients on
-#: top without approaching that cliff.
-_MAX_CONDITIONED_VALUE = 1e12
+#: (~1e20) as infinite, and empirically starts returning status
+#: "unknown" (model_status Unknown / primal Infeasible) on RHS values
+#: around 1e12 when the matrix also spans many decades — observed on the
+#: backup LP with servings spanning 1e-156..1e4.  1e9 keeps every
+#: conditioned value comfortably inside HiGHS's working range while
+#: still leaving 10+ orders of headroom over its ~1e-7 absolute
+#: feasibility tolerance.
+_MAX_CONDITIONED_VALUE = 1e9
 
 
 def conditioning_scale(*value_groups) -> float:

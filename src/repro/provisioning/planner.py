@@ -25,11 +25,15 @@ Two sweep modes implement the combining:
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
-from repro.core.errors import SolverError
+from repro.core.errors import InfeasibleError, SolverError, SolveTimeoutError
+from repro.obs.events import Event, Observability
 from repro.provisioning.demand import PlacementData
 from repro.provisioning.failures import NO_FAILURE, FailureScenario, enumerate_scenarios
 from repro.provisioning.formulation import ScenarioLP, ScenarioResult
@@ -37,14 +41,47 @@ from repro.provisioning.lp import SolveStats
 from repro.topology.builder import Topology
 from repro.workload.arrivals import Demand
 
+if TYPE_CHECKING:
+    from repro.resilience.supervisor import SolveSupervisor
+
 
 @dataclass
 class CapacityPlan:
-    """Provisioned capacity: cores per DC, Gbps per link, and provenance."""
+    """Provisioned capacity: cores per DC, Gbps per link, and provenance.
+
+    Plans produced through the resilient orchestration additionally carry
+    ``method`` (the degradation-ladder rung that produced them, e.g.
+    ``"joint"`` or ``"locality"``), ``degradation_level`` (0 = the
+    configured method succeeded; higher = how many rungs were skipped),
+    and ``obs`` — the :class:`~repro.obs.Observability` bundle holding
+    the full attempt/retry/fallback event trail of the run.
+    """
 
     cores: Dict[str, float]
     link_gbps: Dict[str, float]
     scenario_results: List[ScenarioResult] = field(default_factory=list)
+    method: Optional[str] = None
+    degradation_level: int = 0
+    obs: Optional[Observability] = field(default=None, repr=False, compare=False)
+
+    @property
+    def degraded(self) -> bool:
+        """True when the plan came from a fallback rung, not the
+        configured method."""
+        return self.degradation_level > 0
+
+    def events(self, kind: Optional[str] = None,
+               label_contains: Optional[str] = None) -> List[Event]:
+        """The orchestration event trail (empty for unsupervised plans)."""
+        if self.obs is None:
+            return []
+        return self.obs.events(kind=kind, label_contains=label_contains)
+
+    def counter(self, name: str) -> int:
+        """One observability counter (0 for unsupervised plans)."""
+        if self.obs is None:
+            return 0
+        return self.obs.counters.get(name)
 
     def total_cores(self) -> float:
         """Sum of peak cores across DCs (the "Compute cores" metric, §6.1)."""
@@ -94,18 +131,36 @@ class CapacityPlan:
 # ---------------------------------------------------------------------------
 # Process-pool plumbing for the independent-scenario ("max") sweep.  The
 # heavyweight shared inputs are shipped once per worker via the pool
-# initializer; each task then sends only its FailureScenario.
+# initializer; each task then sends only its FailureScenario.  A fault
+# plan (drills/tests) rides along so worker-side faults — a hang, or a
+# hard worker death — happen inside the worker process for real.
 # ---------------------------------------------------------------------------
 
 _WORKER_CONTEXT: dict = {}
 
 
-def _init_scenario_worker(placement, demand, background, dc_core_limits):
+def _scenario_label(scenario: FailureScenario) -> str:
+    return f"provision.scenario[{scenario.name}]"
+
+
+def _init_scenario_worker(placement, demand, background, dc_core_limits,
+                          fault_plan=None):
     _WORKER_CONTEXT["args"] = (placement, demand, background, dc_core_limits)
+    _WORKER_CONTEXT["faults"] = fault_plan
 
 
 def _solve_scenario_in_worker(scenario: FailureScenario) -> ScenarioResult:
     placement, demand, background, dc_core_limits = _WORKER_CONTEXT["args"]
+    faults = _WORKER_CONTEXT.get("faults")
+    if faults is not None:
+        label = _scenario_label(scenario)
+        if faults.take("worker_death", label) is not None:
+            # An OOM-kill / segfault stand-in: the whole worker process
+            # hard-exits, breaking the pool for every sibling future.
+            os._exit(1)
+        hang = faults.take("hang", label)
+        if hang is not None:
+            time.sleep(hang.hang_seconds)
     return ScenarioLP(
         placement, demand, scenario,
         background=background, dc_core_limits=dc_core_limits,
@@ -113,11 +168,26 @@ def _solve_scenario_in_worker(scenario: FailureScenario) -> ScenarioResult:
 
 
 class CapacityPlanner:
-    """Runs the full §5.3 procedure over a scenario set."""
+    """Runs the full §5.3 procedure over a scenario set.
 
-    def __init__(self, placement: PlacementData, demand: Demand):
+    ``supervisor`` (optional) routes every LP solve through a
+    :class:`~repro.resilience.supervisor.SolveSupervisor` — per-solve
+    timeouts, bounded retries, fault injection, structured events — and
+    arms the ``method="max"`` sweep's process pool with death recovery.
+    Without a supervisor the planner behaves exactly as before: direct
+    solves, no events, failures propagate immediately.
+    """
+
+    def __init__(self, placement: PlacementData, demand: Demand,
+                 supervisor: Optional["SolveSupervisor"] = None):
         self.placement = placement
         self.demand = demand
+        self.supervisor = supervisor
+
+    def _run(self, label: str, fn: Callable[[], ScenarioResult]):
+        if self.supervisor is None:
+            return fn()
+        return self.supervisor.run(label, fn)
 
     def plan_without_backup(self, background=None,
                             dc_core_limits=None) -> CapacityPlan:
@@ -153,12 +223,13 @@ class CapacityPlanner:
         if method == "joint":
             from repro.provisioning.joint import JointProvisioningLP
 
-            return JointProvisioningLP(
+            joint = JointProvisioningLP(
                 self.placement, self.demand, scenarios,
                 latency_weight=latency_tiebreak,
                 background=background,
                 dc_core_limits=dc_core_limits,
-            ).solve()
+            )
+            return self._run("provision.joint", joint.solve)
         if method == "incremental":
             return self.plan(scenarios=scenarios, background=background,
                              dc_core_limits=dc_core_limits)
@@ -211,12 +282,13 @@ class CapacityPlanner:
         link_gbps = {}
         results = []
         for scenario in ordered:
-            result = ScenarioLP(
+            lp = ScenarioLP(
                 self.placement, self.demand, scenario,
                 base_cores=cores, base_links=link_gbps,
                 background=background,
                 dc_core_limits=dc_core_limits,
-            ).solve()
+            )
+            result = self._run(_scenario_label(scenario), lp.solve)
             results.append(result)
             for dc_id, extra in result.excess_cores.items():
                 cores[dc_id] = cores.get(dc_id, 0.0) + extra
@@ -229,25 +301,159 @@ class CapacityPlanner:
                            workers: Optional[int]) -> List[ScenarioResult]:
         """Solve independent scenario LPs, optionally process-parallel.
 
-        ``executor.map`` yields results in submission order, so the
-        returned list is in scenario order whichever worker finished
-        first — the merge is deterministic.
+        Results always come back in scenario order whichever worker
+        finished first — the merge is deterministic.  With a supervisor
+        attached the pool path adds per-future timeouts and recovery from
+        dead workers (see :meth:`_solve_pool_supervised`).
         """
         n_workers = self._effective_workers(workers, len(ordered))
         if n_workers <= 1:
-            return [
-                ScenarioLP(
+            results = []
+            for scenario in ordered:
+                lp = ScenarioLP(
                     self.placement, self.demand, scenario,
                     background=background, dc_core_limits=dc_core_limits,
-                ).solve()
-                for scenario in ordered
-            ]
+                )
+                results.append(self._run(_scenario_label(scenario), lp.solve))
+            return results
+        if self.supervisor is not None:
+            return self._solve_pool_supervised(
+                ordered, background, dc_core_limits, n_workers
+            )
         with ProcessPoolExecutor(
             max_workers=n_workers,
             initializer=_init_scenario_worker,
-            initargs=(self.placement, self.demand, background, dc_core_limits),
+            initargs=(self.placement, self.demand, background,
+                      dc_core_limits, None),
         ) as executor:
             return list(executor.map(_solve_scenario_in_worker, ordered))
+
+    def _solve_pool_supervised(self, ordered: List[FailureScenario],
+                               background, dc_core_limits,
+                               n_workers: int) -> List[ScenarioResult]:
+        """The ``max`` sweep under supervision: timeouts + pool recovery.
+
+        * **crash faults** are intercepted parent-side at submission (a
+          worker cannot be asked to "crash deterministically" across
+          resubmissions), burning one retry each;
+        * **hang / worker-death faults** ship to the workers via the pool
+          initializer and happen inside the worker process for real;
+        * a worker death breaks the whole pool (``BrokenProcessPool``):
+          the sweep consumes one ``worker_death`` budget unit, rebuilds
+          the pool, and resubmits only the unfinished scenarios — up to
+          ``pool_restarts`` times;
+        * a scenario exceeding ``solve_timeout_s`` fails the sweep with
+          :class:`SolveTimeoutError` (the hung worker cannot be reclaimed
+          without killing the pool), handing control to the ladder;
+        * a solver error inside a worker is retried by resubmission to
+          the same pool, up to ``solve_retries`` per scenario.
+        """
+        supervisor = self.supervisor
+        cfg = supervisor.config
+        obs = supervisor.obs
+        fault_plan = cfg.fault_plan
+        results: Dict[int, ScenarioResult] = {}
+        restarts_left = cfg.pool_restarts
+        retries_left = {i: cfg.solve_retries for i in range(len(ordered))}
+
+        while len(results) < len(ordered):
+            pending = [(i, scenario) for i, scenario in enumerate(ordered)
+                       if i not in results]
+            obs.record("pool.start", label="provision.max",
+                       workers=n_workers, pending=len(pending))
+            executor = ProcessPoolExecutor(
+                max_workers=n_workers,
+                initializer=_init_scenario_worker,
+                initargs=(self.placement, self.demand, background,
+                          dc_core_limits, fault_plan),
+            )
+            broken = False
+            try:
+                submitted = []
+                for i, scenario in pending:
+                    label = _scenario_label(scenario)
+                    # Parent-side crash injection: each injected crash
+                    # burns one retry; budget exhaustion fails the sweep.
+                    while fault_plan is not None and \
+                            fault_plan.take("crash", label) is not None:
+                        obs.record("fault.injected", label=label,
+                                   kind="crash", fault=f"crash({label})")
+                        obs.record("solve.error", label=label,
+                                   error="injected solver crash")
+                        if retries_left[i] <= 0:
+                            raise SolverError(
+                                f"{label}: injected crashes exhausted retries"
+                            )
+                        retries_left[i] -= 1
+                        obs.record("solve.retry", label=label,
+                                   delay_s=0.0)
+                    submitted.append(
+                        (i, scenario,
+                         executor.submit(_solve_scenario_in_worker, scenario))
+                    )
+                for i, scenario, future in submitted:
+                    label = _scenario_label(scenario)
+                    while True:
+                        try:
+                            results[i] = future.result(
+                                timeout=cfg.solve_timeout_s
+                            )
+                            obs.record("solve.success", label=label)
+                            break
+                        except FutureTimeoutError:
+                            obs.record("solve.timeout", label=label,
+                                       timeout_s=cfg.solve_timeout_s)
+                            raise SolveTimeoutError(
+                                f"{label}: pooled solve exceeded "
+                                f"{cfg.solve_timeout_s}s budget"
+                            ) from None
+                        except BrokenProcessPool:
+                            broken = True
+                            break
+                        except InfeasibleError as exc:
+                            obs.record(
+                                "solve.infeasible", label=label,
+                                error=str(exc),
+                                diagnosis=getattr(exc, "diagnosis", None),
+                            )
+                            raise
+                        except SolverError as exc:
+                            obs.record("solve.error", label=label,
+                                       error=str(exc))
+                            if retries_left[i] <= 0:
+                                obs.record("solve.failure", label=label,
+                                           error=str(exc))
+                                raise
+                            retries_left[i] -= 1
+                            obs.record("solve.retry", label=label,
+                                       delay_s=0.0)
+                            future = executor.submit(
+                                _solve_scenario_in_worker, scenario
+                            )
+                    if broken:
+                        break
+            finally:
+                executor.shutdown(wait=False, cancel_futures=True)
+            if not broken:
+                continue
+            # A worker died and took the pool with it.  Account for the
+            # injected death parent-side (so a rebuilt pool does not
+            # replay it), then rebuild and resubmit the unfinished tail.
+            if fault_plan is not None:
+                fault_plan.take_first("worker_death")
+            obs.record("pool.worker_death", label="provision.max",
+                       completed=len(results),
+                       pending=len(ordered) - len(results))
+            if restarts_left <= 0:
+                obs.record("pool.failure", label="provision.max",
+                           error="pool restarts exhausted")
+                raise SolverError(
+                    "process pool died and pool_restarts is exhausted"
+                )
+            restarts_left -= 1
+            obs.record("pool.restart", label="provision.max",
+                       restarts_left=restarts_left)
+        return [results[i] for i in range(len(ordered))]
 
     @staticmethod
     def _effective_workers(workers: Optional[int], n_scenarios: int) -> int:

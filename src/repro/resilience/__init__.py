@@ -1,0 +1,20 @@
+"""Resilient solve orchestration: supervisor, fault injection, ladder."""
+
+from repro.resilience.faults import FaultPlan, FaultSpec
+from repro.resilience.ladder import (
+    locality_allocation_outcome,
+    locality_allocation_plan,
+    locality_fallback_plan,
+    provision_with_ladder,
+)
+from repro.resilience.supervisor import SolveSupervisor
+
+__all__ = [
+    "FaultPlan",
+    "FaultSpec",
+    "SolveSupervisor",
+    "locality_allocation_outcome",
+    "locality_allocation_plan",
+    "locality_fallback_plan",
+    "provision_with_ladder",
+]

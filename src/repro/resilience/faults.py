@@ -1,0 +1,187 @@
+"""Fault injection: declarative failure drills for the solve pipeline.
+
+A :class:`FaultPlan` is a budgeted list of :class:`FaultSpec` entries that
+the :class:`~repro.resilience.supervisor.SolveSupervisor`, the planner's
+process-pool sweep, and :class:`~repro.simulation.ServiceSimulator`
+consult at well-defined points:
+
+* ``crash`` — the next matching supervised solve raises
+  :class:`~repro.core.errors.SolverError` *instead of running* (models a
+  solver segfault/abort; exercises retry + backoff + ladder).
+* ``hang`` — the next matching solve sleeps ``hang_seconds`` before
+  running (models a stuck solve; exercises the per-solve timeout).
+* ``worker_death`` — the process-pool worker that picks up the matching
+  scenario hard-exits (models an OOM-killed worker; exercises
+  ``BrokenProcessPool`` recovery and pool restarts).
+* ``dc_failure`` / ``link_failure`` — at simulated day ``at_day``, the
+  named DC or WAN link is down for the day (exercises the failure-aware
+  allocation path from the simulator).
+
+Each spec has a ``times`` budget; consuming a fault decrements it, so a
+``times=2`` crash fails the first two attempts and lets the third
+through.  Matching is by substring on the supervised solve's label
+(``target=""`` matches everything), which is how a drill pins a fault to
+one rung (``"provision.joint"``) or one scenario
+(``"F_dc:dc-tokyo"``).
+
+The plan is picklable (its lock is process-local) so the planner can ship
+it to pool workers; budgets consumed inside a worker do **not** flow back
+to the parent — the parent accounts for worker deaths itself when it
+observes the broken pool.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+from repro.core.errors import SwitchboardError
+
+_SOLVE_FAULTS = ("crash", "hang")
+_TOPOLOGY_FAULTS = ("dc_failure", "link_failure")
+_KINDS = _SOLVE_FAULTS + ("worker_death",) + _TOPOLOGY_FAULTS
+
+
+@dataclass
+class FaultSpec:
+    """One injectable fault with a consumption budget."""
+
+    kind: str
+    target: str = ""
+    times: int = 1
+    hang_seconds: float = 0.0
+    dc: Optional[str] = None
+    link: Optional[str] = None
+    at_day: Optional[int] = None
+
+    def __post_init__(self):
+        if self.kind not in _KINDS:
+            raise SwitchboardError(
+                f"unknown fault kind {self.kind!r}; expected one of {_KINDS}"
+            )
+        if self.times < 1:
+            raise SwitchboardError("fault times must be >= 1")
+        if self.kind == "dc_failure" and not self.dc:
+            raise SwitchboardError("dc_failure fault needs dc=")
+        if self.kind == "link_failure" and not self.link:
+            raise SwitchboardError("link_failure fault needs link=")
+
+    def describe(self) -> str:
+        where = self.dc or self.link or self.target or "*"
+        return f"{self.kind}({where})"
+
+
+class FaultPlan:
+    """A budgeted, thread-safe collection of faults to inject."""
+
+    def __init__(self, specs: Optional[List[FaultSpec]] = None):
+        self._lock = threading.Lock()
+        self._specs: List[FaultSpec] = list(specs or [])
+
+    # -- builders ------------------------------------------------------
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        return cls()
+
+    def crash(self, target: str = "", times: int = 1) -> "FaultPlan":
+        self._specs.append(FaultSpec(kind="crash", target=target, times=times))
+        return self
+
+    def hang(self, target: str = "", seconds: float = 0.25,
+             times: int = 1) -> "FaultPlan":
+        self._specs.append(FaultSpec(kind="hang", target=target,
+                                     hang_seconds=seconds, times=times))
+        return self
+
+    def worker_death(self, target: str = "", times: int = 1) -> "FaultPlan":
+        self._specs.append(FaultSpec(kind="worker_death", target=target,
+                                     times=times))
+        return self
+
+    def dc_failure(self, dc: str, at_day: int) -> "FaultPlan":
+        self._specs.append(FaultSpec(kind="dc_failure", dc=dc, at_day=at_day))
+        return self
+
+    def link_failure(self, link: str, at_day: int) -> "FaultPlan":
+        self._specs.append(FaultSpec(kind="link_failure", link=link,
+                                     at_day=at_day))
+        return self
+
+    # -- consumption ---------------------------------------------------
+    def take(self, kind: str, label: str = "") -> Optional[FaultSpec]:
+        """Consume one budget unit of the first matching spec, if any."""
+        with self._lock:
+            for i, spec in enumerate(self._specs):
+                if spec.kind != kind or spec.target not in label:
+                    continue
+                taken = replace(spec, times=1)
+                if spec.times <= 1:
+                    del self._specs[i]
+                else:
+                    self._specs[i] = replace(spec, times=spec.times - 1)
+                return taken
+        return None
+
+    def take_solve_fault(self, label: str) -> Optional[FaultSpec]:
+        """A crash or hang aimed at this solve label, whichever comes first."""
+        with self._lock:
+            for i, spec in enumerate(self._specs):
+                if spec.kind not in _SOLVE_FAULTS or spec.target not in label:
+                    continue
+                taken = replace(spec, times=1)
+                if spec.times <= 1:
+                    del self._specs[i]
+                else:
+                    self._specs[i] = replace(spec, times=spec.times - 1)
+                return taken
+        return None
+
+    def take_first(self, kind: str) -> Optional[FaultSpec]:
+        """Consume one budget unit of the first spec of ``kind``,
+        regardless of its target (used when the consumer cannot know
+        which label triggered, e.g. after a broken process pool)."""
+        with self._lock:
+            for i, spec in enumerate(self._specs):
+                if spec.kind != kind:
+                    continue
+                taken = replace(spec, times=1)
+                if spec.times <= 1:
+                    del self._specs[i]
+                else:
+                    self._specs[i] = replace(spec, times=spec.times - 1)
+                return taken
+        return None
+
+    def peek(self, kind: str, label: str = "") -> Optional[FaultSpec]:
+        """The first matching spec without consuming budget."""
+        with self._lock:
+            for spec in self._specs:
+                if spec.kind == kind and spec.target in label:
+                    return spec
+        return None
+
+    def take_topology_fault(self, day: int) -> Optional[FaultSpec]:
+        """The DC/link failure scheduled for this simulated day, if any."""
+        with self._lock:
+            for i, spec in enumerate(self._specs):
+                if spec.kind in _TOPOLOGY_FAULTS and spec.at_day == day:
+                    del self._specs[i]
+                    return spec
+        return None
+
+    def pending(self) -> List[FaultSpec]:
+        with self._lock:
+            return list(self._specs)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._specs)
+
+    def __getstate__(self):
+        with self._lock:
+            return {"specs": list(self._specs)}
+
+    def __setstate__(self, state):
+        self._lock = threading.Lock()
+        self._specs = list(state["specs"])

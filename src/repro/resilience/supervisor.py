@@ -1,0 +1,161 @@
+"""The solve supervisor: timeouts, retries, backoff, and fault handling.
+
+Every LP solve in the resilient pipeline — scenario, joint, backup,
+allocation — runs through :meth:`SolveSupervisor.run`, which adds the
+production behaviours the bare solver layer deliberately does not have:
+
+* **per-solve timeout** (``solve_timeout_s``): the solve runs on a worker
+  thread and is abandoned when the budget expires.  HiGHS offers no
+  cooperative cancellation, so the thread keeps running to completion in
+  the background; what the timeout buys is *bounded decision latency* —
+  the caller moves on to a retry or a ladder rung instead of waiting
+  forever.  (In the process-pool sweep the analogue is a per-future
+  timeout; see the planner.)
+* **bounded retries with jittered exponential backoff**: transient
+  failures (``SolverError``, including timeouts) are retried up to
+  ``solve_retries`` times, waiting ``retry_backoff_s · 2^attempt``
+  multiplied by ``1 + jitter·U(0,1)`` between attempts.  The RNG is
+  seeded (``rng_seed``) and the clock/sleep are injectable, so tests can
+  drive the schedule deterministically.
+* **infeasibility short-circuit**: an :class:`InfeasibleError` is
+  deterministic — re-solving the same LP cannot fix it — so it is never
+  retried.  The attached diagnosis (constraint family + scenario, see
+  :func:`repro.provisioning.formulation.diagnose_infeasibility`) is
+  recorded and the error propagates, typically into the degradation
+  ladder.
+* **fault injection**: before each attempt the supervisor consults the
+  config's :class:`~repro.resilience.faults.FaultPlan` — a ``crash``
+  fault replaces the attempt with a raised ``SolverError``, a ``hang``
+  fault sleeps inside the worker thread so the timeout machinery fires
+  for real.
+
+Every decision emits a structured event into the supervisor's
+:class:`~repro.obs.Observability` bundle, which ends up queryable from
+the produced :class:`~repro.provisioning.planner.CapacityPlan`.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import Any, Callable, Optional
+
+from repro.core.errors import (
+    InfeasibleError,
+    SolverError,
+    SolveTimeoutError,
+    SwitchboardError,
+)
+from repro.config import PlannerConfig
+from repro.obs.events import Observability
+from repro.resilience.faults import FaultSpec
+
+
+class SolveSupervisor:
+    """Wraps LP solves with timeout, retry, backoff, and event emission.
+
+    ``clock`` and ``sleep`` default to the real ones; tests inject fakes
+    to pin the backoff schedule.  One supervisor instance is shared by
+    every solve of one orchestration run, so its event log is the run's
+    complete trail.
+    """
+
+    def __init__(self, config: Optional[PlannerConfig] = None,
+                 obs: Optional[Observability] = None,
+                 clock: Callable[[], float] = time.monotonic,
+                 sleep: Callable[[float], None] = time.sleep,
+                 rng: Optional[random.Random] = None):
+        self.config = config if config is not None else PlannerConfig()
+        self.obs = obs if obs is not None else Observability()
+        self.clock = clock
+        self.sleep = sleep
+        self.rng = rng if rng is not None else random.Random(self.config.rng_seed)
+
+    # ------------------------------------------------------------------
+    def run(self, label: str, fn: Callable[[], Any]) -> Any:
+        """Execute ``fn`` under the supervisor's full policy."""
+        attempts = self.config.solve_retries + 1
+        last_error: Optional[SwitchboardError] = None
+        for attempt in range(attempts):
+            self.obs.record("solve.attempt", label=label, attempt=attempt)
+            started = self.clock()
+            try:
+                result = self._attempt(label, fn)
+            except InfeasibleError as exc:
+                self.obs.record(
+                    "solve.infeasible", label=label, attempt=attempt,
+                    error=str(exc), diagnosis=getattr(exc, "diagnosis", None),
+                )
+                raise
+            except SolveTimeoutError as exc:
+                self.obs.record("solve.timeout", label=label, attempt=attempt,
+                                error=str(exc))
+                last_error = exc
+            except SwitchboardError as exc:
+                self.obs.record("solve.error", label=label, attempt=attempt,
+                                error=str(exc))
+                last_error = exc
+            else:
+                self.obs.record("solve.success", label=label, attempt=attempt,
+                                seconds=self.clock() - started)
+                return result
+            if attempt + 1 < attempts:
+                delay = self.backoff_delay(attempt)
+                self.obs.record("solve.retry", label=label, attempt=attempt,
+                                delay_s=delay)
+                if delay > 0:
+                    self.sleep(delay)
+        self.obs.record("solve.failure", label=label,
+                        attempts=attempts, error=str(last_error))
+        raise last_error
+
+    def backoff_delay(self, attempt: int) -> float:
+        """Jittered exponential backoff before retry ``attempt + 1``."""
+        base = self.config.retry_backoff_s * (2.0 ** attempt)
+        return base * (1.0 + self.config.retry_backoff_jitter * self.rng.random())
+
+    # ------------------------------------------------------------------
+    def _attempt(self, label: str, fn: Callable[[], Any]) -> Any:
+        fault = self._take_solve_fault(label)
+        if fault is not None and fault.kind == "crash":
+            raise SolverError(f"{label}: injected solver crash")
+        work = fn
+        if fault is not None and fault.kind == "hang":
+            work = self._hung(fn, fault)
+        timeout = self.config.solve_timeout_s
+        if timeout is None:
+            return work()
+        # One dedicated thread per attempt: cheap at solve granularity,
+        # and an abandoned (timed-out) thread cannot poison later solves.
+        executor = ThreadPoolExecutor(max_workers=1,
+                                      thread_name_prefix=f"solve[{label}]")
+        future = executor.submit(work)
+        try:
+            return future.result(timeout=timeout)
+        except FutureTimeoutError:
+            raise SolveTimeoutError(
+                f"{label}: solve exceeded {timeout}s budget"
+            ) from None
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def _take_solve_fault(self, label: str) -> Optional[FaultSpec]:
+        plan = self.config.fault_plan
+        if plan is None:
+            return None
+        fault = plan.take_solve_fault(label)
+        if fault is not None:
+            self.obs.record("fault.injected", label=label,
+                            fault_kind=fault.kind, fault=fault.describe())
+        return fault
+
+    @staticmethod
+    def _hung(fn: Callable[[], Any], fault: FaultSpec) -> Callable[[], Any]:
+        def hung():
+            # Real sleep (not the injected one): the hang must burn the
+            # wall clock the timeout thread is watching.
+            time.sleep(fault.hang_seconds)
+            return fn()
+        return hung

@@ -34,6 +34,7 @@ from repro.core.errors import SwitchboardError
 from repro.core.types import make_slots
 from repro.core.units import DEFAULT_SLOT_S
 from repro.allocation.realtime import RealTimeSelector
+from repro.config import PlannerConfig
 from repro.forecasting.forecaster import CallCountForecaster
 from repro.metrics.capacity import capacity_diff
 from repro.provisioning.planner import CapacityPlan
@@ -62,6 +63,10 @@ class DayReport:
     capacity_cost: float
     cores_added: float = 0.0
     cores_reclaimed: float = 0.0
+    #: ``describe()`` of the injected DC/link failure this day, if any.
+    injected_fault: Optional[str] = None
+    #: How far provisioning/allocation degraded this day (0 = full LP).
+    degradation_level: int = 0
 
 
 @dataclass
@@ -109,7 +114,15 @@ class ServiceSimulator:
                  with_backup: bool = False,
                  season_length: int = _SLOTS_PER_DAY,
                  freeze_window_s: float = 300.0,
-                 seed: int = 97):
+                 seed: int = 97,
+                 planner_config: Optional[PlannerConfig] = None):
+        """``planner_config`` configures the inner :class:`Switchboard`
+        (defaults to DC-failure scenarios only, the simulator's
+        historical setting).  Its ``fault_plan`` doubles as the drill
+        schedule: ``dc_failure`` / ``link_failure`` specs with an
+        ``at_day`` fire on that simulated day — the allocation plan is
+        rebuilt for the failure scenario and the day is tagged in its
+        :class:`DayReport`."""
         if bootstrap_days < 1:
             raise SwitchboardError("need at least one bootstrap day")
         if reprovision_every < 1:
@@ -125,7 +138,9 @@ class ServiceSimulator:
         self.freeze_window_s = freeze_window_s
         self.seed = seed
         self.db = CallRecordsDatabase()
-        self.controller = Switchboard(topology, max_link_scenarios=0)
+        self.planner_config = (planner_config if planner_config is not None
+                               else PlannerConfig(max_link_scenarios=0))
+        self.controller = Switchboard(topology, config=self.planner_config)
         self.capacity: Optional[CapacityPlan] = None
 
     # ------------------------------------------------------------------
@@ -145,6 +160,9 @@ class ServiceSimulator:
                    for dc, v in capacity.cores.items()},
             link_gbps={l: self.capacity_cushion * v
                        for l, v in capacity.link_gbps.items()},
+            method=capacity.method,
+            degradation_level=capacity.degradation_level,
+            obs=capacity.obs,
         )
 
     def _forecast_next_day(self, day: int) -> Demand:
@@ -208,7 +226,27 @@ class ServiceSimulator:
                 self.capacity = new_capacity
                 reprovisioned = True
 
-            plan = self.controller.allocate(forecast, self.capacity).plan
+            # Drill schedule: a dc_failure/link_failure fault landing on
+            # this day rebuilds the plan for the failure scenario — the
+            # surviving capacity absorbs the displaced calls (§4.2).
+            injected_fault = None
+            allocation_level = 0
+            fault = None
+            if self.planner_config.fault_plan is not None:
+                fault = self.planner_config.fault_plan.take_topology_fault(day)
+            if fault is not None:
+                injected_fault = fault.describe()
+                self.controller.obs.record(
+                    "fault.injected", label=f"day[{day}]",
+                    fault_kind=fault.kind, fault=injected_fault,
+                )
+                plan = self.controller.allocation_plan(
+                    forecast, failed_dc=fault.dc, failed_link=fault.link,
+                )
+            else:
+                outcome = self.controller.allocate(forecast, self.capacity)
+                allocation_level = outcome.degradation_level
+                plan = outcome.plan
             selector = RealTimeSelector(self.topology, plan,
                                         self.freeze_window_s)
             selector.process_trace(trace.calls)
@@ -227,6 +265,9 @@ class ServiceSimulator:
                 capacity_cost=self.capacity.cost(self.topology),
                 cores_added=cores_added,
                 cores_reclaimed=cores_reclaimed,
+                injected_fault=injected_fault,
+                degradation_level=max(self.capacity.degradation_level,
+                                      allocation_level),
             ))
             ingest_trace(self.db, trace, self.topology,
                          seed=self.seed + 10 + day,

@@ -10,93 +10,174 @@ Two entry points:
 * :class:`SwitchboardPipeline` — the full production loop of Fig 6: call
   records -> top-config selection -> per-config Holt-Winters forecasts ->
   capacity provisioning -> daily allocation plan -> real-time MP selector.
+
+Both are configured by one frozen :class:`~repro.config.PlannerConfig`
+(``Switchboard(topology, config=...)``); the historical per-knob keywords
+still work as deprecated shims.  Every LP solve runs under a
+:class:`~repro.resilience.supervisor.SolveSupervisor` (timeouts, retries,
+fault handling) and provisioning walks the degradation ladder of
+:mod:`repro.resilience.ladder`, so ``provision()`` and ``run()`` return a
+usable — possibly degraded, always tagged — plan even when solves fail
+persistently.  The full event trail lives on ``controller.obs`` and on
+the returned plans.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+import warnings
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.errors import SwitchboardError
+from repro.core.errors import SwitchboardDeprecationWarning, SwitchboardError
 from repro.core.types import CallConfig
-from repro.core.units import DEFAULT_FREEZE_WINDOW_S, DEFAULT_LATENCY_THRESHOLD_MS
+from repro.core.units import DEFAULT_FREEZE_WINDOW_S
 from repro.allocation.offline import AllocationOptimizer, AllocationOutcome
 from repro.allocation.plan import AllocationPlan
 from repro.allocation.realtime import RealTimeSelector
 from repro.baselines.base import ProvisioningStrategy
+from repro.config import PlannerConfig
 from repro.forecasting.forecaster import CallCountForecaster
+from repro.obs.events import Event, Observability
 from repro.provisioning.demand import PlacementData
 from repro.provisioning.failures import FailureScenario
 from repro.provisioning.formulation import ScenarioLP
-from repro.provisioning.planner import CapacityPlan, CapacityPlanner
+from repro.provisioning.planner import CapacityPlan
 from repro.records.aggregation import cushion_factor, demand_from_database
 from repro.records.database import CallRecordsDatabase
 from repro.records.latency_est import estimate_latency_matrix
+from repro.resilience.ladder import (
+    locality_allocation_outcome,
+    locality_allocation_plan,
+    provision_with_ladder,
+)
+from repro.resilience.supervisor import SolveSupervisor
 from repro.topology.builder import Topology
 from repro.workload.arrivals import Demand
 from repro.workload.media import MediaLoadModel
 
+#: Sentinel distinguishing "caller did not pass this deprecated keyword"
+#: from any real value (None is meaningful for several of them).
+_UNSET = object()
+
+
+def _fold_deprecated_kwargs(config: Optional[PlannerConfig],
+                            default: PlannerConfig,
+                            owner: str,
+                            **kwargs: object) -> PlannerConfig:
+    """Merge legacy per-knob keywords into a PlannerConfig, warning once.
+
+    ``kwargs`` values are the raw keyword arguments, ``_UNSET`` meaning
+    "not passed".  Passing any of them alongside an explicit ``config``
+    is an error — silently letting one override the other would make the
+    effective configuration depend on argument order.
+    """
+    passed = {name: value for name, value in kwargs.items()
+              if value is not _UNSET}
+    if not passed:
+        return config if config is not None else default
+    if config is not None:
+        raise SwitchboardError(
+            f"{owner}: pass either config= or the legacy keywords "
+            f"({', '.join(sorted(passed))}), not both"
+        )
+    warnings.warn(
+        f"{owner}({', '.join(sorted(passed))}=...) is deprecated; "
+        f"pass config=PlannerConfig(...) instead",
+        SwitchboardDeprecationWarning,
+        stacklevel=3,
+    )
+    return default.but(**passed)
+
 
 class Switchboard(ProvisioningStrategy):
-    """Peak-aware joint provisioning + latency-optimal allocation."""
+    """Peak-aware joint provisioning + latency-optimal allocation.
+
+    Configure with ``Switchboard(topology, config=PlannerConfig(...))``.
+    The per-knob keywords (``latency_threshold_ms``, ``backup_method``,
+    ...) are deprecated shims that build the equivalent config and emit a
+    :class:`~repro.core.errors.SwitchboardDeprecationWarning`.
+    """
 
     name = "switchboard"
 
     def __init__(self, topology: Topology,
                  load_model: Optional[MediaLoadModel] = None,
-                 latency_threshold_ms: float = DEFAULT_LATENCY_THRESHOLD_MS,
-                 max_link_scenarios: Optional[int] = None,
-                 backup_method: str = "joint",
-                 background=None,
-                 dc_core_limits=None,
-                 workers: Optional[int] = None):
-        """``background`` folds non-conferencing link traffic into the
-        provisioned peaks (§6.1 note); ``dc_core_limits`` caps per-DC
-        cores (regional capacity exhaustion, §7 refs [1-3]).  ``workers``
-        fans the independent scenario LPs of ``backup_method="max"`` out
-        over a process pool (ignored by the other methods — the joint LP
-        is a single solve and the incremental sweep is sequential by
-        design)."""
+                 config: Optional[PlannerConfig] = None,
+                 latency_threshold_ms=_UNSET,
+                 max_link_scenarios=_UNSET,
+                 backup_method=_UNSET,
+                 background=_UNSET,
+                 dc_core_limits=_UNSET,
+                 workers=_UNSET):
         super().__init__(topology, load_model)
-        self.latency_threshold_ms = latency_threshold_ms
-        self.max_link_scenarios = max_link_scenarios
-        self.backup_method = backup_method
-        self.background = background
-        self.dc_core_limits = dc_core_limits
-        self.workers = workers
-        self._placement_cache: Dict[int, PlacementData] = {}
+        self.config = _fold_deprecated_kwargs(
+            config, PlannerConfig(), "Switchboard",
+            latency_threshold_ms=latency_threshold_ms,
+            max_link_scenarios=max_link_scenarios,
+            backup_method=backup_method,
+            background=background,
+            dc_core_limits=dc_core_limits,
+            workers=workers,
+        )
+        #: The controller's complete attempt/retry/fallback event trail.
+        self.obs = Observability()
+        self._supervisor = SolveSupervisor(self.config, self.obs)
+        self._placement_cache: Dict[Tuple[CallConfig, ...], PlacementData] = {}
+
+    # ------------------------------------------------------------------
+    # config attribute shims (read-only views onto the frozen config)
+    # ------------------------------------------------------------------
+    @property
+    def latency_threshold_ms(self) -> float:
+        return self.config.latency_threshold_ms
+
+    @property
+    def max_link_scenarios(self) -> Optional[int]:
+        return self.config.max_link_scenarios
+
+    @property
+    def backup_method(self) -> str:
+        return self.config.backup_method
+
+    @property
+    def background(self):
+        return self.config.background
+
+    @property
+    def dc_core_limits(self):
+        return self.config.dc_core_limits
+
+    @property
+    def workers(self) -> Optional[int]:
+        return self.config.workers
 
     # ------------------------------------------------------------------
     # provisioning (§5.3)
     # ------------------------------------------------------------------
     def placement_for(self, configs: Sequence[CallConfig]) -> PlacementData:
-        """PlacementData for a config set, cached by identity of the set."""
-        key = hash(tuple(configs))
+        """PlacementData for a config set, cached by the set itself."""
+        key = tuple(configs)
         placement = self._placement_cache.get(key)
         if placement is None:
             placement = PlacementData(
                 self.topology, configs,
                 load_model=self.usage.load_model,
-                latency_threshold_ms=self.latency_threshold_ms,
+                latency_threshold_ms=self.config.latency_threshold_ms,
             )
             self._placement_cache[key] = placement
         return placement
 
     def provision(self, demand: Demand, with_backup: bool = True) -> CapacityPlan:
-        """The LP provisioning of §5.3 over the scenario set."""
+        """The LP provisioning of §5.3, run down the degradation ladder.
+
+        Always returns a plan: on persistent solve failure the walk
+        degrades (``joint → max → incremental → locality``) and the
+        result records ``method`` / ``degradation_level``.
+        """
         placement = self.placement_for(demand.configs)
-        planner = CapacityPlanner(placement, demand)
-        if with_backup:
-            return planner.plan_with_backup(
-                max_link_scenarios=self.max_link_scenarios,
-                method=self.backup_method,
-                background=self.background,
-                dc_core_limits=self.dc_core_limits,
-                workers=self.workers,
-            )
-        return planner.plan_without_backup(
-            background=self.background,
-            dc_core_limits=self.dc_core_limits,
+        return provision_with_ladder(
+            placement, demand, self.config,
+            with_backup=with_backup, supervisor=self._supervisor,
         )
 
     def plan_without_backup(self, demand: Demand) -> CapacityPlan:
@@ -106,8 +187,10 @@ class Switchboard(ProvisioningStrategy):
                          max_link_scenarios: Optional[int] = None) -> CapacityPlan:
         if max_link_scenarios is not None:
             placement = self.placement_for(demand.configs)
-            return CapacityPlanner(placement, demand).plan_with_backup(
-                max_link_scenarios=max_link_scenarios, method=self.backup_method
+            return provision_with_ladder(
+                placement, demand,
+                self.config.but(max_link_scenarios=max_link_scenarios),
+                with_backup=True, supervisor=self._supervisor,
             )
         return self.provision(demand, with_backup=True)
 
@@ -115,24 +198,61 @@ class Switchboard(ProvisioningStrategy):
     # allocation (§5.3 "Allocation plan" + §5.4)
     # ------------------------------------------------------------------
     def allocate(self, demand: Demand, capacity: CapacityPlan) -> AllocationOutcome:
-        """The daily allocation LP (Eq 10) against fixed capacity."""
-        placement = self.placement_for(demand.configs)
-        return AllocationOptimizer(placement, capacity).allocate(demand)
+        """The daily allocation LP (Eq 10) against fixed capacity.
 
-    def allocation_plan(self, demand: Demand,
-                        failed_dc: Optional[str] = None) -> AllocationPlan:
-        """Strategy-interface allocation: allocate within own capacity.
-
-        Under a DC failure, allocation re-runs against the same capacity
-        with the failed DC's cores zeroed (its backup capacity elsewhere
-        absorbs the calls).
+        Supervised like every other solve; if the LP fails persistently
+        the min-ACL locality heuristic produces the plan instead, tagged
+        ``method="locality"`` / ``degradation_level=1``.
         """
         placement = self.placement_for(demand.configs)
-        if failed_dc is not None:
-            # Re-provision for the failure scenario: the surviving DCs'
-            # backup capacity hosts the failed DC's calls (§4.2).
-            scenario = FailureScenario(name=f"F_dc:{failed_dc}", failed_dc=failed_dc)
-            result = ScenarioLP(placement, demand, scenario).solve()
+        optimizer = AllocationOptimizer(placement, capacity)
+        try:
+            return self._supervisor.run(
+                "allocation", lambda: optimizer.allocate(demand)
+            )
+        except SwitchboardError as exc:
+            self.obs.record("ladder.fallback", label="allocation",
+                            error=str(exc), next_rung="locality")
+            outcome = locality_allocation_outcome(placement, capacity, demand)
+            self.obs.record("ladder.selected", label="allocation.locality",
+                            level=1)
+            self.obs.counters.increment("ladder.degraded")
+            return outcome
+
+    def allocation_plan(self, demand: Demand,
+                        failed_dc: Optional[str] = None,
+                        failed_link: Optional[str] = None) -> AllocationPlan:
+        """Strategy-interface allocation: allocate within own capacity.
+
+        Under a DC or WAN-link failure, allocation re-runs for the
+        corresponding scenario: surviving placement options only, with
+        the backup capacity elsewhere absorbing the displaced calls
+        (§4.2).  The failure-scenario solve is supervised and degrades to
+        the locality heuristic rather than raising.
+        """
+        placement = self.placement_for(demand.configs)
+        if failed_dc is not None or failed_link is not None:
+            parts = ([f"dc:{failed_dc}"] if failed_dc else []) + \
+                    ([f"link:{failed_link}"] if failed_link else [])
+            scenario = FailureScenario(
+                name="F_" + "+".join(parts),
+                failed_dcs=(failed_dc,) if failed_dc else (),
+                failed_links=(failed_link,) if failed_link else (),
+            )
+            lp = ScenarioLP(placement, demand, scenario)
+            try:
+                result = self._supervisor.run(
+                    f"allocation[{scenario.name}]", lp.solve
+                )
+            except SwitchboardError as exc:
+                self.obs.record("ladder.fallback",
+                                label=f"allocation[{scenario.name}]",
+                                error=str(exc), next_rung="locality")
+                self.obs.counters.increment("ladder.degraded")
+                return locality_allocation_plan(
+                    placement, demand,
+                    failed_dc=failed_dc, failed_link=failed_link,
+                )
             return AllocationPlan(slots=list(demand.slots), shares=result.shares)
         capacity = self.provision(demand, with_backup=False)
         outcome = self.allocate(demand, capacity)
@@ -161,23 +281,59 @@ class PipelineResult:
     forecast_demand: Demand
     capacity: CapacityPlan
     allocation: AllocationOutcome
+    obs: Optional[Observability] = field(default=None, repr=False, compare=False)
+
+    @property
+    def degradation_level(self) -> int:
+        """How far any stage degraded (0 = both stages at full fidelity)."""
+        return max(self.capacity.degradation_level,
+                   self.allocation.degradation_level)
+
+    @property
+    def degraded(self) -> bool:
+        return self.degradation_level > 0
+
+    def events(self, kind: Optional[str] = None,
+               label_contains: Optional[str] = None) -> List[Event]:
+        """The run's event trail, filtered like :meth:`EventLog.events`."""
+        if self.obs is None:
+            return []
+        return self.obs.events(kind=kind, label_contains=label_contains)
+
+    def counter(self, name: str) -> int:
+        return 0 if self.obs is None else self.obs.counters.get(name)
 
 
 class SwitchboardPipeline:
-    """Fig 6 end to end: records -> forecast -> provision -> allocate."""
+    """Fig 6 end to end: records -> forecast -> provision -> allocate.
+
+    ``config`` carries every provisioning/resilience knob to the inner
+    :class:`Switchboard`; the default keeps the pipeline's historical
+    behaviour (``max_link_scenarios=0`` — DC-failure scenarios only).
+    The ``max_link_scenarios`` keyword is a deprecated shim.
+    """
 
     def __init__(self, topology: Topology,
                  top_config_fraction: float = 0.01,
                  season_length: int = 48,
                  load_model: Optional[MediaLoadModel] = None,
-                 max_link_scenarios: Optional[int] = 0,
-                 use_estimated_latency: bool = True):
+                 max_link_scenarios=_UNSET,
+                 use_estimated_latency: bool = True,
+                 config: Optional[PlannerConfig] = None):
         self.topology = topology
         self.top_config_fraction = top_config_fraction
         self.season_length = season_length
         self.load_model = load_model if load_model is not None else MediaLoadModel()
-        self.max_link_scenarios = max_link_scenarios
         self.use_estimated_latency = use_estimated_latency
+        self.config = _fold_deprecated_kwargs(
+            config, PlannerConfig(max_link_scenarios=0),
+            "SwitchboardPipeline",
+            max_link_scenarios=max_link_scenarios,
+        )
+
+    @property
+    def max_link_scenarios(self) -> Optional[int]:
+        return self.config.max_link_scenarios
 
     def run(self, db: CallRecordsDatabase, horizon_slots: int,
             with_backup: bool = True) -> PipelineResult:
@@ -202,11 +358,9 @@ class SwitchboardPipeline:
         )
         forecast = forecaster.forecast_demand(history, horizon_slots)
 
-        # 4. LP capacity provisioning (§5.3).
+        # 4. LP capacity provisioning (§5.3) down the degradation ladder.
         controller = Switchboard(
-            topology,
-            load_model=self.load_model,
-            max_link_scenarios=self.max_link_scenarios,
+            topology, load_model=self.load_model, config=self.config
         )
         capacity = controller.provision(forecast, with_backup=with_backup)
 
@@ -219,4 +373,5 @@ class SwitchboardPipeline:
             forecast_demand=forecast,
             capacity=capacity,
             allocation=allocation,
+            obs=controller.obs,
         )

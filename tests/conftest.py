@@ -12,6 +12,7 @@ import pytest
 from repro.core.types import make_slots
 from repro.provisioning.demand import PlacementData
 from repro.provisioning.planner import CapacityPlanner
+from repro.config import PlannerConfig
 from repro.switchboard import Switchboard
 from repro.topology.builder import Topology
 from repro.workload.arrivals import DemandModel
@@ -82,4 +83,5 @@ def serving_plan(placement, expected_demand):
 
 @pytest.fixture(scope="session")
 def switchboard(topology, load_model):
-    return Switchboard(topology, load_model, max_link_scenarios=0)
+    return Switchboard(topology, load_model,
+                       config=PlannerConfig(max_link_scenarios=0))

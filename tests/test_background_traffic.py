@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.config import PlannerConfig
 from repro.core.errors import TopologyError
 from repro.core.types import CallConfig, MediaType, make_slots
 from repro.provisioning.background import BackgroundTraffic, diurnal_background
@@ -146,20 +147,24 @@ class TestFacadePassthrough:
     def test_switchboard_with_core_limits(self):
         import numpy as np
 
+        from repro.config import PlannerConfig
+
         from repro.switchboard import Switchboard
 
         topo = Topology.small()
         configs = [CallConfig.build({"JP": 2}, MediaType.AUDIO)]
         demand = Demand(make_slots(1800.0, 1800.0), configs,
                         np.array([[20.0]]))
-        plain = Switchboard(topo, max_link_scenarios=0).provision(
+        plain = Switchboard(
+            topo, config=PlannerConfig(max_link_scenarios=0)
+        ).provision(
             demand, with_backup=False
         )
         host = max(plain.cores, key=plain.cores.get)
-        limited = Switchboard(
-            topo, max_link_scenarios=0,
+        limited = Switchboard(topo, config=PlannerConfig(
+            max_link_scenarios=0,
             dc_core_limits={host: plain.cores[host] / 2},
-        ).provision(demand, with_backup=False)
+        )).provision(demand, with_backup=False)
         assert limited.cores.get(host, 0.0) <= plain.cores[host] / 2 + 1e-6
 
     def test_switchboard_with_background_joint(self):
@@ -171,15 +176,17 @@ class TestFacadePassthrough:
         configs = [CallConfig.build({"JP": 2}, MediaType.AUDIO)]
         demand = Demand(make_slots(1800.0, 1800.0), configs,
                         np.array([[20.0]]))
-        plain = Switchboard(topo, max_link_scenarios=0).provision(
+        plain = Switchboard(
+            topo, config=PlannerConfig(max_link_scenarios=0)
+        ).provision(
             demand, with_backup=True
         )
         bg = BackgroundTraffic(
             {link_id: [3.0] for link_id in plain.link_gbps}, n_slots=1
         )
-        loaded = Switchboard(
-            topo, max_link_scenarios=0, background=bg
-        ).provision(demand, with_backup=True)
+        loaded = Switchboard(topo, config=PlannerConfig(
+            max_link_scenarios=0, background=bg
+        )).provision(demand, with_backup=True)
         for link_id in plain.link_gbps:
             assert loaded.link_gbps[link_id] >= 3.0 - 1e-6
         assert loaded.cost(topo) > plain.cost(topo)

@@ -20,6 +20,7 @@ from repro.provisioning.formulation import ScenarioLP
 from repro.provisioning.planner import CapacityPlan
 from repro.records.aggregation import demand_from_database, ingest_trace
 from repro.records.database import CallRecordsDatabase
+from repro.config import PlannerConfig
 from repro.switchboard import Switchboard, SwitchboardPipeline
 from repro.workload.arrivals import DemandModel
 from repro.workload.configs import generate_population
@@ -43,12 +44,12 @@ class TestRecordsToProvisioning:
 
         pipeline = SwitchboardPipeline(
             topology, top_config_fraction=0.3, season_length=8,
-            max_link_scenarios=0,
+            config=PlannerConfig(max_link_scenarios=0),
         )
         result = pipeline.run(db, horizon_slots=12, with_backup=True)
 
         # The provisioned capacity must host the pipeline's own forecast.
-        controller = Switchboard(topology, max_link_scenarios=0)
+        controller = Switchboard(topology, config=PlannerConfig(max_link_scenarios=0))
         outcome = controller.allocate(result.forecast_demand, result.capacity)
         assert not outcome.overflowed
 
@@ -58,7 +59,7 @@ class TestRecordsToProvisioning:
         ingest_trace(db, trace, topology, seed=44)
         demand = demand_from_database(db, db.top_configs(0.5))
 
-        controller = Switchboard(topology, max_link_scenarios=0)
+        controller = Switchboard(topology, config=PlannerConfig(max_link_scenarios=0))
         capacity = controller.provision(demand, with_backup=False)
         outcome = controller.allocate(demand, capacity)
         assert not outcome.overflowed
@@ -70,7 +71,7 @@ class TestProvisionToRealtime:
     def plan_and_trace(self, world):
         topology, trace = world
         demand = trace.to_demand(freeze_after_s=300.0)
-        controller = Switchboard(topology, max_link_scenarios=0)
+        controller = Switchboard(topology, config=PlannerConfig(max_link_scenarios=0))
         capacity = controller.provision(demand, with_backup=True)
         cushioned = CapacityPlan(
             cores={dc: 1.25 * v for dc, v in capacity.cores.items()},
@@ -110,7 +111,7 @@ class TestFailureCoverage:
         any single-DC failure with zero extra capacity."""
         topology, trace = world
         demand = trace.to_demand()
-        controller = Switchboard(topology, max_link_scenarios=0)
+        controller = Switchboard(topology, config=PlannerConfig(max_link_scenarios=0))
         capacity = controller.provision(demand, with_backup=True)
         placement = PlacementData(topology, demand.configs)
         for dc_id in topology.fleet.ids:

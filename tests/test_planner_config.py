@@ -1,0 +1,153 @@
+"""The unified PlannerConfig API and the deprecated keyword shims."""
+
+import numpy as np
+import pytest
+
+from repro.config import DEFAULT_LADDER, PlannerConfig
+from repro.core.errors import SwitchboardDeprecationWarning, SwitchboardError
+from repro.core.types import CallConfig, MediaType, make_slots
+from repro.switchboard import Switchboard, SwitchboardPipeline
+from repro.topology.builder import Topology
+from repro.workload.arrivals import Demand
+
+
+@pytest.fixture(scope="module")
+def small_world():
+    topo = Topology.small()
+    configs = [
+        CallConfig.build({"JP": 2}, MediaType.AUDIO),
+        CallConfig.build({"JP": 1, "IN": 1}, MediaType.VIDEO),
+    ]
+    demand = Demand(make_slots(2 * 1800.0, 1800.0), configs,
+                    np.array([[20.0, 5.0], [12.0, 8.0]]))
+    return topo, demand
+
+
+class TestPlannerConfig:
+    def test_defaults_match_legacy_switchboard_defaults(self):
+        config = PlannerConfig()
+        assert config.backup_method == "joint"
+        assert config.max_link_scenarios is None
+        assert config.degradation_ladder == DEFAULT_LADDER
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            PlannerConfig().backup_method = "max"
+
+    def test_but_overrides_without_mutating(self):
+        base = PlannerConfig()
+        fast = base.but(backup_method="incremental", solve_retries=0)
+        assert fast.backup_method == "incremental"
+        assert fast.solve_retries == 0
+        assert base.backup_method == "joint"
+
+    def test_unknown_backup_method_rejected(self):
+        with pytest.raises(SwitchboardError):
+            PlannerConfig(backup_method="psychic")
+
+    def test_unknown_ladder_rung_rejected(self):
+        with pytest.raises(SwitchboardError):
+            PlannerConfig(degradation_ladder=("joint", "prayer"))
+
+    def test_empty_ladder_rejected(self):
+        with pytest.raises(SwitchboardError):
+            PlannerConfig(degradation_ladder=())
+
+    def test_negative_knobs_rejected(self):
+        with pytest.raises(SwitchboardError):
+            PlannerConfig(solve_retries=-1)
+        with pytest.raises(SwitchboardError):
+            PlannerConfig(solve_timeout_s=0.0)
+        with pytest.raises(SwitchboardError):
+            PlannerConfig(retry_backoff_s=-0.1)
+        with pytest.raises(SwitchboardError):
+            PlannerConfig(pool_restarts=-1)
+        with pytest.raises(SwitchboardError):
+            PlannerConfig(workers=0)
+
+    def test_provisioning_ladder_starts_at_backup_method(self):
+        assert PlannerConfig().provisioning_ladder() == DEFAULT_LADDER
+        assert PlannerConfig(backup_method="max").provisioning_ladder() == (
+            "max", "incremental", "locality"
+        )
+        assert PlannerConfig(
+            backup_method="incremental"
+        ).provisioning_ladder() == ("incremental", "locality")
+
+    def test_method_absent_from_ladder_is_prepended(self):
+        config = PlannerConfig(backup_method="joint",
+                               degradation_ladder=("max", "locality"))
+        assert config.provisioning_ladder() == ("joint", "max", "locality")
+
+
+class TestDeprecatedShims:
+    def test_legacy_keywords_warn(self, small_world):
+        topo, _ = small_world
+        with pytest.warns(SwitchboardDeprecationWarning):
+            Switchboard(topo, max_link_scenarios=0)
+
+    def test_legacy_and_config_together_rejected(self, small_world):
+        topo, _ = small_world
+        with pytest.raises(SwitchboardError):
+            Switchboard(topo, config=PlannerConfig(), max_link_scenarios=0)
+
+    def test_legacy_keywords_build_equivalent_config(self, small_world):
+        topo, _ = small_world
+        with pytest.warns(SwitchboardDeprecationWarning):
+            legacy = Switchboard(topo, max_link_scenarios=0,
+                                 backup_method="incremental",
+                                 latency_threshold_ms=150.0)
+        assert legacy.config == PlannerConfig(
+            max_link_scenarios=0, backup_method="incremental",
+            latency_threshold_ms=150.0,
+        )
+
+    def test_legacy_and_config_yield_identical_plans(self, small_world):
+        topo, demand = small_world
+        with pytest.warns(SwitchboardDeprecationWarning):
+            legacy = Switchboard(topo, max_link_scenarios=0)
+        modern = Switchboard(topo, config=PlannerConfig(max_link_scenarios=0))
+        plan_legacy = legacy.provision(demand, with_backup=True)
+        plan_modern = modern.provision(demand, with_backup=True)
+        assert plan_legacy.cores == pytest.approx(plan_modern.cores)
+        assert plan_legacy.link_gbps == pytest.approx(plan_modern.link_gbps)
+        assert plan_legacy.method == plan_modern.method == "joint"
+        assert plan_legacy.degradation_level == 0
+
+    def test_attribute_shims_read_through_to_config(self, small_world):
+        topo, _ = small_world
+        sb = Switchboard(topo, config=PlannerConfig(
+            max_link_scenarios=3, backup_method="max", workers=2,
+        ))
+        assert sb.max_link_scenarios == 3
+        assert sb.backup_method == "max"
+        assert sb.workers == 2
+        assert sb.background is None
+        assert sb.dc_core_limits is None
+
+    def test_pipeline_legacy_keyword_warns(self, small_world):
+        topo, _ = small_world
+        with pytest.warns(SwitchboardDeprecationWarning):
+            pipeline = SwitchboardPipeline(topo, max_link_scenarios=2)
+        assert pipeline.config.max_link_scenarios == 2
+
+    def test_pipeline_default_keeps_historical_scenario_cap(self, small_world):
+        topo, _ = small_world
+        assert SwitchboardPipeline(topo).config.max_link_scenarios == 0
+
+    def test_pipeline_forwards_full_config(self, small_world):
+        topo, _ = small_world
+        config = PlannerConfig(max_link_scenarios=0, backup_method="max",
+                               solve_retries=5)
+        assert SwitchboardPipeline(topo, config=config).config is config
+
+
+class TestPlacementCache:
+    def test_cache_keyed_by_config_tuple(self, small_world):
+        topo, demand = small_world
+        sb = Switchboard(topo, config=PlannerConfig(max_link_scenarios=0))
+        first = sb.placement_for(demand.configs)
+        assert sb.placement_for(list(demand.configs)) is first
+        other = sb.placement_for(demand.configs[:1])
+        assert other is not first
+        assert sb.placement_for(demand.configs[:1]) is other

@@ -122,9 +122,10 @@ class TestCompareSelectors:
 
         trace = CallTrace(calls, make_slots(horizon, 1800.0))
         demand = trace.to_demand(freeze_after_s=300.0)
+        from repro.config import PlannerConfig
         from repro.switchboard import Switchboard
 
-        controller = Switchboard(topology, max_link_scenarios=0)
+        controller = Switchboard(topology, config=PlannerConfig(max_link_scenarios=0))
         capacity = controller.provision(demand, with_backup=False)
         plan = controller.allocate(demand, capacity).plan
         index = {s.series_id: s for s in series_list}

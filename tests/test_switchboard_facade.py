@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.config import PlannerConfig
 from repro.core.errors import SwitchboardError
 from repro.records.aggregation import ingest_trace
 from repro.records.database import CallRecordsDatabase
@@ -73,7 +74,7 @@ class TestPipeline:
     def test_pipeline_end_to_end(self, topology, records_db):
         pipeline = SwitchboardPipeline(
             topology, top_config_fraction=0.2, season_length=8,
-            max_link_scenarios=0,
+            config=PlannerConfig(max_link_scenarios=0),
         )
         result = pipeline.run(records_db, horizon_slots=8, with_backup=False)
         assert result.top_configs
@@ -87,7 +88,8 @@ class TestPipeline:
     def test_pipeline_with_geodesic_latency(self, topology, records_db):
         pipeline = SwitchboardPipeline(
             topology, top_config_fraction=0.2, season_length=8,
-            max_link_scenarios=0, use_estimated_latency=False,
+            config=PlannerConfig(max_link_scenarios=0),
+            use_estimated_latency=False,
         )
         result = pipeline.run(records_db, horizon_slots=4, with_backup=False)
         assert result.capacity.total_cores() > 0

@@ -70,6 +70,7 @@ class TestCustomWorld:
     def test_custom_world_provisions(self):
         """A user-supplied world drives the full pipeline."""
         from repro.core.types import make_slots
+        from repro.config import PlannerConfig
         from repro.switchboard import Switchboard
         from repro.workload.arrivals import DemandModel
         from repro.workload.configs import generate_population
@@ -79,7 +80,7 @@ class TestCustomWorld:
         demand = DemandModel(
             topology.world, population, calls_per_slot_at_peak=20.0
         ).expected(make_slots(4 * 1800.0, 1800.0))
-        plan = Switchboard(topology, max_link_scenarios=0).provision(
+        plan = Switchboard(topology, config=PlannerConfig(max_link_scenarios=0)).provision(
             demand, with_backup=True
         )
         assert plan.total_cores() > 0
