@@ -13,6 +13,9 @@ def test_fig10(benchmark, scenario):
         benchmark.extra_info[f"threads_{r.n_threads}"] = round(
             r.throughput_vs_peak, 2
         )
+    percentiles = result["write_latency_percentiles_ms"]
+    for label, value in percentiles[max(percentiles)].items():
+        benchmark.extra_info[f"write_{label}_ms"] = round(value, 3)
     print("\n" + fig10.render(result))
     ratios = [r.throughput_vs_peak for r in result["results"]]
     assert ratios[-1] > ratios[0]  # scales with threads

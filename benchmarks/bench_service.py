@@ -1,0 +1,72 @@
+"""Benchmark: online admission service throughput vs worker count.
+
+A LoadGenerator day is replayed through the AdmissionEngine against a
+4-shard latency-simulating kvstore with 1 and 4 workers.  The headline
+numbers — events/s per worker count, the scaling ratio, and the
+p50/p95/p99 admission latency — land in ``extra_info``; the run asserts
+exact call accounting and the >=2x 1->4 worker scaling the service is
+designed for (per-worker pipelining hides the per-op KV latency).
+"""
+
+from benchmarks.conftest import run_once
+from repro import PlannerConfig, Switchboard, Topology
+from repro.kvstore import ShardedKVStore
+from repro.service import AdmissionEngine, LoadGenerator
+
+TARGET_EVENTS = 4_000
+N_SHARDS = 4
+KV_MEDIAN_MS = 1.0
+WORKER_COUNTS = (1, 4)
+
+
+def _run_service():
+    topology = Topology.default()
+    load = LoadGenerator(topology, n_configs=40,
+                         calls_per_slot_at_peak=40.0,
+                         seed=7).generate(target_events=TARGET_EVENTS)
+    controller = Switchboard(topology,
+                             config=PlannerConfig(max_link_scenarios=0))
+    capacity = controller.provision(load.demand, with_backup=False)
+    plan = controller.allocate(load.demand, capacity).plan
+
+    reports = {}
+    for n_workers in WORKER_COUNTS:
+        store = ShardedKVStore.with_latency(
+            n_shards=N_SHARDS, median_ms=KV_MEDIAN_MS, seed=5)
+        engine = AdmissionEngine(topology, plan, store=store,
+                                 n_workers=n_workers)
+        report = engine.run(load.events)
+        report.require_exact_accounting()
+        reports[n_workers] = report
+    return reports
+
+
+def test_service_worker_scaling(benchmark):
+    reports = run_once(benchmark, _run_service)
+
+    lines = ["service throughput vs workers "
+             f"({N_SHARDS} shards, {KV_MEDIAN_MS}ms median KV op):"]
+    for n_workers, report in sorted(reports.items()):
+        benchmark.extra_info[f"workers_{n_workers}_events_per_s"] = round(
+            report.events_per_s
+        )
+        latency = report.admission_latency_ms
+        lines.append(
+            f"  {n_workers} workers: {report.events_per_s:>9,.0f} events/s  "
+            f"admission p50={latency['p50']:.2f} p95={latency['p95']:.2f} "
+            f"p99={latency['p99']:.2f} ms"
+        )
+
+    slow = reports[min(WORKER_COUNTS)]
+    fast = reports[max(WORKER_COUNTS)]
+    speedup = fast.events_per_s / slow.events_per_s
+    benchmark.extra_info["speedup_1_to_4"] = round(speedup, 2)
+    for label, value in fast.admission_latency_ms.items():
+        benchmark.extra_info[f"admission_{label}_ms"] = round(value, 3)
+    lines.append(f"  1->{max(WORKER_COUNTS)} workers speedup: {speedup:.2f}x")
+    print("\n" + "\n".join(lines))
+
+    # Workers must not change outcomes, only wall time.
+    assert fast.migrated_calls == slow.migrated_calls
+    assert fast.overflowed_calls == slow.overflowed_calls
+    assert speedup >= 2.0

@@ -17,9 +17,11 @@ end-to-end scenarios.
 
 from repro.core.errors import SwitchboardDeprecationWarning, SwitchboardError
 from repro.core.types import Call, CallConfig, MediaType
-from repro.config import PlannerConfig
+from repro.config import PlannerConfig, ServiceConfig
+from repro.kvstore import ShardedKVStore
 from repro.obs import Observability
 from repro.resilience import FaultPlan, SolveSupervisor
+from repro.service import AdmissionEngine, LoadGenerator, ServiceReport
 from repro.simulation import ServiceSimulator, SimulationReport
 from repro.switchboard import PipelineResult, Switchboard, SwitchboardPipeline
 from repro.topology.builder import Topology
@@ -28,14 +30,19 @@ from repro.workload.configs import generate_population
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdmissionEngine",
     "Call",
     "CallConfig",
     "FaultPlan",
+    "LoadGenerator",
     "MediaType",
     "Observability",
     "PipelineResult",
     "PlannerConfig",
+    "ServiceConfig",
+    "ServiceReport",
     "ServiceSimulator",
+    "ShardedKVStore",
     "SimulationReport",
     "SolveSupervisor",
     "Switchboard",

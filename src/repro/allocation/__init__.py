@@ -8,19 +8,25 @@ from repro.allocation.predictive import (
 )
 from repro.allocation.plan import AllocationPlan
 from repro.allocation.realtime import (
+    KVSlotLedger,
+    LocalSlotLedger,
     RealTimeSelector,
     SelectionOutcome,
     SelectorStats,
+    SlotLedger,
 )
 
 __all__ = [
     "AllocationOptimizer",
     "AllocationOutcome",
     "AllocationPlan",
+    "KVSlotLedger",
+    "LocalSlotLedger",
     "PredictiveSelector",
     "RealTimeSelector",
     "SelectionOutcome",
     "SelectorStats",
+    "SlotLedger",
     "compare_selectors",
     "series_hint_fn",
 ]

@@ -51,7 +51,7 @@ class PredictiveSelector(RealTimeSelector):
             return super().initial_dc(call)
         self.hinted_calls += 1
         slot_index = self.plan.slot_index_of(call.start_s)
-        cell = self._remaining.get((slot_index, hint))
+        cell = self.ledger.snapshot(slot_index, hint)
         if cell:
             open_dcs = [dc for dc, slots in cell.items() if slots > 0]
             if open_dcs:

@@ -13,12 +13,27 @@ selector therefore:
     **migrates** to a DC that does (the undesirable-but-unavoidable case
     §6.4 quantifies at 1.53%); configs the plan never anticipated go to
     the DC closest to their majority country.
+
+The selector core is stateless between calls: all mutable state lives in
+a :class:`SlotLedger` (the remaining-slot tallies) and a thread-safe
+:class:`SelectorStats`.  Two ledgers implement the same contract:
+
+* :class:`LocalSlotLedger` — a locked in-process dict, the fast path the
+  day-replay simulation uses;
+* :class:`KVSlotLedger` — slot hashes in a (possibly sharded) kvstore
+  with atomic debit/undo, what the production controller keeps in Redis
+  and the online admission service uses.
+
+Because ledger debits are atomic and stats updates are locked, one
+selector instance can serve calls from many worker threads concurrently.
 """
 
 from __future__ import annotations
 
+import threading
+from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.errors import CapacityError
 from repro.core.types import Call, CallConfig
@@ -37,11 +52,12 @@ class SelectionOutcome:
     migrated: bool
     planned: bool        # the final DC came from the plan (vs fallback)
     acl_ms: float
+    overflowed: bool = False   # slot-exhaustion: served at initial anyway
 
 
 @dataclass
 class SelectorStats:
-    """Running §6.4-style statistics."""
+    """Running §6.4-style statistics, safe to update from any thread."""
 
     calls: int = 0
     migrations: int = 0
@@ -49,28 +65,149 @@ class SelectorStats:
     overflow: int = 0
     acl_sum_ms: float = 0.0
 
+    def __post_init__(self):
+        # Not a dataclass field: invisible to __eq__/__repr__, never
+        # compared or copied with the counters.
+        self._lock = threading.Lock()
+
+    def record(self, acl_ms: float, migrated: bool, planned: bool,
+               overflowed: bool) -> None:
+        """Fold one call's outcome in atomically."""
+        with self._lock:
+            self.calls += 1
+            self.acl_sum_ms += acl_ms
+            if migrated:
+                self.migrations += 1
+            if not planned:
+                self.unplanned += 1
+            if overflowed:
+                self.overflow += 1
+
     @property
     def migration_rate(self) -> float:
-        return self.migrations / self.calls if self.calls else 0.0
+        with self._lock:
+            return self.migrations / self.calls if self.calls else 0.0
 
     @property
     def mean_acl_ms(self) -> float:
-        return self.acl_sum_ms / self.calls if self.calls else 0.0
+        with self._lock:
+            return self.acl_sum_ms / self.calls if self.calls else 0.0
+
+
+class SlotLedger(ABC):
+    """Remaining plan slots per ``(slot index, config)`` cell.
+
+    ``snapshot`` distinguishes *unknown* cells (``None`` — the plan never
+    anticipated the config, §5.4's fallback case) from *exhausted* ones
+    (a dict with no positive counts — the overflow case).  ``try_debit``
+    must be atomic: it succeeds only if a slot was actually available,
+    and concurrent debits never oversubscribe or lose slots.
+    """
+
+    @abstractmethod
+    def snapshot(self, slot_index: int, config: CallConfig
+                 ) -> Optional[Dict[str, int]]:
+        """Remaining counts per DC, or ``None`` for an unplanned cell."""
+
+    @abstractmethod
+    def try_debit(self, slot_index: int, config: CallConfig,
+                  dc_id: str) -> bool:
+        """Atomically take one slot; False if none remained."""
+
+
+class LocalSlotLedger(SlotLedger):
+    """In-process ledger: a dict of integerized cells behind one lock."""
+
+    def __init__(self, remaining: Dict[Tuple[int, CallConfig],
+                                       Dict[str, int]]):
+        self._remaining = remaining
+        self._lock = threading.Lock()
+
+    @classmethod
+    def from_plan(cls, plan: AllocationPlan) -> "LocalSlotLedger":
+        return cls(plan.integerized())
+
+    def snapshot(self, slot_index: int, config: CallConfig
+                 ) -> Optional[Dict[str, int]]:
+        with self._lock:
+            cell = self._remaining.get((slot_index, config))
+            return dict(cell) if cell is not None else None
+
+    def try_debit(self, slot_index: int, config: CallConfig,
+                  dc_id: str) -> bool:
+        with self._lock:
+            cell = self._remaining.get((slot_index, config))
+            if cell is not None and cell.get(dc_id, 0) > 0:
+                cell[dc_id] -= 1
+                return True
+            return False
+
+
+class KVSlotLedger(SlotLedger):
+    """Ledger in a kvstore: ``slots:{t}:{config}`` hashes, atomic debits.
+
+    This is exactly the state the paper's controller keeps in Azure
+    Redis.  A debit is ``HINCRBY -1``; a result below zero means the
+    slot was already gone, so the debit is undone with ``HINCRBY +1`` —
+    the compare-and-take idiom that stays correct under concurrent
+    debitors (no slot is ever lost or double-granted).
+
+    A ``_planned`` sentinel field marks every cell the plan knew about,
+    so cells that integerize to zero slots still read as *planned but
+    exhausted* (overflow) rather than *unanticipated* (fallback).
+    """
+
+    _SENTINEL = "_planned"
+
+    def __init__(self, store):
+        self._store = store
+
+    @staticmethod
+    def _key(slot_index: int, config: CallConfig) -> str:
+        return f"slots:{slot_index}:{config}"
+
+    def load_plan(self, plan: AllocationPlan) -> int:
+        """Write the integerized plan into the store; returns cell count."""
+        cells = plan.integerized()
+        pipe = self._store.pipeline()
+        for (slot_index, config), cell in cells.items():
+            key = self._key(slot_index, config)
+            pipe.hset(key, self._SENTINEL, 1)
+            for dc_id, count in cell.items():
+                pipe.hset(key, dc_id, count)
+        pipe.execute()
+        return len(cells)
+
+    def snapshot(self, slot_index: int, config: CallConfig
+                 ) -> Optional[Dict[str, int]]:
+        table = self._store.hgetall(self._key(slot_index, config))
+        if not table:
+            return None
+        return {dc: count for dc, count in table.items()
+                if dc != self._SENTINEL}
+
+    def try_debit(self, slot_index: int, config: CallConfig,
+                  dc_id: str) -> bool:
+        key = self._key(slot_index, config)
+        if self._store.hincrby(key, dc_id, -1) >= 0:
+            return True
+        self._store.hincrby(key, dc_id, 1)
+        return False
 
 
 class RealTimeSelector:
     """Assigns each new call to a DC, honouring the precomputed plan."""
 
     def __init__(self, topology: Topology, plan: AllocationPlan,
-                 freeze_window_s: float = DEFAULT_FREEZE_WINDOW_S):
+                 freeze_window_s: float = DEFAULT_FREEZE_WINDOW_S,
+                 ledger: Optional[SlotLedger] = None):
         if freeze_window_s <= 0:
             raise CapacityError("freeze window must be positive")
         self.topology = topology
         self.plan = plan
         self.freeze_window_s = freeze_window_s
-        self._remaining: Dict[Tuple[int, CallConfig], Dict[str, int]] = (
-            plan.integerized()
-        )
+        self.ledger: SlotLedger = (ledger if ledger is not None
+                                   else LocalSlotLedger.from_plan(plan))
         self.stats = SelectorStats()
 
     # ------------------------------------------------------------------
@@ -87,51 +224,49 @@ class RealTimeSelector:
         """
         config = call.config(self.freeze_window_s)
         slot_index = self.plan.slot_index_of(call.start_s)
-        cell = self._remaining.get((slot_index, config))
+        cell = self.ledger.snapshot(slot_index, config)
         if cell is None:
             # Unanticipated config: closest DC to the majority (§5.4 b).
             return self.topology.closest_dc(config.majority_country), False, False
 
-        if cell.get(initial_dc, 0) > 0:
-            cell[initial_dc] -= 1
+        if (cell.get(initial_dc, 0) > 0
+                and self.ledger.try_debit(slot_index, config, initial_dc)):
             return initial_dc, True, False
 
-        open_dcs = [dc for dc, slots in cell.items() if slots > 0]
-        if open_dcs:
-            # Prefer the lowest-ACL DC among those with slots remaining.
-            best = min(
-                open_dcs,
-                key=lambda dc: (self.topology.acl_ms(dc, config), dc),
-            )
-            cell[best] -= 1
-            return best, True, False
+        # Prefer the lowest-ACL DC among those with slots remaining; under
+        # concurrency a candidate can vanish between snapshot and debit,
+        # so walk the preference order until a debit lands.
+        open_dcs = sorted(
+            (dc for dc, slots in cell.items()
+             if slots > 0 and dc != initial_dc),
+            key=lambda dc: (self.topology.acl_ms(dc, config), dc),
+        )
+        for dc in open_dcs:
+            if self.ledger.try_debit(slot_index, config, dc):
+                return dc, True, False
 
         # Slot exhaustion: more calls of this config arrived than planned.
         # Stay at the initial DC and count the overflow.
         return initial_dc, True, True
 
-    def process_call(self, call: Call) -> SelectionOutcome:
-        initial = self.initial_dc(call)
-        final, planned, overflowed = self.final_dc(call, initial)
-        migrated = final != initial
+    def settle(self, call: Call, initial_dc: str) -> SelectionOutcome:
+        """Reconcile one call against the plan and record its outcome."""
+        final, planned, overflowed = self.final_dc(call, initial_dc)
+        migrated = final != initial_dc
         acl = self.topology.acl_ms(final, call.config())
-
-        self.stats.calls += 1
-        self.stats.acl_sum_ms += acl
-        if migrated:
-            self.stats.migrations += 1
-        if not planned:
-            self.stats.unplanned += 1
-        if overflowed:
-            self.stats.overflow += 1
+        self.stats.record(acl, migrated, planned, overflowed)
         return SelectionOutcome(
             call_id=call.call_id,
-            initial_dc=initial,
+            initial_dc=initial_dc,
             final_dc=final,
             migrated=migrated,
             planned=planned,
             acl_ms=acl,
+            overflowed=overflowed,
         )
+
+    def process_call(self, call: Call) -> SelectionOutcome:
+        return self.settle(call, self.initial_dc(call))
 
     def process_trace(self, calls: Iterable[Call]) -> List[SelectionOutcome]:
         return [self.process_call(call) for call in calls]

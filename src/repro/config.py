@@ -47,6 +47,43 @@ DEFAULT_LADDER: Tuple[str, ...] = ("joint", "max", "incremental", "locality")
 
 
 @dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of the online admission service (``repro.service``).
+
+    * ``n_shards`` — kvstore shards behind the consistent-hash ring.
+    * ``n_workers`` — admission worker threads (calls shard over them by
+      call id; per-call event order is preserved).  With one worker the
+      engine is fully deterministic and matches the day-replay path.
+    * ``kv_latency_median_ms`` — median simulated per-trip store latency
+      (``None`` disables latency simulation; the paper measures
+      0.3–4.2 ms per write, §6.6).
+    * ``kv_latency_seed`` — seeds the per-shard latency streams.
+    * ``ring_replicas`` — virtual nodes per shard on the hash ring.
+    """
+
+    n_shards: int = 4
+    n_workers: int = 1
+    kv_latency_median_ms: Optional[float] = None
+    kv_latency_seed: int = 99
+    ring_replicas: int = 64
+
+    def __post_init__(self):
+        if self.n_shards < 1:
+            raise SwitchboardError("n_shards must be >= 1")
+        if self.n_workers < 1:
+            raise SwitchboardError("n_workers must be >= 1")
+        if (self.kv_latency_median_ms is not None
+                and self.kv_latency_median_ms <= 0):
+            raise SwitchboardError("kv_latency_median_ms must be positive")
+        if self.ring_replicas < 1:
+            raise SwitchboardError("ring_replicas must be >= 1")
+
+    def but(self, **overrides: Any) -> "ServiceConfig":
+        """A copy with the given fields replaced (frozen-friendly)."""
+        return dataclasses.replace(self, **overrides)
+
+
+@dataclass(frozen=True)
 class PlannerConfig:
     """Every provisioning/allocation/resilience knob in one frozen value.
 
@@ -75,6 +112,12 @@ class PlannerConfig:
       rebuilt before the ``max`` sweep counts as failed.
     * ``fault_plan`` — injected faults for drills/tests (``None`` = none).
     * ``rng_seed`` — seeds the backoff-jitter RNG (deterministic drills).
+
+    Serving:
+
+    * ``service`` — online admission service knobs
+      (:class:`ServiceConfig`); ``None`` means the service-backed paths
+      use :class:`ServiceConfig`'s defaults.
     """
 
     latency_threshold_ms: float = DEFAULT_LATENCY_THRESHOLD_MS
@@ -91,6 +134,7 @@ class PlannerConfig:
     pool_restarts: int = 2
     fault_plan: Optional[FaultPlan] = None
     rng_seed: int = 0
+    service: Optional[ServiceConfig] = None
 
     def __post_init__(self):
         if self.backup_method not in BACKUP_METHODS:

@@ -54,17 +54,20 @@ def run(scenario: Optional[Scenario] = None,
     scaled_peak = raw_peak * scale
 
     results: List[ReplayResult] = []
+    write_percentiles: Dict[int, Dict[str, float]] = {}
     for n in threads:
         store = InMemoryKVStore(LatencyProfile(median_ms=store_median_latency_ms))
         service = ControllerService(scn.topology, plan, store)
         result = ReplayEngine(service).replay(events, n_threads=n,
                                               peak_rate=scaled_peak)
         results.append(result)
+        write_percentiles[n] = store.latency_percentiles_ms()
 
     return {
         "results": results,
         "scaled_peak_events_per_s": scaled_peak,
         "write_latency_range_ms": _latency_range(results),
+        "write_latency_percentiles_ms": write_percentiles,
         "threads_for_1_4x": next(
             (r.n_threads for r in results if r.throughput_vs_peak >= 1.4), None
         ),
@@ -87,6 +90,15 @@ def render(result: Dict[str, object]) -> str:
         f"1.4x peak reached at {at} threads (paper: 10 threads); "
         f"simulated write latency {result['write_latency_range_ms']} ms"
     )
+    percentiles = result.get("write_latency_percentiles_ms") or {}
+    if percentiles:
+        most_threads = max(percentiles)
+        pcts = percentiles[most_threads]
+        lines.append(
+            f"write latency at {most_threads} threads: "
+            + "  ".join(f"p{p:g}={pcts[f'p{p:g}']:.2f}ms"
+                        for p in (50, 95, 99) if f"p{p:g}" in pcts)
+        )
     return "\n".join(lines)
 
 

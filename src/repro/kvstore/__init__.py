@@ -1,11 +1,27 @@
-"""Redis-like in-memory key-value store substrate (§6.6)."""
+"""Redis-like in-memory key-value store substrate (§6.6).
 
-from repro.kvstore.client import ControllerStateClient
-from repro.kvstore.store import InMemoryKVStore, KVStoreError, LatencyProfile
+``InMemoryKVStore`` is one simulated Redis instance; ``ShardedKVStore``
+is the cluster the online admission service runs against — consistent-
+hash routing, per-shard latency simulation, pipelined batches.
+"""
+
+from repro.kvstore.client import ControllerStateClient, PipelinedStateClient
+from repro.kvstore.sharded import HashRing, ShardedKVStore, routing_key
+from repro.kvstore.store import (
+    InMemoryKVStore,
+    KVStoreError,
+    LatencyProfile,
+    Pipeline,
+)
 
 __all__ = [
     "ControllerStateClient",
+    "HashRing",
     "InMemoryKVStore",
     "KVStoreError",
     "LatencyProfile",
+    "Pipeline",
+    "PipelinedStateClient",
+    "ShardedKVStore",
+    "routing_key",
 ]

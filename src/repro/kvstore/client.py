@@ -10,16 +10,23 @@ leaks stringly-typed keys into the controller logic:
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional, Union
 
 from repro.core.types import CallConfig, MediaType
 from repro.kvstore.store import InMemoryKVStore
+
+if TYPE_CHECKING:
+    from repro.kvstore.sharded import ShardedKVStore
+
+#: Any store with the single-key op surface (and, for the pipelined
+#: client, ``pipeline()``): one in-memory instance or a sharded cluster.
+KVStore = Union[InMemoryKVStore, "ShardedKVStore"]
 
 
 class ControllerStateClient:
     """What the real controller would do against Redis, typed."""
 
-    def __init__(self, store: InMemoryKVStore):
+    def __init__(self, store: KVStore):
         self._store = store
 
     # -- per-call state -------------------------------------------------
@@ -83,3 +90,40 @@ class ControllerStateClient:
     # -- load ------------------------------------------------------------
     def dc_load(self, dc_id: str) -> int:
         return self._store.get(f"dcload:{dc_id}") or 0
+
+
+class PipelinedStateClient(ControllerStateClient):
+    """Same key schema, but multi-write steps ride one pipelined batch.
+
+    The per-op :class:`ControllerStateClient` pays one network trip per
+    write — faithful to the paper's per-write latency measurements, and
+    what Fig 10 replays.  The online admission engine instead batches
+    each lifecycle step (open/migrate/close) into a single pipeline, so
+    a call start costs ~one round-trip per shard touched rather than
+    four serialized trips.
+    """
+
+    def open_call(self, call_id: str, dc_id: str, first_country: str) -> None:
+        (self._store.pipeline()
+         .hset(f"call:{call_id}", "dc", dc_id)
+         .hset(f"call:{call_id}", "media", MediaType.AUDIO.value)
+         .hincrby(f"call:{call_id}:spread", first_country, 1)
+         .incr(f"dcload:{dc_id}")
+         .execute())
+
+    def migrate_call(self, call_id: str, new_dc: str) -> None:
+        old_dc = self._store.hget(f"call:{call_id}", "dc")
+        pipe = self._store.pipeline().hset(f"call:{call_id}", "dc", new_dc)
+        if old_dc is not None:
+            pipe.decr(f"dcload:{old_dc}")
+        pipe.incr(f"dcload:{new_dc}")
+        pipe.execute()
+
+    def close_call(self, call_id: str) -> None:
+        dc_id = self._store.hget(f"call:{call_id}", "dc")
+        pipe = self._store.pipeline()
+        if dc_id is not None:
+            pipe.decr(f"dcload:{dc_id}")
+        pipe.delete(f"call:{call_id}")
+        pipe.delete(f"call:{call_id}:spread")
+        pipe.execute()

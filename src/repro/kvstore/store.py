@@ -14,11 +14,12 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.errors import SwitchboardError
+from repro.obs.histogram import DEFAULT_PERCENTILES, percentiles_ms
 
 
 class KVStoreError(SwitchboardError):
@@ -30,6 +31,14 @@ class LatencyProfile:
 
     Defaults reproduce the paper's observed write-latency range: lognormal
     with median ~1 ms, clipped to [0.3 ms, 4.2 ms].
+
+    Sampling uses **per-thread RNG streams**: each thread that samples is
+    assigned the next stream index (0, 1, 2, …) and draws from its own
+    ``np.random.default_rng`` spawned deterministically from ``seed`` and
+    that index.  A single shared RNG behind a lock would serialize every
+    sampled op across threads — exactly the multi-client overlap Fig 10
+    measures — whereas per-thread streams sample lock-free and stay
+    deterministic for a fixed thread-arrival order.
     """
 
     def __init__(self, median_ms: float = 1.0, sigma: float = 0.6,
@@ -40,13 +49,82 @@ class LatencyProfile:
         self._sigma = sigma
         self._floor = floor_ms
         self._ceil = ceil_ms
-        self._rng = np.random.default_rng(seed)
-        self._lock = threading.Lock()
+        self._seed = seed
+        self._local = threading.local()
+        self._index_lock = threading.Lock()
+        self._next_stream = 0
+
+    def _thread_rng(self) -> np.random.Generator:
+        rng = getattr(self._local, "rng", None)
+        if rng is None:
+            # The lock is taken once per thread lifetime, not per sample.
+            with self._index_lock:
+                stream = self._next_stream
+                self._next_stream += 1
+            rng = np.random.default_rng(
+                np.random.SeedSequence(entropy=self._seed,
+                                       spawn_key=(stream,))
+            )
+            self._local.rng = rng
+        return rng
 
     def sample_ms(self) -> float:
-        with self._lock:
-            raw = float(self._rng.lognormal(self._mu, self._sigma))
+        raw = float(self._thread_rng().lognormal(self._mu, self._sigma))
         return min(max(raw, self._floor), self._ceil)
+
+
+class Pipeline:
+    """Queued ops executed as one batched round-trip on ``execute()``.
+
+    Works against any store exposing ``_execute_pipeline``: a plain
+    :class:`InMemoryKVStore` runs the whole batch in one network trip; a
+    :class:`~repro.kvstore.sharded.ShardedKVStore` groups ops per shard
+    and overlaps the per-shard trips.  Results return in queueing order,
+    identical to issuing the same ops sequentially.
+    """
+
+    def __init__(self, store: Any):
+        self._store = store
+        self._ops: List[Tuple[str, Tuple[Any, ...]]] = []
+
+    def _queue(self, op: str, *args: Any) -> "Pipeline":
+        self._ops.append((op, args))
+        return self
+
+    def set(self, key: str, value: Any) -> "Pipeline":
+        return self._queue("set", key, value)
+
+    def get(self, key: str) -> "Pipeline":
+        return self._queue("get", key)
+
+    def delete(self, key: str) -> "Pipeline":
+        return self._queue("delete", key)
+
+    def incr(self, key: str, amount: int = 1) -> "Pipeline":
+        return self._queue("incr", key, amount)
+
+    def decr(self, key: str, amount: int = 1) -> "Pipeline":
+        return self._queue("incr", key, -amount)
+
+    def hset(self, key: str, field: str, value: Any) -> "Pipeline":
+        return self._queue("hset", key, field, value)
+
+    def hget(self, key: str, field: str) -> "Pipeline":
+        return self._queue("hget", key, field)
+
+    def hgetall(self, key: str) -> "Pipeline":
+        return self._queue("hgetall", key)
+
+    def hincrby(self, key: str, field: str, amount: int = 1) -> "Pipeline":
+        return self._queue("hincrby", key, field, amount)
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def execute(self) -> List[Any]:
+        """Run all queued ops; returns results in queueing order."""
+        ops, self._ops = self._ops, []
+        return self._store._execute_pipeline(ops)
 
 
 class InMemoryKVStore:
@@ -78,28 +156,25 @@ class InMemoryKVStore:
             if len(self._op_latencies_ms) < 1_000_000:
                 self._op_latencies_ms.append(latency_ms)
 
+    def _one(self, op: str, *args: Any) -> Any:
+        """Issue a single op: one network trip, applier under the lock."""
+        latency = self._simulate_network()
+        with self._lock:
+            result = getattr(self, f"_apply_{op}")(*args)
+        self._record_op(latency)
+        return result
+
     # ------------------------------------------------------------------
     # string ops
     # ------------------------------------------------------------------
     def set(self, key: str, value: Any) -> None:
-        latency = self._simulate_network()
-        with self._lock:
-            self._data[key] = value
-        self._record_op(latency)
+        self._one("set", key, value)
 
     def get(self, key: str) -> Optional[Any]:
-        latency = self._simulate_network()
-        with self._lock:
-            value = self._data.get(key)
-        self._record_op(latency)
-        return value
+        return self._one("get", key)
 
     def delete(self, key: str) -> bool:
-        latency = self._simulate_network()
-        with self._lock:
-            existed = self._data.pop(key, None) is not None
-        self._record_op(latency)
-        return existed
+        return self._one("delete", key)
 
     def exists(self, key: str) -> bool:
         return self.get(key) is not None
@@ -108,15 +183,7 @@ class InMemoryKVStore:
     # counters
     # ------------------------------------------------------------------
     def incr(self, key: str, amount: int = 1) -> int:
-        latency = self._simulate_network()
-        with self._lock:
-            current = self._data.get(key, 0)
-            if not isinstance(current, int):
-                raise KVStoreError(f"INCR on non-integer key {key!r}")
-            current += amount
-            self._data[key] = current
-        self._record_op(latency)
-        return current
+        return self._one("incr", key, amount)
 
     def decr(self, key: str, amount: int = 1) -> int:
         return self.incr(key, -amount)
@@ -125,49 +192,103 @@ class InMemoryKVStore:
     # hashes
     # ------------------------------------------------------------------
     def hset(self, key: str, field: str, value: Any) -> None:
-        latency = self._simulate_network()
-        with self._lock:
-            table = self._data.setdefault(key, {})
-            if not isinstance(table, dict):
-                raise KVStoreError(f"HSET on non-hash key {key!r}")
-            table[field] = value
-        self._record_op(latency)
+        self._one("hset", key, field, value)
 
     def hget(self, key: str, field: str) -> Optional[Any]:
-        latency = self._simulate_network()
-        with self._lock:
-            table = self._data.get(key)
-            if table is None:
-                value = None
-            elif not isinstance(table, dict):
-                raise KVStoreError(f"HGET on non-hash key {key!r}")
-            else:
-                value = table.get(field)
-        self._record_op(latency)
-        return value
+        return self._one("hget", key, field)
 
     def hgetall(self, key: str) -> Dict[str, Any]:
-        latency = self._simulate_network()
-        with self._lock:
-            table = self._data.get(key, {})
-            if not isinstance(table, dict):
-                raise KVStoreError(f"HGETALL on non-hash key {key!r}")
-            snapshot = dict(table)
-        self._record_op(latency)
-        return snapshot
+        return self._one("hgetall", key)
 
     def hincrby(self, key: str, field: str, amount: int = 1) -> int:
+        return self._one("hincrby", key, field, amount)
+
+    # ------------------------------------------------------------------
+    # pipelined batches
+    # ------------------------------------------------------------------
+    #: Ops a batch may carry, mapped to the lock-held appliers below.
+    _BATCH_OPS = ("set", "get", "delete", "incr", "hset", "hget",
+                  "hgetall", "hincrby")
+
+    def execute_batch(self, ops: Sequence[Tuple[str, Tuple[Any, ...]]]
+                      ) -> List[Any]:
+        """Apply a pipelined batch atomically, paying ONE network trip.
+
+        ``ops`` is a sequence of ``(op_name, args)`` pairs drawn from
+        ``_BATCH_OPS``; results come back in op order, exactly as if each
+        op had been issued sequentially.  Like a Redis pipeline, the whole
+        batch crosses the network once and executes under the store's
+        atomicity lock, so a batch costs one round-trip regardless of
+        length.  Each op is counted individually; the shared round-trip is
+        recorded once (it *was* one network event).
+        """
         latency = self._simulate_network()
+        results: List[Any] = []
         with self._lock:
-            table = self._data.setdefault(key, {})
-            if not isinstance(table, dict):
-                raise KVStoreError(f"HINCRBY on non-hash key {key!r}")
-            current = table.get(field, 0)
-            if not isinstance(current, int):
-                raise KVStoreError(f"HINCRBY on non-integer field {key!r}.{field!r}")
-            current += amount
-            table[field] = current
-        self._record_op(latency)
+            for name, args in ops:
+                if name not in self._BATCH_OPS:
+                    raise KVStoreError(f"unsupported batch op {name!r}")
+                results.append(getattr(self, f"_apply_{name}")(*args))
+            self._op_count += len(ops)
+            if len(self._op_latencies_ms) < 1_000_000:
+                self._op_latencies_ms.append(latency)
+        return results
+
+    def pipeline(self) -> Pipeline:
+        return Pipeline(self)
+
+    def _execute_pipeline(self, ops: Sequence[Tuple[str, Tuple[Any, ...]]]
+                          ) -> List[Any]:
+        return self.execute_batch(ops)
+
+    # Lock-held appliers: callers hold self._lock.
+    def _apply_set(self, key: str, value: Any) -> None:
+        self._data[key] = value
+
+    def _apply_get(self, key: str) -> Optional[Any]:
+        return self._data.get(key)
+
+    def _apply_delete(self, key: str) -> bool:
+        return self._data.pop(key, None) is not None
+
+    def _apply_incr(self, key: str, amount: int = 1) -> int:
+        current = self._data.get(key, 0)
+        if not isinstance(current, int):
+            raise KVStoreError(f"INCR on non-integer key {key!r}")
+        current += amount
+        self._data[key] = current
+        return current
+
+    def _apply_hset(self, key: str, field: str, value: Any) -> None:
+        table = self._data.setdefault(key, {})
+        if not isinstance(table, dict):
+            raise KVStoreError(f"HSET on non-hash key {key!r}")
+        table[field] = value
+
+    def _apply_hget(self, key: str, field: str) -> Optional[Any]:
+        table = self._data.get(key)
+        if table is None:
+            return None
+        if not isinstance(table, dict):
+            raise KVStoreError(f"HGET on non-hash key {key!r}")
+        return table.get(field)
+
+    def _apply_hgetall(self, key: str) -> Dict[str, Any]:
+        table = self._data.get(key, {})
+        if not isinstance(table, dict):
+            raise KVStoreError(f"HGETALL on non-hash key {key!r}")
+        return dict(table)
+
+    def _apply_hincrby(self, key: str, field: str, amount: int = 1) -> int:
+        table = self._data.setdefault(key, {})
+        if not isinstance(table, dict):
+            raise KVStoreError(f"HINCRBY on non-hash key {key!r}")
+        current = table.get(field, 0)
+        if not isinstance(current, int):
+            raise KVStoreError(
+                f"HINCRBY on non-integer field {key!r}.{field!r}")
+        current += amount
+        table[field] = current
         return current
 
     # ------------------------------------------------------------------
@@ -178,6 +299,15 @@ class InMemoryKVStore:
         with self._lock:
             return self._op_count
 
+    @property
+    def simulates_latency(self) -> bool:
+        return self._latency is not None
+
+    def latency_samples_ms(self) -> List[float]:
+        """Raw recorded per-trip latencies (bounded; for aggregation)."""
+        with self._lock:
+            return list(self._op_latencies_ms)
+
     def latency_stats_ms(self) -> Tuple[float, float, float]:
         """(min, median, max) of simulated op latencies."""
         with self._lock:
@@ -186,6 +316,14 @@ class InMemoryKVStore:
             return (0.0, 0.0, 0.0)
         samples.sort()
         return samples[0], samples[len(samples) // 2], samples[-1]
+
+    def latency_percentiles_ms(
+            self, percentiles: Sequence[float] = DEFAULT_PERCENTILES
+    ) -> Dict[str, float]:
+        """p50/p95/p99 (by default) of the simulated op latencies."""
+        with self._lock:
+            samples = list(self._op_latencies_ms)
+        return percentiles_ms(samples, percentiles)
 
     def flush(self) -> None:
         with self._lock:

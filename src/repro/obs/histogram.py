@@ -1,0 +1,89 @@
+"""Thread-safe latency histograms with percentile summaries.
+
+The online admission engine and the kvstore both need the same thing the
+paper reports for its Redis writes (§6.6): not just a mean, but the
+tail — p50/p95/p99.  :class:`LatencyHistogram` is a bounded, thread-safe
+sample collector with nearest-rank percentiles; :func:`percentiles_ms`
+is the bare helper for code that already holds a sample list.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, Iterable, List, Sequence
+
+#: The percentile set every report in this repo shows by default.
+DEFAULT_PERCENTILES: Sequence[float] = (50.0, 95.0, 99.0)
+
+
+def percentiles_ms(samples: Sequence[float],
+                   percentiles: Sequence[float] = DEFAULT_PERCENTILES
+                   ) -> Dict[str, float]:
+    """Nearest-rank percentiles as a ``{"p50": ..}`` mapping.
+
+    Empty input yields all-zero percentiles (a service that served no
+    traffic has no tail), matching ``latency_stats_ms`` conventions.
+    """
+    result: Dict[str, float] = {}
+    ordered = sorted(samples)
+    for p in percentiles:
+        label = f"p{p:g}"
+        if not ordered:
+            result[label] = 0.0
+            continue
+        rank = max(0, min(len(ordered) - 1,
+                          math.ceil(p / 100.0 * len(ordered)) - 1))
+        result[label] = float(ordered[rank])
+    return result
+
+
+class LatencyHistogram:
+    """Append-only bounded sample set, safe to record from any thread."""
+
+    def __init__(self, max_samples: int = 1_000_000):
+        if max_samples < 1:
+            raise ValueError("max_samples must be positive")
+        self._lock = threading.Lock()
+        self._samples: List[float] = []
+        self._max_samples = max_samples
+        self._count = 0
+        self._sum = 0.0
+
+    def record(self, latency_ms: float) -> None:
+        with self._lock:
+            self._count += 1
+            self._sum += latency_ms
+            if len(self._samples) < self._max_samples:
+                self._samples.append(latency_ms)
+
+    def record_many(self, latencies_ms: Iterable[float]) -> None:
+        for value in latencies_ms:
+            self.record(value)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def mean_ms(self) -> float:
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    def samples(self) -> List[float]:
+        with self._lock:
+            return list(self._samples)
+
+    def percentiles(self, percentiles: Sequence[float] = DEFAULT_PERCENTILES
+                    ) -> Dict[str, float]:
+        return percentiles_ms(self.samples(), percentiles)
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram's samples into this one."""
+        for value in other.samples():
+            self.record(value)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)

@@ -1,0 +1,20 @@
+"""The online admission service: load generation, engine, reporting.
+
+``repro.service`` is the serving layer grown on top of the planner: a
+:class:`LoadGenerator` turns the workload model into a high-volume
+controller event stream, and the :class:`AdmissionEngine` serves it —
+stateless selector core, sharded kvstore state, worker-thread scaling —
+reporting exact call accounting and p50/p95/p99 admission latencies in
+a :class:`ServiceReport`.
+"""
+
+from repro.service.engine import AdmissionEngine
+from repro.service.loadgen import GeneratedLoad, LoadGenerator
+from repro.service.report import ServiceReport
+
+__all__ = [
+    "AdmissionEngine",
+    "GeneratedLoad",
+    "LoadGenerator",
+    "ServiceReport",
+]

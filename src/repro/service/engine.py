@@ -1,0 +1,260 @@
+"""The online admission engine: event-driven call serving at rate.
+
+This is the serving layer the paper's controller actually is (§5.4,
+§6.6): every call reaches the service as a stream of events — start,
+joins, media changes, the A-second config freeze, the hangup — and the
+engine routes each through the stateless selector core while keeping
+**all** call state and slot ledgers in the (sharded) kvstore, exactly
+where Azure Redis sits in production.
+
+Scaling model: calls shard over worker threads by call id (per-call
+event order is preserved; different calls proceed concurrently), and
+every worker's simulated store round-trips overlap — so admission
+throughput scales with workers the way Fig 10's controller scales with
+Redis writer threads.  With one worker the engine is fully
+deterministic and produces exactly the day-replay statistics, which is
+what lets :class:`~repro.simulation.ServiceSimulator` substitute it for
+the in-process replay path.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.core.errors import SwitchboardError
+from repro.core.units import DEFAULT_FREEZE_WINDOW_S
+from repro.allocation.plan import AllocationPlan
+from repro.allocation.realtime import KVSlotLedger, RealTimeSelector
+from repro.controller.events import ControllerEvent, EventType
+from repro.kvstore.client import PipelinedStateClient
+from repro.kvstore.sharded import ShardedKVStore
+from repro.kvstore.store import InMemoryKVStore
+from repro.obs.events import Observability
+from repro.obs.histogram import LatencyHistogram
+from repro.service.report import ServiceReport
+from repro.topology.builder import Topology
+
+
+@dataclass
+class _CallState:
+    """Per-call serving state, owned by exactly one worker."""
+
+    initial_dc: str
+    settled: bool = False
+    ended: bool = False
+
+
+@dataclass
+class _WorkerState:
+    """One worker's private queue, call table, and counters.
+
+    Workers never share these, so the hot path takes no engine-wide
+    lock; totals merge after the run.
+    """
+
+    inbox: "queue.Queue[Optional[ControllerEvent]]" = field(
+        default_factory=queue.Queue)
+    calls: Dict[str, _CallState] = field(default_factory=dict)
+    processed: int = 0
+    dropped: int = 0
+    joins: int = 0
+    media_changes: int = 0
+    generated: int = 0
+    admitted: int = 0
+    migrated: int = 0
+    overflowed: int = 0
+    unplanned: int = 0
+    early_ended: int = 0
+    ended: int = 0
+
+
+class AdmissionEngine:
+    """Serves a controller event stream against the sharded kvstore."""
+
+    def __init__(self, topology: Topology, plan: AllocationPlan,
+                 store: Optional[Union[ShardedKVStore,
+                                       InMemoryKVStore]] = None,
+                 n_workers: int = 1,
+                 freeze_window_s: float = DEFAULT_FREEZE_WINDOW_S,
+                 obs: Optional[Observability] = None):
+        if n_workers < 1:
+            raise SwitchboardError("need at least one admission worker")
+        self.topology = topology
+        self.store = store if store is not None else ShardedKVStore()
+        self.n_workers = n_workers
+        self.obs = obs
+        self.ledger = KVSlotLedger(self.store)
+        self.planned_cells = self.ledger.load_plan(plan)
+        self.selector = RealTimeSelector(topology, plan, freeze_window_s,
+                                         ledger=self.ledger)
+        self.client = PipelinedStateClient(self.store)
+        self.admission_latency = LatencyHistogram()
+        self.settle_latency = LatencyHistogram()
+
+    # ------------------------------------------------------------------
+    # event handlers (run on worker threads)
+    # ------------------------------------------------------------------
+    def _handle(self, worker: _WorkerState, event: ControllerEvent) -> None:
+        kind = event.event_type
+        if kind is EventType.CALL_START:
+            if event.call is None or event.country is None:
+                worker.dropped += 1
+                return
+            t0 = time.perf_counter()
+            initial = self.selector.initial_dc(event.call)
+            worker.calls[event.call_id] = _CallState(initial_dc=initial)
+            self.client.open_call(event.call_id, initial, event.country)
+            worker.generated += 1
+            self.admission_latency.record((time.perf_counter() - t0) * 1e3)
+        elif kind is EventType.PARTICIPANT_JOIN:
+            if event.country is None:
+                worker.dropped += 1
+                return
+            self.client.record_join(event.call_id, event.country)
+            worker.joins += 1
+        elif kind is EventType.MEDIA_CHANGE:
+            if event.media is None:
+                worker.dropped += 1
+                return
+            self.client.record_media(event.call_id, event.media)
+            worker.media_changes += 1
+        elif kind is EventType.CONFIG_FREEZE:
+            state = worker.calls.get(event.call_id)
+            if state is None or event.call is None or state.settled:
+                worker.dropped += 1
+                return
+            t0 = time.perf_counter()
+            outcome = self.selector.settle(event.call, state.initial_dc)
+            state.settled = True
+            if outcome.migrated:
+                worker.migrated += 1
+                self.client.migrate_call(event.call_id, outcome.final_dc)
+            elif outcome.overflowed:
+                worker.overflowed += 1
+            else:
+                worker.admitted += 1
+            if not outcome.planned:
+                worker.unplanned += 1
+            self.settle_latency.record((time.perf_counter() - t0) * 1e3)
+            if state.ended:
+                # The call hung up before its freeze point; it was settled
+                # against the plan anyway (the slot was reserved for it),
+                # and its state can be released now.
+                self._close(worker, event.call_id)
+        elif kind is EventType.CALL_END:
+            state = worker.calls.get(event.call_id)
+            if state is None:
+                worker.dropped += 1
+                return
+            worker.ended += 1
+            if state.settled:
+                self._close(worker, event.call_id)
+            else:
+                state.ended = True
+                worker.early_ended += 1
+        else:
+            raise SwitchboardError(f"unknown event type {event.event_type}")
+        worker.processed += 1
+
+    def _close(self, worker: _WorkerState, call_id: str) -> None:
+        self.client.close_call(call_id)
+        del worker.calls[call_id]
+
+    # ------------------------------------------------------------------
+    def run(self, events: Iterable[ControllerEvent]) -> ServiceReport:
+        """Ingest the whole stream; returns the run's report.
+
+        Events must arrive time-sorted (as
+        :func:`~repro.controller.events.event_stream` emits them); the
+        engine shards them to workers by call id, preserving per-call
+        order on the worker's FIFO inbox.
+        """
+        stream: List[ControllerEvent] = list(events)
+        if not stream:
+            raise SwitchboardError("no events to serve")
+        workers = [_WorkerState() for _ in range(self.n_workers)]
+        for event in stream:
+            # Stable shard (zlib.crc32, not the randomized builtin hash)
+            # so a given trace always lands on the same workers.
+            index = zlib.crc32(event.call_id.encode("utf-8")) % self.n_workers
+            workers[index].inbox.put(event)
+        for worker in workers:
+            worker.inbox.put(None)  # sentinel
+
+        if self.obs is not None:
+            self.obs.record("service.run", label="admission",
+                            n_events=len(stream), n_workers=self.n_workers)
+
+        errors: List[BaseException] = []
+        error_lock = threading.Lock()
+
+        def drain(worker: _WorkerState) -> None:
+            while True:
+                event = worker.inbox.get()
+                if event is None:
+                    return
+                try:
+                    self._handle(worker, event)
+                except BaseException as exc:  # surface, don't swallow
+                    with error_lock:
+                        errors.append(exc)
+                    return
+
+        threads = [threading.Thread(target=drain, args=(worker,), daemon=True)
+                   for worker in workers]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - start
+        if errors:
+            raise SwitchboardError(
+                f"admission worker failed: {errors[0]!r}") from errors[0]
+
+        report = self._report(workers, len(stream), wall)
+        if self.obs is not None:
+            self.obs.record("service.done", label="admission",
+                            events_per_s=report.events_per_s,
+                            accounting_exact=report.accounting_exact)
+        return report
+
+    # ------------------------------------------------------------------
+    def _report(self, workers: List[_WorkerState], n_events: int,
+                wall_s: float) -> ServiceReport:
+        processed = sum(w.processed for w in workers)
+        unsettled = sum(
+            1 for w in workers
+            for state in w.calls.values() if not state.settled
+        )
+        stats = self.selector.stats
+        return ServiceReport(
+            n_workers=self.n_workers,
+            n_shards=getattr(self.store, "n_shards", 1),
+            events_total=n_events,
+            events_processed=processed,
+            dropped_events=sum(w.dropped for w in workers),
+            joins=sum(w.joins for w in workers),
+            media_changes=sum(w.media_changes for w in workers),
+            generated_calls=sum(w.generated for w in workers),
+            admitted_calls=sum(w.admitted for w in workers),
+            migrated_calls=sum(w.migrated for w in workers),
+            overflowed_calls=sum(w.overflowed for w in workers),
+            unplanned_calls=sum(w.unplanned for w in workers),
+            early_ended_calls=sum(w.early_ended for w in workers),
+            ended_calls=sum(w.ended for w in workers),
+            unsettled_calls=unsettled,
+            wall_time_s=wall_s,
+            events_per_s=processed / wall_s if wall_s > 0 else float("inf"),
+            admission_latency_ms=self.admission_latency.percentiles(),
+            settle_latency_ms=self.settle_latency.percentiles(),
+            kv_latency_ms=self.store.latency_percentiles_ms(),
+            kv_op_count=self.store.op_count,
+            migration_rate=stats.migration_rate,
+            mean_acl_ms=stats.mean_acl_ms,
+        )

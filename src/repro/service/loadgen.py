@@ -1,0 +1,108 @@
+"""High-volume load generation for the online admission service.
+
+Drives the existing workload model end to end: config population →
+diurnal demand → individual calls → the controller event stream the
+engine ingests.  The generator only ever truncates at **call
+granularity** — a call contributes either all of its events or none —
+so a generated stream is always serveable with exact accounting
+(admitted + migrated + overflowed == generated), which is what the
+service-smoke CI job and ``bench_service`` assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.errors import WorkloadError
+from repro.core.types import make_slots
+from repro.core.units import DEFAULT_FREEZE_WINDOW_S, DEFAULT_SLOT_S
+from repro.controller.events import (
+    ControllerEvent,
+    event_stream,
+    events_of_call,
+    peak_event_rate,
+)
+from repro.topology.builder import Topology
+from repro.workload.arrivals import Demand, DemandModel
+from repro.workload.configs import generate_population
+from repro.workload.diurnal import DiurnalModel
+from repro.workload.trace import CallTrace, TraceGenerator
+
+
+@dataclass
+class GeneratedLoad:
+    """One generated serving workload: calls, their events, and demand."""
+
+    trace: CallTrace
+    events: List[ControllerEvent]
+    #: Freeze-time demand of exactly the kept calls — what the plan the
+    #: engine serves against should be built from.
+    demand: Demand
+    freeze_window_s: float
+
+    @property
+    def n_calls(self) -> int:
+        return len(self.trace)
+
+    @property
+    def n_events(self) -> int:
+        return len(self.events)
+
+    def peak_event_rate(self, window_s: float = 60.0) -> float:
+        return peak_event_rate(self.events, window_s)
+
+
+class LoadGenerator:
+    """Event streams from the workload model, sized by event budget."""
+
+    def __init__(self, topology: Topology,
+                 n_configs: int = 60,
+                 calls_per_slot_at_peak: float = 80.0,
+                 freeze_window_s: float = DEFAULT_FREEZE_WINDOW_S,
+                 seed: int = 33):
+        self.topology = topology
+        self.freeze_window_s = freeze_window_s
+        self.seed = seed
+        self.population = generate_population(
+            topology.world, n_configs=n_configs, seed=seed)
+        self.demand_model = DemandModel(
+            topology.world, self.population, DiurnalModel(),
+            calls_per_slot_at_peak=calls_per_slot_at_peak)
+
+    def generate(self, duration_s: float = 86400.0,
+                 target_events: Optional[int] = None) -> GeneratedLoad:
+        """A day (by default) of calls expanded into controller events.
+
+        ``target_events`` caps the stream size: calls are kept in start
+        order until their cumulative event count reaches the target,
+        always keeping whole calls.  Without a target the full horizon
+        is emitted.
+        """
+        if duration_s < DEFAULT_SLOT_S:
+            raise WorkloadError("need at least one slot of load")
+        if target_events is not None and target_events < 1:
+            raise WorkloadError("target_events must be positive")
+        slots = make_slots(duration_s, DEFAULT_SLOT_S)
+        sampled = self.demand_model.sample(slots, seed=self.seed)
+        trace = TraceGenerator(seed=self.seed + 1).generate(sampled)
+        if not trace.calls:
+            raise WorkloadError("workload model produced no calls")
+
+        calls = trace.calls
+        if target_events is not None:
+            kept, budget = [], target_events
+            for call in calls:
+                cost = len(events_of_call(call, self.freeze_window_s))
+                kept.append(call)
+                budget -= cost
+                if budget <= 0:
+                    break
+            calls = kept
+        subset = CallTrace(calls, list(trace.slots))
+        return GeneratedLoad(
+            trace=subset,
+            events=event_stream(subset, self.freeze_window_s),
+            demand=subset.to_demand(freeze_after_s=self.freeze_window_s),
+            freeze_window_s=self.freeze_window_s,
+        )

@@ -1,0 +1,136 @@
+"""What one admission-engine run reports.
+
+The accounting is deliberately exact: every generated call must end up
+in exactly one of ``admitted`` (stayed at its initial DC with a plan
+slot, or was never reconciled because it legitimately ended early —
+still settled at its freeze point), ``migrated`` (moved at the freeze),
+or ``overflowed`` (plan slots exhausted; served at the initial DC
+anyway).  ``accounting_exact`` is the invariant the service-smoke CI job
+enforces — a dropped or unsettled call is a serving bug, not noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.core.errors import SwitchboardError
+
+
+@dataclass
+class ServiceReport:
+    """Counters + latency tails of one :class:`AdmissionEngine` run."""
+
+    n_workers: int
+    n_shards: int
+
+    # Event counters.
+    events_total: int = 0
+    events_processed: int = 0
+    dropped_events: int = 0
+    joins: int = 0
+    media_changes: int = 0
+
+    # Call accounting (the exact partition).
+    generated_calls: int = 0
+    admitted_calls: int = 0
+    migrated_calls: int = 0
+    overflowed_calls: int = 0
+    unplanned_calls: int = 0   # subset tag: fallback-placed (may overlap)
+    early_ended_calls: int = 0  # ended before their freeze point
+    ended_calls: int = 0
+    unsettled_calls: int = 0
+
+    # Throughput.
+    wall_time_s: float = 0.0
+    events_per_s: float = 0.0
+
+    # Latency tails (ms): admission = CALL_START handling, settle =
+    # CONFIG_FREEZE reconciliation, kv = simulated store round-trips.
+    admission_latency_ms: Dict[str, float] = field(default_factory=dict)
+    settle_latency_ms: Dict[str, float] = field(default_factory=dict)
+    kv_latency_ms: Dict[str, float] = field(default_factory=dict)
+    kv_op_count: int = 0
+
+    # Selector-level quality (same semantics as the day replay).
+    migration_rate: float = 0.0
+    mean_acl_ms: float = 0.0
+
+    @property
+    def settled_calls(self) -> int:
+        return self.admitted_calls + self.migrated_calls + self.overflowed_calls
+
+    @property
+    def accounting_exact(self) -> bool:
+        """admitted + migrated + overflowed == generated, nothing lost."""
+        return (self.settled_calls == self.generated_calls
+                and self.unsettled_calls == 0
+                and self.dropped_events == 0)
+
+    def require_exact_accounting(self) -> None:
+        """Raise with a diagnosis when any call went unaccounted."""
+        if not self.accounting_exact:
+            raise SwitchboardError(
+                f"service accounting broken: generated={self.generated_calls} "
+                f"!= admitted={self.admitted_calls} + "
+                f"migrated={self.migrated_calls} + "
+                f"overflowed={self.overflowed_calls} "
+                f"(unsettled={self.unsettled_calls}, "
+                f"dropped={self.dropped_events})"
+            )
+
+    def summary(self) -> str:
+        tail = self.admission_latency_ms
+        lines = [
+            f"admission service: {self.n_workers} workers over "
+            f"{self.n_shards} kv shards",
+            f"  events: {self.events_processed}/{self.events_total} "
+            f"processed ({self.dropped_events} dropped) in "
+            f"{self.wall_time_s:.2f}s -> {self.events_per_s:,.0f} events/s",
+            f"  calls: {self.generated_calls} generated = "
+            f"{self.admitted_calls} admitted + {self.migrated_calls} "
+            f"migrated + {self.overflowed_calls} overflowed "
+            f"({self.unplanned_calls} unplanned, "
+            f"{self.early_ended_calls} ended pre-freeze)",
+            f"  admission latency ms: "
+            f"p50={tail.get('p50', 0.0):.2f} "
+            f"p95={tail.get('p95', 0.0):.2f} "
+            f"p99={tail.get('p99', 0.0):.2f}",
+            f"  kv: {self.kv_op_count} ops, trip ms "
+            f"p50={self.kv_latency_ms.get('p50', 0.0):.2f} "
+            f"p95={self.kv_latency_ms.get('p95', 0.0):.2f} "
+            f"p99={self.kv_latency_ms.get('p99', 0.0):.2f}",
+            f"  migration rate {self.migration_rate:.2%}, "
+            f"mean ACL {self.mean_acl_ms:.1f} ms",
+            f"  accounting exact: {self.accounting_exact}",
+        ]
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly dump (the CI artifact)."""
+        return {
+            "n_workers": self.n_workers,
+            "n_shards": self.n_shards,
+            "events_total": self.events_total,
+            "events_processed": self.events_processed,
+            "dropped_events": self.dropped_events,
+            "joins": self.joins,
+            "media_changes": self.media_changes,
+            "generated_calls": self.generated_calls,
+            "admitted_calls": self.admitted_calls,
+            "migrated_calls": self.migrated_calls,
+            "overflowed_calls": self.overflowed_calls,
+            "unplanned_calls": self.unplanned_calls,
+            "early_ended_calls": self.early_ended_calls,
+            "ended_calls": self.ended_calls,
+            "unsettled_calls": self.unsettled_calls,
+            "wall_time_s": self.wall_time_s,
+            "events_per_s": self.events_per_s,
+            "admission_latency_ms": dict(self.admission_latency_ms),
+            "settle_latency_ms": dict(self.settle_latency_ms),
+            "kv_latency_ms": dict(self.kv_latency_ms),
+            "kv_op_count": self.kv_op_count,
+            "migration_rate": self.migration_rate,
+            "mean_acl_ms": self.mean_acl_ms,
+            "accounting_exact": self.accounting_exact,
+        }

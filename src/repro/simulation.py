@@ -33,8 +33,11 @@ from typing import List, Optional
 from repro.core.errors import SwitchboardError
 from repro.core.types import make_slots
 from repro.core.units import DEFAULT_SLOT_S
-from repro.allocation.realtime import RealTimeSelector
-from repro.config import PlannerConfig
+from repro.allocation.realtime import RealTimeSelector, SelectorStats
+from repro.config import PlannerConfig, ServiceConfig
+from repro.controller.events import event_stream
+from repro.kvstore.sharded import ShardedKVStore
+from repro.service.engine import AdmissionEngine
 from repro.forecasting.forecaster import CallCountForecaster
 from repro.metrics.capacity import capacity_diff
 from repro.provisioning.planner import CapacityPlan
@@ -115,14 +118,22 @@ class ServiceSimulator:
                  season_length: int = _SLOTS_PER_DAY,
                  freeze_window_s: float = 300.0,
                  seed: int = 97,
-                 planner_config: Optional[PlannerConfig] = None):
+                 planner_config: Optional[PlannerConfig] = None,
+                 use_service: bool = False):
         """``planner_config`` configures the inner :class:`Switchboard`
         (defaults to DC-failure scenarios only, the simulator's
         historical setting).  Its ``fault_plan`` doubles as the drill
         schedule: ``dc_failure`` / ``link_failure`` specs with an
         ``at_day`` fire on that simulated day — the allocation plan is
         rebuilt for the failure scenario and the day is tagged in its
-        :class:`DayReport`."""
+        :class:`DayReport`.
+
+        ``use_service=True`` replays each operational day through the
+        real online admission engine (event stream → sharded kvstore →
+        stateless selector core) instead of the in-process trace replay.
+        Service knobs come from ``planner_config.service``; with the
+        default single worker the engine is deterministic and the per-day
+        statistics are identical to the replay path on a fixed seed."""
         if bootstrap_days < 1:
             raise SwitchboardError("need at least one bootstrap day")
         if reprovision_every < 1:
@@ -140,6 +151,10 @@ class ServiceSimulator:
         self.db = CallRecordsDatabase()
         self.planner_config = (planner_config if planner_config is not None
                                else PlannerConfig(max_link_scenarios=0))
+        self.use_service = use_service
+        self.service_config = (self.planner_config.service
+                               if self.planner_config.service is not None
+                               else ServiceConfig())
         self.controller = Switchboard(topology, config=self.planner_config)
         self.capacity: Optional[CapacityPlan] = None
 
@@ -164,6 +179,31 @@ class ServiceSimulator:
             degradation_level=capacity.degradation_level,
             obs=capacity.obs,
         )
+
+    def _replay_through_service(self, plan, trace: CallTrace) -> SelectorStats:
+        """One day served by the real admission engine (not the replay).
+
+        The engine keeps its ledgers and call state in a fresh sharded
+        kvstore per day — the same way the production controller starts
+        each plan day against Redis — and the day's statistics come from
+        the identical selector core the replay path uses.
+        """
+        if not trace.calls:
+            return SelectorStats()
+        svc = self.service_config
+        if svc.kv_latency_median_ms is not None:
+            store = ShardedKVStore.with_latency(
+                n_shards=svc.n_shards, median_ms=svc.kv_latency_median_ms,
+                seed=svc.kv_latency_seed, ring_replicas=svc.ring_replicas)
+        else:
+            store = ShardedKVStore(n_shards=svc.n_shards,
+                                   ring_replicas=svc.ring_replicas)
+        engine = AdmissionEngine(
+            self.topology, plan, store=store, n_workers=svc.n_workers,
+            freeze_window_s=self.freeze_window_s, obs=self.controller.obs)
+        report = engine.run(event_stream(trace, self.freeze_window_s))
+        report.require_exact_accounting()
+        return engine.selector.stats
 
     def _forecast_next_day(self, day: int) -> Demand:
         top = self.db.top_configs(self.top_config_fraction)
@@ -247,10 +287,13 @@ class ServiceSimulator:
                 outcome = self.controller.allocate(forecast, self.capacity)
                 allocation_level = outcome.degradation_level
                 plan = outcome.plan
-            selector = RealTimeSelector(self.topology, plan,
-                                        self.freeze_window_s)
-            selector.process_trace(trace.calls)
-            stats = selector.stats
+            if self.use_service:
+                stats = self._replay_through_service(plan, trace)
+            else:
+                selector = RealTimeSelector(self.topology, plan,
+                                            self.freeze_window_s)
+                selector.process_trace(trace.calls)
+                stats = selector.stats
 
             report.days.append(DayReport(
                 day=day,

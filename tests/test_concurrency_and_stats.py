@@ -124,6 +124,65 @@ class TestSelectorConcurrencySafety:
         ReplayEngine(service).replay(
             event_stream(CallTrace(calls, make_slots(3600.0))), n_threads=4
         )
-        remaining = service.selector._remaining[(0, config)]["dc-tokyo"]
-        assert remaining == 0  # exactly n_calls debits
+        snapshot = service.selector.ledger.snapshot(0, config)
+        assert snapshot is not None
+        assert snapshot["dc-tokyo"] == 0  # exactly n_calls debits
         assert service.selector.stats.overflow == 0
+
+    def test_selector_stats_survive_multithreaded_hammering(self):
+        """Regression: SelectorStats.record() is one atomic fold — a
+        torn read-modify-write under threads would lose counts here."""
+        from repro.allocation.realtime import SelectorStats
+
+        stats = SelectorStats()
+        n_threads, per_thread = 8, 2000
+
+        def hammer(index):
+            for i in range(per_thread):
+                stats.record(acl_ms=1.0, migrated=i % 2 == 0,
+                             planned=i % 4 != 0, overflowed=i % 5 == 0)
+
+        threads = [threading.Thread(target=hammer, args=(t,))
+                   for t in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        total = n_threads * per_thread
+        assert stats.calls == total
+        assert stats.migrations == n_threads * (per_thread // 2)
+        assert stats.unplanned == n_threads * (per_thread // 4)
+        assert stats.overflow == n_threads * (per_thread // 5)
+        assert stats.acl_sum_ms == pytest.approx(float(total))
+        assert stats.migration_rate == pytest.approx(0.5)
+        assert stats.mean_acl_ms == pytest.approx(1.0)
+
+    def test_latency_sampling_does_not_serialize_threads(self):
+        """Per-thread RNG streams sample without a shared lock: many
+        threads sampling concurrently should not take much longer than
+        one thread doing the same share of work."""
+        profile = LatencyProfile(seed=3)
+        n_threads, per_thread = 8, 20_000
+
+        def spin():
+            for _ in range(per_thread):
+                profile.sample_ms()
+
+        start = time.perf_counter()
+        for _ in range(per_thread):
+            profile.sample_ms()
+        single = time.perf_counter() - start
+
+        threads = [threading.Thread(target=spin) for _ in range(n_threads)]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - start
+        # Generous bound (GIL still serializes CPU work): the old global
+        # RNG lock made this 8-thread run contend far worse than 8x the
+        # single-thread time under load; mostly this guards deadlock and
+        # pathological contention, not exact speedups.
+        assert wall < max(5.0, 30 * single)

@@ -5,8 +5,9 @@ import threading
 import pytest
 
 from repro.core.types import CallConfig, MediaType
-from repro.kvstore.client import ControllerStateClient
+from repro.kvstore.client import ControllerStateClient, PipelinedStateClient
 from repro.kvstore.store import InMemoryKVStore, KVStoreError, LatencyProfile
+from repro.obs.histogram import LatencyHistogram, percentiles_ms
 
 
 class TestStringOps:
@@ -156,3 +157,143 @@ class TestControllerStateClient:
     def test_observed_config_unknown_call(self):
         client = ControllerStateClient(InMemoryKVStore())
         assert client.observed_config("nope") is None
+
+    def test_pipelined_client_matches_plain_client(self):
+        """The pipelined client batches its writes but must leave the
+        store in exactly the state the sequential client does."""
+        plain_store, piped_store = InMemoryKVStore(), InMemoryKVStore()
+        for client in (ControllerStateClient(plain_store),
+                       PipelinedStateClient(piped_store)):
+            client.open_call("c1", "dc-a", "US")
+            client.record_join("c1", "CA")
+            client.record_media("c1", MediaType.VIDEO)
+            client.migrate_call("c1", "dc-b")
+            client.open_call("c2", "dc-a", "US")
+            client.close_call("c2")
+        assert plain_store._data == piped_store._data
+
+    def test_pipelined_client_batches_round_trips(self):
+        store = InMemoryKVStore(LatencyProfile(median_ms=0.1, floor_ms=0.05,
+                                               ceil_ms=0.2))
+        client = PipelinedStateClient(store)
+        client.open_call("c1", "dc-a", "US")
+        # open_call issues several writes; batched, they pay one trip.
+        assert len(store.latency_samples_ms()) == 1
+
+
+class TestPerThreadRNGStreams:
+    def test_single_thread_is_deterministic(self):
+        a, b = LatencyProfile(seed=7), LatencyProfile(seed=7)
+        assert [a.sample_ms() for _ in range(50)] == \
+            [b.sample_ms() for _ in range(50)]
+
+    def test_streams_differ_across_threads(self):
+        """Each sampling thread gets its own stream: no two threads draw
+        the same sequence (which a naive per-thread reseed would)."""
+        profile = LatencyProfile(seed=7)
+        sequences = {}
+        lock = threading.Lock()
+
+        def draw(index):
+            mine = tuple(profile.sample_ms() for _ in range(20))
+            with lock:
+                sequences[index] = mine
+
+        threads = [threading.Thread(target=draw, args=(i,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(set(sequences.values())) == 4
+
+    def test_concurrent_sampling_stays_in_bounds(self):
+        """The lock-free hot path never returns an out-of-range sample
+        under heavy multi-thread hammering."""
+        profile = LatencyProfile(median_ms=1.0, floor_ms=0.3, ceil_ms=4.2,
+                                 seed=11)
+        bad = []
+
+        def hammer():
+            for _ in range(2000):
+                sample = profile.sample_ms()
+                if not 0.3 <= sample <= 4.2:
+                    bad.append(sample)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not bad
+
+
+class TestPercentiles:
+    def test_nearest_rank(self):
+        samples = [10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0,
+                   100.0]
+        pcts = percentiles_ms(samples)
+        assert pcts == {"p50": 50.0, "p95": 100.0, "p99": 100.0}
+
+    def test_even_count_uses_ceil_not_bankers_rounding(self):
+        # n=6, p50 -> rank ceil(3)=3 -> 3rd smallest, NOT round(3.5)=4th.
+        assert percentiles_ms([1.0, 2.0, 3.0, 4.0, 5.0, 6.0])["p50"] == 3.0
+
+    def test_empty_input(self):
+        assert percentiles_ms([]) == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_store_percentiles(self):
+        store = InMemoryKVStore(LatencyProfile(median_ms=0.5, floor_ms=0.3,
+                                               ceil_ms=1.0))
+        for i in range(100):
+            store.set(f"k{i}", i)
+        pcts = store.latency_percentiles_ms()
+        assert 0.3 <= pcts["p50"] <= pcts["p95"] <= pcts["p99"] <= 1.0
+
+    def test_histogram_records_and_merges(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        a.record_many([1.0, 2.0, 3.0])
+        b.record(4.0)
+        a.merge(b)
+        assert a.count == 4
+        assert a.mean_ms == pytest.approx(2.5)
+        assert a.percentiles()["p99"] == 4.0
+
+    def test_histogram_thread_safe(self):
+        histogram = LatencyHistogram()
+
+        def record():
+            for i in range(1000):
+                histogram.record(float(i))
+
+        threads = [threading.Thread(target=record) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert histogram.count == 8000
+
+
+class TestBatchedOps:
+    def test_batch_matches_sequential(self):
+        sequential, batched = InMemoryKVStore(), InMemoryKVStore()
+        expected = [sequential.set("k", 1), sequential.incr("n", 2),
+                    sequential.hincrby("h", "f", 3), sequential.get("k"),
+                    sequential.hgetall("h")]
+        got = batched.execute_batch([
+            ("set", ("k", 1)), ("incr", ("n", 2)),
+            ("hincrby", ("h", "f", 3)), ("get", ("k",)),
+            ("hgetall", ("h",)),
+        ])
+        assert got == expected
+        assert batched._data == sequential._data
+
+    def test_batch_pays_one_round_trip(self):
+        store = InMemoryKVStore(LatencyProfile(median_ms=0.1, floor_ms=0.05,
+                                               ceil_ms=0.2))
+        store.execute_batch([("set", (f"k{i}", i)) for i in range(30)])
+        assert len(store.latency_samples_ms()) == 1
+        assert store.op_count == 30
+
+    def test_unknown_batch_op_rejected(self):
+        with pytest.raises(KVStoreError):
+            InMemoryKVStore().execute_batch([("flush", ())])

@@ -1,0 +1,284 @@
+"""Tests for the online admission service: loadgen, engine, report."""
+
+import pytest
+
+from repro.core.errors import SwitchboardError
+from repro.core.types import CallConfig, MediaType, make_slots
+from repro.allocation.plan import AllocationPlan
+from repro.allocation.realtime import (
+    KVSlotLedger,
+    LocalSlotLedger,
+    RealTimeSelector,
+)
+from repro.config import PlannerConfig
+from repro.controller.events import ControllerEvent, EventType, event_stream
+from repro.kvstore import InMemoryKVStore, ShardedKVStore
+from repro.service import AdmissionEngine, LoadGenerator, ServiceReport
+from repro.switchboard import Switchboard
+
+
+@pytest.fixture(scope="module")
+def load(topology):
+    return LoadGenerator(topology, n_configs=40, calls_per_slot_at_peak=40.0,
+                         seed=7).generate(target_events=2500)
+
+
+@pytest.fixture(scope="module")
+def plan(topology, load):
+    controller = Switchboard(topology,
+                             config=PlannerConfig(max_link_scenarios=0))
+    capacity = controller.provision(load.demand, with_backup=False)
+    return controller.allocate(load.demand, capacity).plan
+
+
+class TestLoadGenerator:
+    def test_deterministic(self, topology, load):
+        again = LoadGenerator(topology, n_configs=40,
+                              calls_per_slot_at_peak=40.0,
+                              seed=7).generate(target_events=2500)
+        assert [c.call_id for c in again.trace.calls] == \
+            [c.call_id for c in load.trace.calls]
+        assert [(e.t_s, e.event_type, e.call_id) for e in again.events] == \
+            [(e.t_s, e.event_type, e.call_id) for e in load.events]
+
+    def test_truncates_at_call_granularity(self, load):
+        """Every kept call contributes its complete event sequence —
+        exactly one CALL_START, CONFIG_FREEZE, and CALL_END each."""
+        per_call = {}
+        for event in load.events:
+            per_call.setdefault(event.call_id, []).append(event.event_type)
+        assert len(per_call) == load.n_calls
+        for kinds in per_call.values():
+            assert kinds.count(EventType.CALL_START) == 1
+            assert kinds.count(EventType.CONFIG_FREEZE) == 1
+            assert kinds.count(EventType.CALL_END) == 1
+
+    def test_event_budget_roughly_hit(self, load):
+        # Whole calls only: may exceed the target by at most one call.
+        assert load.n_events >= 2500
+        assert load.n_events <= 2500 + 40  # max events of one call
+
+    def test_demand_covers_kept_calls_only(self, load):
+        assert load.demand.total_calls() == pytest.approx(load.n_calls)
+
+    def test_events_time_sorted(self, load):
+        times = [e.t_s for e in load.events]
+        assert times == sorted(times)
+
+    def test_invalid_parameters(self, topology):
+        gen = LoadGenerator(topology, n_configs=10,
+                            calls_per_slot_at_peak=10.0)
+        from repro.core.errors import WorkloadError
+        with pytest.raises(WorkloadError):
+            gen.generate(duration_s=1.0)
+        with pytest.raises(WorkloadError):
+            gen.generate(target_events=0)
+
+
+class TestAdmissionEngine:
+    def test_exact_accounting_single_worker(self, topology, plan, load):
+        engine = AdmissionEngine(topology, plan,
+                                 store=ShardedKVStore(n_shards=4))
+        report = engine.run(load.events)
+        report.require_exact_accounting()
+        assert report.generated_calls == load.n_calls
+        assert report.events_processed == load.n_events
+        assert report.ended_calls == load.n_calls
+
+    def test_exact_accounting_multi_worker(self, topology, plan, load):
+        engine = AdmissionEngine(topology, plan,
+                                 store=ShardedKVStore(n_shards=4),
+                                 n_workers=4)
+        report = engine.run(load.events)
+        report.require_exact_accounting()
+        assert report.generated_calls == load.n_calls
+
+    def test_single_worker_matches_day_replay(self, topology, plan, load):
+        """The engine is the replay path, served online: one worker over
+        the event stream reproduces process_trace() exactly."""
+        selector = RealTimeSelector(topology, plan)
+        selector.process_trace(load.trace.calls)
+
+        engine = AdmissionEngine(topology, plan,
+                                 store=ShardedKVStore(n_shards=4))
+        engine.run(load.events)
+
+        expected, got = selector.stats, engine.selector.stats
+        assert (expected.calls, expected.migrations, expected.unplanned,
+                expected.overflow) == (got.calls, got.migrations,
+                                       got.unplanned, got.overflow)
+        assert got.acl_sum_ms == pytest.approx(expected.acl_sum_ms)
+
+    def test_workers_do_not_change_outcomes(self, topology, plan, load):
+        reports = []
+        for n_workers in (1, 3):
+            engine = AdmissionEngine(topology, plan,
+                                     store=ShardedKVStore(n_shards=4),
+                                     n_workers=n_workers)
+            reports.append(engine.run(load.events))
+        assert reports[0].migrated_calls == reports[1].migrated_calls
+        assert reports[0].overflowed_calls == reports[1].overflowed_calls
+        assert reports[0].generated_calls == reports[1].generated_calls
+
+    def test_runs_on_plain_store_too(self, topology, plan, load):
+        engine = AdmissionEngine(topology, plan, store=InMemoryKVStore())
+        report = engine.run(load.events)
+        report.require_exact_accounting()
+        assert report.n_shards == 1
+
+    def test_malformed_events_counted_dropped(self, topology, plan):
+        events = [
+            # CALL_START without its call payload: undeliverable.
+            ControllerEvent(t_s=0.0, event_type=EventType.CALL_START,
+                            call_id="ghost"),
+            # Events for a call the engine never admitted.
+            ControllerEvent(t_s=1.0, event_type=EventType.PARTICIPANT_JOIN,
+                            call_id="ghost"),
+            ControllerEvent(t_s=2.0, event_type=EventType.CALL_END,
+                            call_id="ghost"),
+        ]
+        engine = AdmissionEngine(topology, plan,
+                                 store=ShardedKVStore(n_shards=2))
+        report = engine.run(events)
+        assert report.dropped_events == 3
+        assert not report.accounting_exact
+        with pytest.raises(SwitchboardError):
+            report.require_exact_accounting()
+
+    def test_empty_stream_rejected(self, topology, plan):
+        engine = AdmissionEngine(topology, plan,
+                                 store=ShardedKVStore(n_shards=2))
+        with pytest.raises(SwitchboardError):
+            engine.run([])
+
+    def test_worker_count_validated(self, topology, plan):
+        with pytest.raises(SwitchboardError):
+            AdmissionEngine(topology, plan, n_workers=0)
+
+    def test_latency_percentiles_populated(self, topology, plan, load):
+        store = ShardedKVStore.with_latency(n_shards=2, median_ms=0.1,
+                                            floor_ms=0.05, ceil_ms=0.3,
+                                            seed=3)
+        engine = AdmissionEngine(topology, plan, store=store, n_workers=2)
+        report = engine.run(load.events)
+        assert set(report.admission_latency_ms) == {"p50", "p95", "p99"}
+        assert report.kv_latency_ms["p50"] >= 0.05
+        assert report.kv_op_count > 0
+
+
+class TestKVSlotLedger:
+    CONFIG = CallConfig.build({"JP": 2}, MediaType.AUDIO)
+    EMPTY_CONFIG = CallConfig.build({"US": 3}, MediaType.VIDEO)
+
+    def _plan(self):
+        return AllocationPlan(
+            slots=make_slots(3600.0, 1800.0),
+            shares={(0, self.CONFIG): {"dc-a": 2.0, "dc-b": 1.0},
+                    (0, self.EMPTY_CONFIG): {"dc-a": 0.4}},  # rounds to zero
+        )
+
+    def test_matches_local_ledger(self):
+        plan = self._plan()
+        local = LocalSlotLedger.from_plan(plan)
+        kv = KVSlotLedger(ShardedKVStore(n_shards=4))
+        kv.load_plan(plan)
+        assert kv.snapshot(0, self.CONFIG) == local.snapshot(0, self.CONFIG)
+        # Both agree on unplanned cells...
+        other = CallConfig.build({"DE": 2}, MediaType.AUDIO)
+        assert kv.snapshot(0, other) is None
+        assert local.snapshot(0, other) is None
+        # ...and debit sequences produce identical decisions.
+        for ledger in (local, kv):
+            assert ledger.try_debit(0, self.CONFIG, "dc-a")
+            assert ledger.try_debit(0, self.CONFIG, "dc-a")
+            assert not ledger.try_debit(0, self.CONFIG, "dc-a")
+            assert ledger.try_debit(0, self.CONFIG, "dc-b")
+        assert kv.snapshot(0, self.CONFIG) == local.snapshot(0, self.CONFIG)
+
+    def test_zero_slot_cell_reads_planned_not_unplanned(self):
+        """A cell whose shares integerize to nothing must still read as
+        *planned* (-> overflow handling), not None (-> fallback)."""
+        kv = KVSlotLedger(ShardedKVStore(n_shards=4))
+        kv.load_plan(self._plan())
+        snapshot = kv.snapshot(0, self.EMPTY_CONFIG)
+        assert snapshot is not None
+        assert all(count <= 0 for count in snapshot.values())
+
+    def test_failed_debit_is_undone(self):
+        kv = KVSlotLedger(ShardedKVStore(n_shards=2))
+        kv.load_plan(self._plan())
+        assert not kv.try_debit(0, self.CONFIG, "dc-missing")
+        # The failed debit must not leave a negative balance behind
+        # that would block a later legitimate credit.
+        snapshot = kv.snapshot(0, self.CONFIG)
+        assert snapshot["dc-missing"] == 0
+
+    def test_concurrent_debits_never_oversubscribe(self):
+        import threading
+
+        plan = AllocationPlan(
+            slots=make_slots(3600.0, 1800.0),
+            shares={(0, self.CONFIG): {"dc-a": 50.0}},
+        )
+        kv = KVSlotLedger(ShardedKVStore(n_shards=4))
+        kv.load_plan(plan)
+        wins = []
+        lock = threading.Lock()
+
+        def contend():
+            mine = sum(kv.try_debit(0, self.CONFIG, "dc-a")
+                       for _ in range(20))
+            with lock:
+                wins.append(mine)
+
+        threads = [threading.Thread(target=contend) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sum(wins) == 50  # 160 attempts, exactly 50 slots granted
+        assert kv.snapshot(0, self.CONFIG)["dc-a"] == 0
+
+
+class TestServiceReport:
+    def _report(self, **overrides):
+        values = dict(n_workers=2, n_shards=4, generated_calls=10,
+                      admitted_calls=7, migrated_calls=2, overflowed_calls=1)
+        values.update(overrides)
+        return ServiceReport(**values)
+
+    def test_exact_partition(self):
+        report = self._report()
+        assert report.settled_calls == 10
+        assert report.accounting_exact
+        report.require_exact_accounting()
+
+    def test_lost_call_detected(self):
+        report = self._report(admitted_calls=6)
+        assert not report.accounting_exact
+        with pytest.raises(SwitchboardError):
+            report.require_exact_accounting()
+
+    def test_unsettled_detected(self):
+        report = self._report(generated_calls=11, unsettled_calls=1)
+        assert not report.accounting_exact
+
+    def test_summary_and_dict(self):
+        report = self._report()
+        text = report.summary()
+        assert "10 generated" in text
+        assert "accounting exact: True" in text
+        dumped = report.to_dict()
+        assert dumped["accounting_exact"] is True
+        assert dumped["generated_calls"] == 10
+
+
+class TestEventStreamContract:
+    def test_engine_consumes_event_stream_output(self, topology, plan, load):
+        """event_stream() and the engine agree on the payload contract:
+        every event kind the stream emits is handled, none dropped."""
+        streamed = event_stream(load.trace, load.freeze_window_s)
+        engine = AdmissionEngine(topology, plan,
+                                 store=ShardedKVStore(n_shards=2))
+        report = engine.run(streamed)
+        assert report.dropped_events == 0

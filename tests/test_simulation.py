@@ -75,3 +75,42 @@ class TestServiceSimulator:
     def test_empty_report_migration_rate_raises(self):
         with pytest.raises(SwitchboardError):
             SimulationReport().overall_migration_rate
+
+
+class TestServiceBackedSimulation:
+    def test_service_path_matches_replay_path_per_day(self, topology):
+        """use_service=True swaps the in-process replay for the full
+        admission engine (sharded KV state, event stream); on one worker
+        it must reproduce the replay path's per-day stats exactly."""
+        from repro.config import PlannerConfig, ServiceConfig
+
+        population = generate_population(topology.world, n_configs=30, seed=3)
+        model = DemandModel(topology.world, population,
+                            calls_per_slot_at_peak=25.0)
+        config = PlannerConfig(max_link_scenarios=0,
+                               service=ServiceConfig(n_shards=4))
+        kwargs = dict(bootstrap_days=3, reprovision_every=2, seed=5,
+                      planner_config=config)
+        replayed = ServiceSimulator(topology, model, **kwargs).run(n_days=5)
+        served = ServiceSimulator(topology, model, use_service=True,
+                                  **kwargs).run(n_days=5)
+
+        assert len(served.days) == len(replayed.days)
+        for expected, got in zip(replayed.days, served.days):
+            assert got.n_calls == expected.n_calls
+            assert got.migration_rate == expected.migration_rate
+            assert got.unplanned_rate == expected.unplanned_rate
+            assert got.mean_acl_ms == pytest.approx(expected.mean_acl_ms)
+
+    def test_service_config_validation(self):
+        from repro.config import ServiceConfig
+
+        with pytest.raises(SwitchboardError):
+            ServiceConfig(n_shards=0)
+        with pytest.raises(SwitchboardError):
+            ServiceConfig(n_workers=0)
+        with pytest.raises(SwitchboardError):
+            ServiceConfig(kv_latency_median_ms=-1.0)
+        config = ServiceConfig()
+        assert config.but(n_workers=4).n_workers == 4
+        assert config.n_workers == 1
