@@ -64,6 +64,11 @@ class SelectorStats:
     unplanned: int = 0
     overflow: int = 0
     acl_sum_ms: float = 0.0
+    #: Calls moved *between servers inside a DC* by the defragmenter —
+    #: a distinct category from ``migrations`` (DC-to-DC moves at the
+    #: config freeze) and never folded into it: the accounting partition
+    #: admitted + migrated + overflowed == generated must stay exact.
+    defrag_migrations: int = 0
 
     def __post_init__(self):
         # Not a dataclass field: invisible to __eq__/__repr__, never
@@ -82,6 +87,11 @@ class SelectorStats:
                 self.unplanned += 1
             if overflowed:
                 self.overflow += 1
+
+    def record_defrag(self, moves: int = 1) -> None:
+        """Count defrag-driven server moves (not DC migrations)."""
+        with self._lock:
+            self.defrag_migrations += moves
 
     @property
     def migration_rate(self) -> float:
@@ -110,9 +120,22 @@ class SlotLedger(ABC):
         """Remaining counts per DC, or ``None`` for an unplanned cell."""
 
     @abstractmethod
-    def try_debit(self, slot_index: int, config: CallConfig,
-                  dc_id: str) -> bool:
-        """Atomically take one slot; False if none remained."""
+    def try_debit(self, slot_index: int, config: CallConfig, dc_id: str,
+                  call_id: Optional[str] = None) -> bool:
+        """Atomically take one slot; False if none remained.
+
+        ``call_id`` identifies the call being admitted.  Plain slot
+        ledgers ignore it; fleet-aware ledgers (``repro.packing``) use it
+        to reserve a specific server in the same atomic step, so a DC
+        whose servers are too fragmented to host the call refuses the
+        debit and the selector's preference walk moves on.
+        """
+
+    def credit(self, slot_index: int, config: CallConfig,
+               dc_id: str) -> None:
+        """Return one previously debited slot (undo).  Base ledgers
+        override this; the default is a no-op for ledgers that cannot
+        restore slots."""
 
 
 class LocalSlotLedger(SlotLedger):
@@ -133,14 +156,21 @@ class LocalSlotLedger(SlotLedger):
             cell = self._remaining.get((slot_index, config))
             return dict(cell) if cell is not None else None
 
-    def try_debit(self, slot_index: int, config: CallConfig,
-                  dc_id: str) -> bool:
+    def try_debit(self, slot_index: int, config: CallConfig, dc_id: str,
+                  call_id: Optional[str] = None) -> bool:
         with self._lock:
             cell = self._remaining.get((slot_index, config))
             if cell is not None and cell.get(dc_id, 0) > 0:
                 cell[dc_id] -= 1
                 return True
             return False
+
+    def credit(self, slot_index: int, config: CallConfig,
+               dc_id: str) -> None:
+        with self._lock:
+            cell = self._remaining.get((slot_index, config))
+            if cell is not None:
+                cell[dc_id] = cell.get(dc_id, 0) + 1
 
 
 class KVSlotLedger(SlotLedger):
@@ -186,13 +216,17 @@ class KVSlotLedger(SlotLedger):
         return {dc: count for dc, count in table.items()
                 if dc != self._SENTINEL}
 
-    def try_debit(self, slot_index: int, config: CallConfig,
-                  dc_id: str) -> bool:
+    def try_debit(self, slot_index: int, config: CallConfig, dc_id: str,
+                  call_id: Optional[str] = None) -> bool:
         key = self._key(slot_index, config)
         if self._store.hincrby(key, dc_id, -1) >= 0:
             return True
         self._store.hincrby(key, dc_id, 1)
         return False
+
+    def credit(self, slot_index: int, config: CallConfig,
+               dc_id: str) -> None:
+        self._store.hincrby(self._key(slot_index, config), dc_id, 1)
 
 
 class RealTimeSelector:
@@ -230,7 +264,8 @@ class RealTimeSelector:
             return self.topology.closest_dc(config.majority_country), False, False
 
         if (cell.get(initial_dc, 0) > 0
-                and self.ledger.try_debit(slot_index, config, initial_dc)):
+                and self.ledger.try_debit(slot_index, config, initial_dc,
+                                          call_id=call.call_id)):
             return initial_dc, True, False
 
         # Prefer the lowest-ACL DC among those with slots remaining; under
@@ -242,7 +277,8 @@ class RealTimeSelector:
             key=lambda dc: (self.topology.acl_ms(dc, config), dc),
         )
         for dc in open_dcs:
-            if self.ledger.try_debit(slot_index, config, dc):
+            if self.ledger.try_debit(slot_index, config, dc,
+                                     call_id=call.call_id):
                 return dc, True, False
 
         # Slot exhaustion: more calls of this config arrived than planned.

@@ -83,6 +83,68 @@ class ServiceConfig:
         return dataclasses.replace(self, **overrides)
 
 
+#: Server-selection policies ``repro.packing`` registers.
+PACKING_POLICIES = ("first_fit", "best_fit", "predictive")
+
+
+@dataclass(frozen=True)
+class PackingConfig:
+    """Knobs of intra-DC server-level call packing (``repro.packing``).
+
+    * ``policy`` — server-selection/sizing policy: ``first_fit`` |
+      ``best_fit`` | ``predictive`` (Tetris-style predicted-peak sizing).
+    * ``server_cores`` / ``utilization_target`` — the MP server SKU the
+      per-DC core budgets are realized as.
+    * ``rebalance_on_overload`` — move a call that outgrew its server
+      (post-freeze joins) to one that fits, instead of running overloaded.
+    * ``defrag_interval_s`` — run a defrag round between event batches of
+      this width; ``None`` disables online defragmentation.
+    * ``defrag_max_moves`` — call-move budget per defrag round.
+    * ``defrag_fill_threshold`` — only servers emptier than this fill
+      fraction are evacuation donors.
+    * ``frag_ref_cores`` — reference call size for the
+      allocatable-slots-lost fragmentation metric.
+    * ``safety_margin`` — extra headroom the predictive policy adds on
+      top of the predicted peak (fraction).
+    """
+
+    policy: str = "predictive"
+    server_cores: float = 16.0
+    utilization_target: float = 0.9
+    rebalance_on_overload: bool = True
+    defrag_interval_s: Optional[float] = 3600.0
+    defrag_max_moves: int = 8
+    defrag_fill_threshold: float = 0.5
+    frag_ref_cores: float = 1.0
+    safety_margin: float = 0.0
+
+    def __post_init__(self):
+        if self.policy not in PACKING_POLICIES:
+            raise SwitchboardError(
+                f"unknown packing policy {self.policy!r}; "
+                f"expected one of {PACKING_POLICIES}"
+            )
+        if self.server_cores <= 0:
+            raise SwitchboardError("server_cores must be positive")
+        if not 0 < self.utilization_target <= 1:
+            raise SwitchboardError("utilization_target must be in (0, 1]")
+        if (self.defrag_interval_s is not None
+                and self.defrag_interval_s <= 0):
+            raise SwitchboardError("defrag_interval_s must be positive")
+        if self.defrag_max_moves < 0:
+            raise SwitchboardError("defrag_max_moves must be >= 0")
+        if not 0 < self.defrag_fill_threshold <= 1:
+            raise SwitchboardError("defrag_fill_threshold must be in (0, 1]")
+        if self.frag_ref_cores <= 0:
+            raise SwitchboardError("frag_ref_cores must be positive")
+        if self.safety_margin < 0:
+            raise SwitchboardError("safety_margin must be >= 0")
+
+    def but(self, **overrides: Any) -> "PackingConfig":
+        """A copy with the given fields replaced (frozen-friendly)."""
+        return dataclasses.replace(self, **overrides)
+
+
 @dataclass(frozen=True)
 class PlannerConfig:
     """Every provisioning/allocation/resilience knob in one frozen value.
@@ -118,6 +180,9 @@ class PlannerConfig:
     * ``service`` — online admission service knobs
       (:class:`ServiceConfig`); ``None`` means the service-backed paths
       use :class:`ServiceConfig`'s defaults.
+    * ``packing`` — intra-DC server-level packing knobs
+      (:class:`PackingConfig`); ``None`` keeps admission at DC
+      granularity (no server placement).
     """
 
     latency_threshold_ms: float = DEFAULT_LATENCY_THRESHOLD_MS
@@ -135,6 +200,7 @@ class PlannerConfig:
     fault_plan: Optional[FaultPlan] = None
     rng_seed: int = 0
     service: Optional[ServiceConfig] = None
+    packing: Optional[PackingConfig] = None
 
     def __post_init__(self):
         if self.backup_method not in BACKUP_METHODS:

@@ -16,6 +16,7 @@ module            reproduces
 ``prediction``    §8 MOMC+LR call-config prediction
 ``predictive``    §8 applied: prediction-assisted selection vs §5.4
 ``app_aware``     §4.4: app-aware vs resource-log provisioning (surge)
+``fig_packing``   server-level packing policies at matched quality
 ``threshold_sweep``  ablation: cost vs the 120 ms ACL threshold
 ``figdata``       CSV export of every plot-shaped experiment's series
 ================  =============================================
@@ -29,6 +30,7 @@ from repro.experiments import (  # noqa: F401
     fig8,
     fig9,
     fig10,
+    fig_packing,
     migration,
     prediction,
     predictive,
@@ -49,6 +51,7 @@ __all__ = [
     "fig8",
     "fig9",
     "fig10",
+    "fig_packing",
     "migration",
     "prediction",
     "predictive",

@@ -1,0 +1,154 @@
+"""Server-level packing policies compared at matched quality.
+
+Three intra-DC placement policies serve the same seeded
+class-structured workload (``repro.packing.workload``) through the
+admission engine backed by a :class:`~repro.packing.FleetLedgerBase`:
+
+* ``first_fit`` / ``best_fit`` size calls by their *observed* frozen
+  config — tight packing that overloads servers when video calls grow
+  after the freeze, unless every server buys blanket headroom (a lower
+  ``utilization_target``);
+* ``predictive`` (Tetris-style) sizes each call by its *predicted
+  peak* from the per-media joined-by-freeze fraction, so only the calls
+  that will actually grow pay for headroom.
+
+Quality is matched the way an operator would: each policy runs its
+servers as hot as it can **without a single overload event** (sweep
+``utilization_target`` down the grid until overloads and placement
+failures are both zero).  The figure is peak servers used at that
+matched quality — the predictive packer should win outright, plus the
+fragmentation and defrag activity alongside.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.config import PackingConfig, PlannerConfig
+from repro.packing import build_packing
+from repro.packing.workload import PackingLoad, generate_packing_load
+from repro.service import AdmissionEngine
+from repro.switchboard import Switchboard
+from repro.topology.builder import Topology
+
+#: utilization_target grid, hottest first — the sweep stops at the
+#: first rung a policy can run clean.
+UT_GRID = (1.0, 0.9, 0.8, 0.7, 0.6, 0.5)
+
+#: Fleet head-count multiple over the provisioned cores: servers-used
+#: must be demand-driven, not capped by an exactly-sized fleet.
+FLEET_SCALE = 3.0
+
+
+def build_plan(topology: Topology, load: PackingLoad):
+    """Provision + allocate the load's demand; returns (plan, fleet)."""
+    controller = Switchboard(topology,
+                             config=PlannerConfig(max_link_scenarios=0))
+    capacity = controller.provision(load.demand, with_backup=False)
+    plan = controller.allocate(load.demand, capacity).plan
+    fleet = {dc: cores * FLEET_SCALE for dc, cores in capacity.cores.items()}
+    return plan, fleet
+
+
+def run_policy(topology: Topology, plan, fleet: Dict[str, float],
+               load: PackingLoad, policy: str,
+               utilization_target: float,
+               defrag_interval_s: Optional[float] = 1800.0,
+               store=None) -> Dict[str, object]:
+    """One engine run of the load under one (policy, ut) point."""
+    config = PackingConfig(policy=policy,
+                           utilization_target=utilization_target,
+                           defrag_interval_s=defrag_interval_s)
+    ledger, defragmenter = build_packing(
+        fleet, config, store=store, training_calls=load.training_calls)
+    engine = AdmissionEngine(topology, plan, store=store,
+                             ledger=ledger, defragmenter=defragmenter,
+                             defrag_interval_s=config.defrag_interval_s)
+    report = engine.run(load.events)
+    report.require_exact_accounting()
+    packing = report.packing
+    return {
+        "policy": policy,
+        "utilization_target": utilization_target,
+        "overload_events": int(packing["overload_events"]),
+        "placement_failures": int(packing["placement_failures"]),
+        "overflowed_calls": report.overflowed_calls,
+        "servers_used_peak": int(packing["servers_used_peak"]),
+        "frag_slots_lost": int(packing["frag_slots_lost"]),
+        "defrag_moves": report.defrag_migrated_calls,
+        "defrag_rounds": report.defrag_rounds,
+        "rebalance_moves": int(packing["rebalance_moves"]),
+        "events_per_s": report.events_per_s,
+    }
+
+
+def matched_quality(points: List[Dict[str, object]]) -> Dict[str, object]:
+    """The hottest clean run: zero overloads, zero placement failures.
+
+    Falls back to the last (coldest) point if no rung is clean, flagged
+    via ``clean=False``.
+    """
+    for point in points:  # UT_GRID order: hottest first
+        if (point["overload_events"] == 0
+                and point["placement_failures"] == 0):
+            return {**point, "clean": True}
+    return {**points[-1], "clean": False}
+
+
+def run(n_calls: int = 300, seed: int = 7,
+        policies=("first_fit", "best_fit", "predictive"),
+        topology: Optional[Topology] = None) -> Dict[str, object]:
+    topo = topology if topology is not None else Topology.default()
+    load = generate_packing_load(n_calls=n_calls, seed=seed,
+                                 countries=["US"])
+    plan, fleet = build_plan(topo, load)
+
+    curves: Dict[str, List[Dict[str, object]]] = {}
+    matched: Dict[str, Dict[str, object]] = {}
+    for policy in policies:
+        points = [run_policy(topo, plan, fleet, load, policy, ut)
+                  for ut in UT_GRID]
+        curves[policy] = points
+        matched[policy] = matched_quality(points)
+    return {
+        "n_calls": load.n_calls,
+        "n_events": load.n_events,
+        "seed": seed,
+        "ut_grid": list(UT_GRID),
+        "curves": curves,
+        "matched": matched,
+    }
+
+
+def render(result: Dict[str, object]) -> str:
+    lines = [
+        f"server-level packing at matched quality — "
+        f"{result['n_calls']} calls, {result['n_events']} events "
+        f"(seed {result['seed']}):",
+        "  policy       hottest-clean-ut  peak-servers  frag  defrag-moves",
+    ]
+    for policy, point in result["matched"].items():
+        flag = "" if point["clean"] else "  (never clean!)"
+        lines.append(
+            f"  {policy:<12} {point['utilization_target']:>16.1f} "
+            f"{point['servers_used_peak']:>13} "
+            f"{point['frag_slots_lost']:>5} "
+            f"{point['defrag_moves']:>13}{flag}"
+        )
+    matched = result["matched"]
+    if "predictive" in matched and "first_fit" in matched:
+        saved = (matched["first_fit"]["servers_used_peak"]
+                 - matched["predictive"]["servers_used_peak"])
+        lines.append(
+            f"  predicted-peak sizing saves {saved} peak servers over "
+            "first-fit at zero-overload quality"
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

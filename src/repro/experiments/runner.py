@@ -13,7 +13,7 @@ import time
 from typing import Callable, Dict, Tuple
 
 from repro.experiments import (
-    app_aware, fig3, fig4, fig7, fig8, fig9, fig10,
+    app_aware, fig3, fig4, fig7, fig8, fig9, fig10, fig_packing,
     migration, prediction, predictive, table1, table3, table4,
     threshold_sweep,
 )
@@ -34,6 +34,8 @@ _EXPERIMENTS: Dict[str, Tuple[bool, Callable, Callable]] = {
     "prediction": (False, lambda scn: prediction.run(), prediction.render),
     "predictive": (False, lambda scn: predictive.run(), predictive.render),
     "app_aware": (False, lambda scn: app_aware.run(), app_aware.render),
+    "fig_packing": (False, lambda scn: fig_packing.run(),
+                    fig_packing.render),
     "threshold_sweep": (True, lambda scn: threshold_sweep.run(scn),
                         threshold_sweep.render),
 }

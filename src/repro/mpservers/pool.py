@@ -16,13 +16,12 @@ servers realize a DC's planned cores (:func:`servers_for_cores`).
 
 from __future__ import annotations
 
-import math
 from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.core.errors import CapacityError
-from repro.mpservers.server import MPServer
+from repro.mpservers.server import MPServer, to_microcores
 
 #: Cores per MP server: a mid-size VM/host dedicated to media processing.
 DEFAULT_SERVER_CORES = 16.0
@@ -30,13 +29,21 @@ DEFAULT_SERVER_CORES = 16.0
 
 def servers_for_cores(cores: float, server_cores: float = DEFAULT_SERVER_CORES,
                       utilization_target: float = 0.9) -> int:
-    """Servers needed to realize ``cores`` of planned capacity."""
+    """Servers needed to realize ``cores`` of planned capacity.
+
+    Computed in integer microcores: a demand that is an exact multiple of
+    the usable server size never rounds up to an extra server just
+    because of float representation (e.g. ``0.1 * 3`` vs ``0.3``).
+    """
     if cores < 0 or server_cores <= 0:
         raise CapacityError("cores must be >= 0 and server size positive")
     if cores == 0:
         return 0
-    usable = server_cores * utilization_target
-    return int(math.ceil(cores / usable - 1e-12))
+    need_mc = to_microcores(cores)
+    usable_mc = to_microcores(server_cores * utilization_target)
+    if usable_mc <= 0:
+        raise CapacityError("server size too small to be usable")
+    return -(-need_mc // usable_mc)  # integer ceiling division
 
 
 class ServerPool:

@@ -10,6 +10,12 @@ A server hosts calls up to its core capacity, with a utilization target
 below 100% (production machines keep headroom for media burst); calls
 are whole units — a call never splits across servers, which is what makes
 this bin-packing rather than fluid allocation.
+
+Capacity arithmetic is exact: cores are quantized to integer microcores
+(:func:`to_microcores`) at the admission boundary, so arbitrarily long
+allocate/release sequences can never leak or mint fractional capacity
+the way accumulated float sums do.  The float API is unchanged — callers
+pass and receive cores — but every comparison happens on integers.
 """
 
 from __future__ import annotations
@@ -18,6 +24,22 @@ from dataclasses import dataclass, field
 from typing import Dict
 
 from repro.core.errors import CapacityError
+
+#: Microcores per core: the integer quantum of all capacity accounting.
+#: 1e-6 cores is far below any real per-participant load (the smallest in
+#: the repo is 0.25 cores), so quantization never changes a decision —
+#: it only removes float drift.
+MICROCORES_PER_CORE = 1_000_000
+
+
+def to_microcores(cores: float) -> int:
+    """Quantize a core amount to integer microcores (round-half-even)."""
+    return int(round(cores * MICROCORES_PER_CORE))
+
+
+def from_microcores(mc: int) -> float:
+    """The float core value of an integer microcore amount."""
+    return mc / MICROCORES_PER_CORE
 
 
 @dataclass
@@ -37,18 +59,30 @@ class MPServer:
             raise CapacityError(
                 f"{self.server_id}: utilization target must be in (0, 1]"
             )
+        # Integer accounting: the authoritative used/usable amounts.  The
+        # per-call microcore table remembers each call's quantized size so
+        # release subtracts exactly what admit added.
+        self._capacity_mc = to_microcores(self.core_capacity)
+        self._usable_mc = to_microcores(
+            self.core_capacity * self.utilization_target)
+        self._used_mc = 0
+        self._call_mc: Dict[str, int] = {
+            call_id: to_microcores(cores)
+            for call_id, cores in self._calls.items()
+        }
+        self._used_mc = sum(self._call_mc.values())
 
     @property
     def usable_cores(self) -> float:
-        return self.core_capacity * self.utilization_target
+        return from_microcores(self._usable_mc)
 
     @property
     def used_cores(self) -> float:
-        return sum(self._calls.values())
+        return from_microcores(self._used_mc)
 
     @property
     def free_cores(self) -> float:
-        return self.usable_cores - self.used_cores
+        return from_microcores(self._usable_mc - self._used_mc)
 
     @property
     def call_count(self) -> int:
@@ -56,10 +90,10 @@ class MPServer:
 
     @property
     def utilization(self) -> float:
-        return self.used_cores / self.core_capacity
+        return self._used_mc / self._capacity_mc
 
     def fits(self, cores: float) -> bool:
-        return cores <= self.free_cores + 1e-12
+        return to_microcores(cores) <= self._usable_mc - self._used_mc
 
     def admit(self, call_id: str, cores: float) -> None:
         """Admit a call; rejects double-admission and capacity overruns."""
@@ -67,21 +101,26 @@ class MPServer:
             raise CapacityError(f"call {call_id}: cores must be positive")
         if call_id in self._calls:
             raise CapacityError(f"call {call_id} already on {self.server_id}")
-        if not self.fits(cores):
+        mc = to_microcores(cores)
+        if mc > self._usable_mc - self._used_mc:
             raise CapacityError(
                 f"{self.server_id}: {cores:.2f} cores do not fit "
                 f"({self.free_cores:.2f} free)"
             )
         self._calls[call_id] = cores
+        self._call_mc[call_id] = mc
+        self._used_mc += mc
 
     def release(self, call_id: str) -> float:
         """Release a call; returns the cores it held."""
         try:
-            return self._calls.pop(call_id)
+            cores = self._calls.pop(call_id)
         except KeyError:
             raise CapacityError(
                 f"call {call_id} not on {self.server_id}"
             ) from None
+        self._used_mc -= self._call_mc.pop(call_id)
+        return cores
 
     def hosts(self, call_id: str) -> bool:
         return call_id in self._calls
@@ -90,4 +129,6 @@ class MPServer:
         """Evict everything (server failure); returns the displaced calls."""
         displaced = dict(self._calls)
         self._calls.clear()
+        self._call_mc.clear()
+        self._used_mc = 0
         return displaced

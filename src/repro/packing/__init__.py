@@ -1,0 +1,92 @@
+"""Intra-DC server-level call packing (Tetris-style, §5.4 substrate).
+
+Turns each DC from an opaque slot counter into a packed fleet of MP
+servers: a :class:`PackingPolicy` sizes and places calls, a
+:class:`FleetLedgerBase` keeps the authoritative per-server capacity
+(implementing the :class:`~repro.allocation.realtime.SlotLedger`
+contract so the selector and admission engine route through server-level
+placement unchanged), and a :class:`Defragmenter` reclaims stranded
+capacity between event batches.
+"""
+
+from typing import Optional, Tuple
+
+from repro.config import PackingConfig
+from repro.obs.events import Observability
+from repro.packing.defrag import Defragmenter, DefragMove, DefragRound
+from repro.packing.ledger import (
+    FleetLedgerBase,
+    FleetStats,
+    KVFleetLedger,
+    LocalFleetLedger,
+    build_fleet_ledger,
+)
+from repro.packing.policy import (
+    BestFit,
+    FirstFit,
+    POLICIES,
+    PackingPolicy,
+    PredictivePack,
+    make_policy,
+)
+from repro.prediction.peak import peak_predictor_or_default
+
+
+def build_packing(capacity, config: Optional[PackingConfig] = None,
+                  store=None, training_calls=None, load_model=None,
+                  obs: Optional[Observability] = None,
+                  ) -> Tuple[FleetLedgerBase, Optional[Defragmenter]]:
+    """Construct the packing stack a :class:`PackingConfig` describes.
+
+    ``capacity`` is a CapacityPlan (or ``{dc: cores}`` mapping); a
+    ``store`` selects the sharded-KV ledger backend; ``training_calls``
+    (historical complete calls) fit the predictive policy's peak
+    predictor — without them it falls back to its conservative prior.
+    Returns ``(ledger, defragmenter)``; the defragmenter is ``None``
+    when ``config.defrag_interval_s`` is.
+    """
+    if config is None:
+        config = PackingConfig()
+    predictor = None
+    if config.policy == "predictive":
+        predictor = peak_predictor_or_default(
+            training_calls, safety_margin=config.safety_margin)
+    policy = make_policy(config.policy, load_model=load_model,
+                         predictor=predictor)
+    ledger = build_fleet_ledger(
+        capacity, policy, store=store,
+        server_cores=config.server_cores,
+        utilization_target=config.utilization_target,
+        rebalance_on_overload=config.rebalance_on_overload,
+        frag_ref_cores=config.frag_ref_cores,
+        obs=obs,
+    )
+    defragmenter = None
+    if config.defrag_interval_s is not None:
+        defragmenter = Defragmenter(
+            ledger,
+            max_moves_per_round=config.defrag_max_moves,
+            donor_fill_threshold=config.defrag_fill_threshold,
+            obs=obs,
+        )
+    return ledger, defragmenter
+
+
+__all__ = [
+    "BestFit",
+    "Defragmenter",
+    "DefragMove",
+    "DefragRound",
+    "FirstFit",
+    "FleetLedgerBase",
+    "FleetStats",
+    "KVFleetLedger",
+    "LocalFleetLedger",
+    "POLICIES",
+    "PackingConfig",
+    "PackingPolicy",
+    "PredictivePack",
+    "build_fleet_ledger",
+    "build_packing",
+    "make_policy",
+]

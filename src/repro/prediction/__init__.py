@@ -1,7 +1,12 @@
-"""Call-config prediction for recurring meetings (§8): MOMC + logistic."""
+"""Call-config prediction (§8): MOMC + logistic, plus peak sizing."""
 
 from repro.prediction.logistic import LogisticRegression
 from repro.prediction.momc import MOMCConfig, MultiOrderMarkovChain
+from repro.prediction.peak import (
+    PeakParticipantPredictor,
+    fit_peak_predictor,
+    peak_predictor_or_default,
+)
 from repro.prediction.predictor import (
     CallConfigPredictor,
     EvaluationSummary,
@@ -14,5 +19,8 @@ __all__ = [
     "LogisticRegression",
     "MOMCConfig",
     "MultiOrderMarkovChain",
+    "PeakParticipantPredictor",
     "PredictionErrors",
+    "fit_peak_predictor",
+    "peak_predictor_or_default",
 ]

@@ -29,7 +29,11 @@ from typing import Dict, Iterable, List, Optional, Union
 from repro.core.errors import SwitchboardError
 from repro.core.units import DEFAULT_FREEZE_WINDOW_S
 from repro.allocation.plan import AllocationPlan
-from repro.allocation.realtime import KVSlotLedger, RealTimeSelector
+from repro.allocation.realtime import (
+    KVSlotLedger,
+    RealTimeSelector,
+    SlotLedger,
+)
 from repro.controller.events import ControllerEvent, EventType
 from repro.kvstore.client import PipelinedStateClient
 from repro.kvstore.sharded import ShardedKVStore
@@ -81,20 +85,35 @@ class AdmissionEngine:
                                        InMemoryKVStore]] = None,
                  n_workers: int = 1,
                  freeze_window_s: float = DEFAULT_FREEZE_WINDOW_S,
-                 obs: Optional[Observability] = None):
+                 obs: Optional[Observability] = None,
+                 ledger: Optional[SlotLedger] = None,
+                 defragmenter=None,
+                 defrag_interval_s: Optional[float] = None):
         if n_workers < 1:
             raise SwitchboardError("need at least one admission worker")
+        if defrag_interval_s is not None and defrag_interval_s <= 0:
+            raise SwitchboardError("defrag_interval_s must be positive")
         self.topology = topology
         self.store = store if store is not None else ShardedKVStore()
         self.n_workers = n_workers
         self.obs = obs
-        self.ledger = KVSlotLedger(self.store)
+        # An injected ledger (e.g. a repro.packing fleet ledger) replaces
+        # the DC-granularity slot ledger: same contract, plus per-server
+        # placement.  It must expose load_plan(plan) -> cell count.
+        self.ledger = ledger if ledger is not None else KVSlotLedger(self.store)
         self.planned_cells = self.ledger.load_plan(plan)
         self.selector = RealTimeSelector(topology, plan, freeze_window_s,
                                          ledger=self.ledger)
         self.client = PipelinedStateClient(self.store)
+        self.defragmenter = defragmenter
+        self.defrag_interval_s = defrag_interval_s
+        self.defrag_rounds = 0
         self.admission_latency = LatencyHistogram()
         self.settle_latency = LatencyHistogram()
+        # Fleet-aware ledgers grow/release per-call server reservations;
+        # plain slot ledgers have neither hook.
+        self._note_join = getattr(self.ledger, "note_join", None)
+        self._release_call = getattr(self.ledger, "release", None)
 
     # ------------------------------------------------------------------
     # event handlers (run on worker threads)
@@ -117,6 +136,10 @@ class AdmissionEngine:
                 return
             self.client.record_join(event.call_id, event.country)
             worker.joins += 1
+            if self._note_join is not None:
+                # Post-freeze joins grow the call's server reservation
+                # (no-op before the call is settled/placed).
+                self._note_join(event.call_id)
         elif kind is EventType.MEDIA_CHANGE:
             if event.media is None:
                 worker.dropped += 1
@@ -163,6 +186,8 @@ class AdmissionEngine:
 
     def _close(self, worker: _WorkerState, call_id: str) -> None:
         self.client.close_call(call_id)
+        if self._release_call is not None:
+            self._release_call(call_id)
         del worker.calls[call_id]
 
     # ------------------------------------------------------------------
@@ -178,17 +203,67 @@ class AdmissionEngine:
         if not stream:
             raise SwitchboardError("no events to serve")
         workers = [_WorkerState() for _ in range(self.n_workers)]
+
+        if self.obs is not None:
+            self.obs.record("service.run", label="admission",
+                            n_events=len(stream), n_workers=self.n_workers)
+
+        start = time.perf_counter()
+        batches = self._batches(stream)
+        for batch_index, batch in enumerate(batches):
+            self._serve_batch(workers, batch)
+            if self.defragmenter is not None:
+                # Defrag runs *between* event batches — never while
+                # workers are mutating the fleet — plus one tidy-up
+                # round after the final batch.
+                round_result = self.defragmenter.run_round()
+                self.defrag_rounds += 1
+                if round_result.executed_moves:
+                    self.selector.stats.record_defrag(
+                        round_result.executed_moves)
+        wall = time.perf_counter() - start
+
+        report = self._report(workers, len(stream), wall)
+        if self.obs is not None:
+            self.obs.record("service.done", label="admission",
+                            events_per_s=report.events_per_s,
+                            accounting_exact=report.accounting_exact)
+        return report
+
+    # ------------------------------------------------------------------
+    def _batches(self, stream: List[ControllerEvent]
+                 ) -> List[List[ControllerEvent]]:
+        """Split the time-sorted stream into defrag windows.
+
+        Without a defragmenter (or an interval) the whole stream is one
+        batch and serving behaves exactly as before.
+        """
+        if self.defragmenter is None or self.defrag_interval_s is None:
+            return [stream]
+        batches: List[List[ControllerEvent]] = []
+        window_end = stream[0].t_s + self.defrag_interval_s
+        current: List[ControllerEvent] = []
         for event in stream:
+            if event.t_s >= window_end and current:
+                batches.append(current)
+                current = []
+                while event.t_s >= window_end:
+                    window_end += self.defrag_interval_s
+            current.append(event)
+        if current:
+            batches.append(current)
+        return batches
+
+    def _serve_batch(self, workers: List[_WorkerState],
+                     batch: List[ControllerEvent]) -> None:
+        """Shard one batch to the workers and drain it to completion."""
+        for event in batch:
             # Stable shard (zlib.crc32, not the randomized builtin hash)
             # so a given trace always lands on the same workers.
             index = zlib.crc32(event.call_id.encode("utf-8")) % self.n_workers
             workers[index].inbox.put(event)
         for worker in workers:
             worker.inbox.put(None)  # sentinel
-
-        if self.obs is not None:
-            self.obs.record("service.run", label="admission",
-                            n_events=len(stream), n_workers=self.n_workers)
 
         errors: List[BaseException] = []
         error_lock = threading.Lock()
@@ -207,22 +282,13 @@ class AdmissionEngine:
 
         threads = [threading.Thread(target=drain, args=(worker,), daemon=True)
                    for worker in workers]
-        start = time.perf_counter()
         for thread in threads:
             thread.start()
         for thread in threads:
             thread.join()
-        wall = time.perf_counter() - start
         if errors:
             raise SwitchboardError(
                 f"admission worker failed: {errors[0]!r}") from errors[0]
-
-        report = self._report(workers, len(stream), wall)
-        if self.obs is not None:
-            self.obs.record("service.done", label="admission",
-                            events_per_s=report.events_per_s,
-                            accounting_exact=report.accounting_exact)
-        return report
 
     # ------------------------------------------------------------------
     def _report(self, workers: List[_WorkerState], n_events: int,
@@ -233,6 +299,10 @@ class AdmissionEngine:
             for state in w.calls.values() if not state.settled
         )
         stats = self.selector.stats
+        packing: Dict[str, object] = {}
+        metrics_fn = getattr(self.ledger, "fleet_metrics", None)
+        if metrics_fn is not None:
+            packing = metrics_fn()
         return ServiceReport(
             n_workers=self.n_workers,
             n_shards=getattr(self.store, "n_shards", 1),
@@ -257,4 +327,8 @@ class AdmissionEngine:
             kv_op_count=self.store.op_count,
             migration_rate=stats.migration_rate,
             mean_acl_ms=stats.mean_acl_ms,
+            defrag_migrated_calls=stats.defrag_migrations,
+            defrag_rounds=self.defrag_rounds,
+            frag_slots_lost=int(packing.get("frag_slots_lost", 0)),
+            packing=packing,
         )

@@ -41,6 +41,15 @@ class ServiceReport:
     ended_calls: int = 0
     unsettled_calls: int = 0
 
+    # Server-level packing (zeroes when admission runs at DC granularity).
+    # Defrag moves are *within-DC server* moves of already-settled calls:
+    # a distinct accounting category that must never be folded into
+    # ``migrated_calls`` — it is not part of the call partition at all.
+    defrag_migrated_calls: int = 0
+    defrag_rounds: int = 0
+    frag_slots_lost: int = 0   # allocatable-slots-lost at end of run
+    packing: Dict[str, object] = field(default_factory=dict)
+
     # Throughput.
     wall_time_s: float = 0.0
     events_per_s: float = 0.0
@@ -104,6 +113,14 @@ class ServiceReport:
             f"mean ACL {self.mean_acl_ms:.1f} ms",
             f"  accounting exact: {self.accounting_exact}",
         ]
+        if self.packing:
+            lines.append(
+                f"  packing[{self.packing.get('policy', '?')}]: "
+                f"{self.packing.get('servers_used_peak', 0)} peak servers, "
+                f"{self.defrag_migrated_calls} defrag moves over "
+                f"{self.defrag_rounds} rounds, "
+                f"{self.frag_slots_lost} frag slots lost"
+            )
         return "\n".join(lines)
 
     def to_dict(self) -> Dict[str, object]:
@@ -133,4 +150,8 @@ class ServiceReport:
             "migration_rate": self.migration_rate,
             "mean_acl_ms": self.mean_acl_ms,
             "accounting_exact": self.accounting_exact,
+            "defrag_migrated_calls": self.defrag_migrated_calls,
+            "defrag_rounds": self.defrag_rounds,
+            "frag_slots_lost": self.frag_slots_lost,
+            "packing": dict(self.packing),
         }

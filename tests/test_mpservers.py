@@ -53,6 +53,100 @@ class TestMPServer:
         assert server.call_count == 0
 
 
+class TestCapacityArithmetic:
+    """Allocate/release round-trips never leak or mint capacity.
+
+    The accounting is integer microcores under the hood, so these hold
+    exactly — not merely within a float tolerance.
+    """
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.floats(min_value=0.01, max_value=4.0), max_size=30))
+    def test_release_all_restores_exact_zero(self, sizes):
+        server = MPServer("s1", "dc-a", core_capacity=1e9,
+                          utilization_target=1.0)
+        for i, cores in enumerate(sizes):
+            server.admit(f"c{i}", cores)
+        for i in range(len(sizes)):
+            server.release(f"c{i}")
+        assert server.used_cores == 0.0
+        assert server.free_cores == server.usable_cores
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(
+        st.tuples(st.booleans(), st.floats(min_value=0.01, max_value=4.0)),
+        max_size=60,
+    ))
+    def test_interleaved_round_trips_stay_consistent(self, ops):
+        """used_cores always equals the quantized sum of live calls, and
+        admission never exceeds usable capacity."""
+        from repro.mpservers.server import from_microcores, to_microcores
+
+        server = MPServer("s1", "dc-a", core_capacity=32.0)
+        live = {}
+        next_id = 0
+        for release_one, cores in ops:
+            if release_one and live:
+                victim = next(iter(live))
+                server.release(victim)
+                del live[victim]
+            else:
+                call_id = f"c{next_id}"
+                next_id += 1
+                if server.fits(cores):
+                    server.admit(call_id, cores)
+                    live[call_id] = cores
+                else:
+                    with pytest.raises(CapacityError):
+                        server.admit(call_id, cores)
+            expected = sum(to_microcores(c) for c in live.values())
+            assert server.used_cores == from_microcores(expected)
+            assert server.used_cores <= server.usable_cores
+        for call_id in list(live):
+            server.release(call_id)
+        assert server.used_cores == 0.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.floats(min_value=0.05, max_value=3.0),
+                    min_size=1, max_size=40),
+           st.integers(min_value=1, max_value=4))
+    def test_pool_round_trips_never_leak(self, sizes, n_servers):
+        pool = ServerPool("dc-a", n_servers=n_servers, server_cores=16.0)
+        placed = []
+        for i, cores in enumerate(sizes):
+            try:
+                pool.place(f"c{i}", cores)
+                placed.append(f"c{i}")
+            except CapacityError:
+                pass
+        for call_id in placed:
+            pool.release(call_id)
+        assert pool.used_cores == 0.0
+        assert pool.call_count == 0
+        assert pool.free_cores == sum(s.usable_cores for s in pool.servers)
+
+    def test_float_sliver_cannot_accumulate(self):
+        """The classic drift case: repeatedly admitting/releasing 0.1+0.2
+        (whose float sum is 0.30000000000000004) leaves exactly zero."""
+        server = MPServer("s1", "dc-a", core_capacity=1.0,
+                          utilization_target=1.0)
+        for _ in range(1000):
+            server.admit("a", 0.1 + 0.2)
+            server.release("a")
+        assert server.used_cores == 0.0
+        # An exact-multiple fill still fits after all that churn.
+        server.admit("b", 0.3)
+        server.admit("c", 0.3)
+        server.admit("d", 0.3)
+        server.admit("e", 0.1)
+        assert server.free_cores == 0.0
+
+    def test_exact_multiple_needs_no_extra_server(self):
+        # 0.1 * 3 > 0.3 in floats; integer microcores keep this at 1.
+        assert servers_for_cores(0.1 * 3, server_cores=0.3,
+                                 utilization_target=1.0) == 1
+
+
 class TestServersForCores:
     def test_exact_and_rounding(self):
         assert servers_for_cores(0.0) == 0
