@@ -1,6 +1,13 @@
 """Real-time controller runtime: events, service, trace replay (§6.6)."""
 
+from repro.controller.columnar import (
+    ColumnarEventBatch,
+    build_event_batch,
+    events_per_call,
+    iter_event_batches,
+)
 from repro.controller.events import (
+    EVENT_SORT_CODE,
     ControllerEvent,
     EventType,
     event_stream,
@@ -11,13 +18,18 @@ from repro.controller.replay import ReplayEngine, ReplayResult
 from repro.controller.service import ControllerService, ServiceStats
 
 __all__ = [
+    "EVENT_SORT_CODE",
+    "ColumnarEventBatch",
     "ControllerEvent",
     "ControllerService",
     "EventType",
     "ReplayEngine",
     "ReplayResult",
     "ServiceStats",
+    "build_event_batch",
     "event_stream",
     "events_of_call",
+    "events_per_call",
+    "iter_event_batches",
     "peak_event_rate",
 ]

@@ -13,7 +13,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
+
+import numpy as np
 
 from repro.core.errors import WorkloadError
 from repro.core.types import Call, MediaType
@@ -27,6 +29,27 @@ class EventType(enum.Enum):
     MEDIA_CHANGE = "media_change"
     CONFIG_FREEZE = "config_freeze"
     CALL_END = "call_end"
+
+    @property
+    def sort_code(self) -> int:
+        """Position in the pinned equal-timestamp total order."""
+        return EVENT_SORT_CODE[self]
+
+
+#: The pinned total order for events of one call at an equal timestamp:
+#: a call starts, participants join, their media escalates, the config
+#: freezes, and only then can the call end.  Both the object sorter
+#: (:func:`event_stream`) and the columnar sorter
+#: (:func:`repro.controller.columnar.build_event_batch`) key on this —
+#: the order is an explicit contract, not an accident of
+#: ``EventType.value`` string collation.
+EVENT_SORT_CODE: Dict[EventType, int] = {
+    EventType.CALL_START: 0,
+    EventType.PARTICIPANT_JOIN: 1,
+    EventType.MEDIA_CHANGE: 2,
+    EventType.CONFIG_FREEZE: 3,
+    EventType.CALL_END: 4,
+}
 
 
 @dataclass(frozen=True)
@@ -91,23 +114,38 @@ def events_of_call(call: Call,
 def event_stream(trace: CallTrace,
                  freeze_window_s: float = DEFAULT_FREEZE_WINDOW_S
                  ) -> List[ControllerEvent]:
-    """All events of a trace in time order."""
+    """All events of a trace in time order.
+
+    The sort key is the shared total order ``(t_s, trace position of the
+    call, EVENT_SORT_CODE)`` — identical to the columnar sorter's, so the
+    object and columnar data planes emit byte-for-byte the same stream
+    for the same trace.
+    """
     events: List[ControllerEvent] = []
+    rank: Dict[str, int] = {}
     for call in trace:
+        rank.setdefault(call.call_id, len(rank))
         events.extend(events_of_call(call, freeze_window_s))
-    events.sort(key=lambda e: (e.t_s, e.call_id, e.event_type.value))
+    events.sort(key=lambda e: (e.t_s, rank[e.call_id],
+                               EVENT_SORT_CODE[e.event_type]))
     return events
 
 
-def peak_event_rate(events: List[ControllerEvent], window_s: float = 60.0) -> float:
+def peak_event_rate(events, window_s: float = 60.0) -> float:
     """Peak events/second over fixed windows — the trace's "peak load".
 
     Fig 10 normalizes controller throughput to the peak traffic seen in
-    the trace; this is that denominator.
+    the trace; this is that denominator.  Accepts a list of
+    :class:`ControllerEvent` or anything exposing a ``t_s`` array (a
+    :class:`~repro.controller.columnar.ColumnarEventBatch`); either way
+    the windowed histogram is one ``np.bincount`` over window indices.
     """
-    if not events:
+    t = getattr(events, "t_s", None)
+    if t is None:
+        t = np.fromiter((e.t_s for e in events), dtype=np.float64)
+    t = np.asarray(t, dtype=np.float64)
+    if t.size == 0:
         raise WorkloadError("no events")
-    counts = {}
-    for event in events:
-        counts[int(event.t_s // window_s)] = counts.get(int(event.t_s // window_s), 0) + 1
-    return max(counts.values()) / window_s
+    windows = np.floor_divide(t, window_s).astype(np.int64)
+    windows -= windows.min()
+    return float(np.bincount(windows).max() / window_s)

@@ -26,6 +26,7 @@ from repro.workload.arrivals import Demand, DemandModel
 from repro.workload.configs import ConfigPopulation, generate_population
 from repro.workload.diurnal import DiurnalModel
 from repro.workload.media import MediaLoadModel
+from repro.workload.columnar import ColumnarTrace
 from repro.workload.trace import CallTrace, TraceGenerator
 
 #: Size presets: (n_configs, calls_per_slot_at_peak, horizon_days).
@@ -50,6 +51,7 @@ class Scenario:
     seed: int = 11
     _sampled: Optional[Demand] = None
     _trace: Optional[CallTrace] = None
+    _columnar: Optional[ColumnarTrace] = None
 
     @property
     def sampled_demand(self) -> Demand:
@@ -59,12 +61,20 @@ class Scenario:
         return self._sampled
 
     @property
-    def trace(self) -> CallTrace:
-        """Individual calls expanded from the sampled demand."""
-        if self._trace is None:
-            self._trace = TraceGenerator(seed=self.seed + 1).generate(
+    def columnar_trace(self) -> ColumnarTrace:
+        """The sampled demand expanded into struct-of-arrays calls."""
+        if self._columnar is None:
+            self._columnar = TraceGenerator(seed=self.seed + 1).generate_columnar(
                 self.sampled_demand
             )
+        return self._columnar
+
+    @property
+    def trace(self) -> CallTrace:
+        """Individual calls expanded from the sampled demand (object view
+        of :attr:`columnar_trace` — same seed, same calls)."""
+        if self._trace is None:
+            self._trace = self.columnar_trace.to_trace()
         return self._trace
 
     def history_demand(self, days: int, seed_offset: int = 100) -> Demand:

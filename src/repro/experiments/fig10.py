@@ -18,7 +18,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.controller.events import event_stream, peak_event_rate
+from repro.controller.columnar import build_event_batch
+from repro.controller.events import peak_event_rate
 from repro.controller.replay import ReplayEngine, ReplayResult
 from repro.controller.service import ControllerService
 from repro.experiments.common import Scenario, build_scenario
@@ -35,7 +36,7 @@ def run(scenario: Optional[Scenario] = None,
         store_median_latency_ms: float = 2.0,
         max_events: int = 9_000) -> Dict[str, object]:
     scn = scenario if scenario is not None else build_scenario("default")
-    trace = scn.trace
+    trace = scn.columnar_trace
     demand = trace.to_demand(freeze_after_s=300.0)
 
     controller = Switchboard(scn.topology, scn.load_model,
@@ -43,14 +44,15 @@ def run(scenario: Optional[Scenario] = None,
     capacity = controller.provision(demand, with_backup=False)
     plan = controller.allocate(demand, capacity).plan
 
-    events = event_stream(trace)
-    if len(events) > max_events:
-        events = events[:max_events]
+    # The whole stream is generated and sorted columnar; the replay
+    # threads materialize event views lazily.
+    batch = build_event_batch(trace)
+    events = batch.slice(0, max_events) if len(batch) > max_events else batch
 
     # Production-equivalent peak: our trace's peak rate scaled by the
     # volume ratio to a Teams-scale day.
-    raw_peak = peak_event_rate(event_stream(trace))
-    scale = production_calls_per_day / max(1, len(trace))
+    raw_peak = peak_event_rate(batch)
+    scale = production_calls_per_day / max(1, trace.n_calls)
     scaled_peak = raw_peak * scale
 
     results: List[ReplayResult] = []

@@ -10,7 +10,7 @@ leaks stringly-typed keys into the controller logic:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional, Union
+from typing import TYPE_CHECKING, Dict, Iterable, Optional, Union
 
 from repro.core.types import CallConfig, MediaType
 from repro.kvstore.store import InMemoryKVStore
@@ -38,6 +38,13 @@ class ControllerStateClient:
 
     def record_join(self, call_id: str, country: str) -> None:
         self._store.hincrby(f"call:{call_id}:spread", country, 1)
+
+    def record_joins(self, call_id: str, countries: Iterable[str]) -> None:
+        """Record several joins of one call (same result as calling
+        :meth:`record_join` once per country, in order)."""
+        key = f"call:{call_id}:spread"
+        for country in countries:
+            self._store.hincrby(key, country, 1)
 
     def record_media(self, call_id: str, media: MediaType) -> None:
         current = self._store.hget(f"call:{call_id}", "media")
@@ -110,6 +117,14 @@ class PipelinedStateClient(ControllerStateClient):
          .hincrby(f"call:{call_id}:spread", first_country, 1)
          .incr(f"dcload:{dc_id}")
          .execute())
+
+    def record_joins(self, call_id: str, countries: Iterable[str]) -> None:
+        pipe = self._store.pipeline()
+        key = f"call:{call_id}:spread"
+        for country in countries:
+            pipe.hincrby(key, country, 1)
+        if len(pipe):
+            pipe.execute()
 
     def migrate_call(self, call_id: str, new_dc: str) -> None:
         old_dc = self._store.hget(f"call:{call_id}", "dc")

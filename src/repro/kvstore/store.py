@@ -136,6 +136,11 @@ class InMemoryKVStore:
         self._latency = latency
         self._op_count = 0
         self._op_latencies_ms: List[float] = []
+        # Bound methods resolved once: op dispatch sits on the serving hot
+        # path, where a per-op getattr on a formatted name is measurable.
+        self._appliers: Dict[str, Any] = {
+            name: getattr(self, f"_apply_{name}") for name in self._BATCH_OPS
+        }
 
     # ------------------------------------------------------------------
     # internals
@@ -150,18 +155,21 @@ class InMemoryKVStore:
         time.sleep(delay_ms / 1000.0)
         return delay_ms
 
-    def _record_op(self, latency_ms: float) -> None:
-        with self._lock:
-            self._op_count += 1
-            if len(self._op_latencies_ms) < 1_000_000:
-                self._op_latencies_ms.append(latency_ms)
-
     def _one(self, op: str, *args: Any) -> Any:
         """Issue a single op: one network trip, applier under the lock."""
+        if self._latency is None:
+            # Zero-latency mode: nothing to sample or record — every
+            # sample would be 0.0 and the percentiles read zero anyway.
+            with self._lock:
+                result = self._appliers[op](*args)
+                self._op_count += 1
+            return result
         latency = self._simulate_network()
         with self._lock:
-            result = getattr(self, f"_apply_{op}")(*args)
-        self._record_op(latency)
+            result = self._appliers[op](*args)
+            self._op_count += 1
+            if len(self._op_latencies_ms) < 1_000_000:
+                self._op_latencies_ms.append(latency)
         return result
 
     # ------------------------------------------------------------------
@@ -222,15 +230,18 @@ class InMemoryKVStore:
         length.  Each op is counted individually; the shared round-trip is
         recorded once (it *was* one network event).
         """
-        latency = self._simulate_network()
+        latency = self._simulate_network() if self._latency is not None else None
         results: List[Any] = []
+        appliers = self._appliers
         with self._lock:
             for name, args in ops:
-                if name not in self._BATCH_OPS:
+                applier = appliers.get(name)
+                if applier is None:
                     raise KVStoreError(f"unsupported batch op {name!r}")
-                results.append(getattr(self, f"_apply_{name}")(*args))
+                results.append(applier(*args))
             self._op_count += len(ops)
-            if len(self._op_latencies_ms) < 1_000_000:
+            if (latency is not None
+                    and len(self._op_latencies_ms) < 1_000_000):
                 self._op_latencies_ms.append(latency)
         return results
 

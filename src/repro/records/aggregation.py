@@ -20,10 +20,12 @@ from repro.records.record import CallLegRecord, CallRecord
 from repro.topology.builder import Topology
 from repro.records.latency_est import fabricate_leg_latency
 from repro.workload.arrivals import Demand
+from repro.workload.columnar import ColumnarTrace
 from repro.workload.trace import CallTrace
 
 
-def ingest_trace(db: CallRecordsDatabase, trace: CallTrace, topology: Topology,
+def ingest_trace(db: CallRecordsDatabase,
+                 trace: "CallTrace | ColumnarTrace", topology: Topology,
                  dc_of_call=None, seed: int = 47,
                  latency_jitter_frac: float = 0.25,
                  freeze_after_s: Optional[float] = None) -> None:
@@ -37,34 +39,74 @@ def ingest_trace(db: CallRecordsDatabase, trace: CallTrace, topology: Topology,
     point instead of the final config — pass the controller's A (300 s)
     when the records feed plans the real-time selector will reconcile
     against, so the plan's config keys match what the selector sees.
+
+    Columnar traces take a vectorized path: config resolution and
+    first-joiner DC lookup happen once per unique column value instead
+    of once per call (identical records either way).
     """
+    if isinstance(trace, ColumnarTrace):
+        _ingest_columnar(db, trace, topology, dc_of_call, seed,
+                         latency_jitter_frac, freeze_after_s)
+        return
     if dc_of_call is None:
         dc_of_call = lambda call: topology.closest_dc(call.first_joiner.country)
     rng = np.random.default_rng(seed)
     for call in trace:
         config = call.config(freeze_after_s)
         dc_id = dc_of_call(call)
-        record = CallRecord(
-            call_id=call.call_id,
-            config=config,
-            dc_id=dc_id,
-            start_s=call.start_s,
-            duration_s=call.duration_s,
-            series_id=call.series_id,
-        )
-        legs: List[CallLegRecord] = []
-        for country, count in config.spread:
-            for _ in range(count):
-                legs.append(CallLegRecord(
-                    call_id=call.call_id,
-                    participant_country=country,
-                    dc_id=dc_id,
-                    latency_ms=fabricate_leg_latency(
-                        topology.latency, dc_id, country, rng, latency_jitter_frac
-                    ),
-                    start_s=call.start_s,
-                ))
-        db.ingest(record, legs)
+        _ingest_call(db, topology, rng, latency_jitter_frac,
+                     call.call_id, config, dc_id,
+                     call.start_s, call.duration_s, call.series_id)
+
+
+def _ingest_columnar(db: CallRecordsDatabase, trace: ColumnarTrace,
+                     topology: Topology, dc_of_call, seed: int,
+                     latency_jitter_frac: float,
+                     freeze_after_s: Optional[float]) -> None:
+    """The struct-of-arrays ingest: same records, batch-resolved inputs."""
+    config_list, config_codes = trace.config_table(freeze_after_s)
+    if dc_of_call is None:
+        # closest_dc is a pure country -> DC map: resolve once per
+        # distinct first-joiner country code, then gather.
+        first_codes = trace.country_code[trace.first_positions()]
+        dc_by_code = {int(code): topology.closest_dc(trace.countries.value(int(code)))
+                      for code in np.unique(first_codes)}
+        dcs = [dc_by_code[int(code)] for code in first_codes]
+    else:
+        dcs = [dc_of_call(trace.call(i)) for i in range(trace.n_calls)]
+    rng = np.random.default_rng(seed)
+    for i in range(trace.n_calls):
+        _ingest_call(db, topology, rng, latency_jitter_frac,
+                     trace.call_id(i), config_list[int(config_codes[i])],
+                     dcs[i],
+                     float(trace.start_s[i]), float(trace.duration_s[i]), None)
+
+
+def _ingest_call(db: CallRecordsDatabase, topology: Topology, rng,
+                 latency_jitter_frac: float, call_id: str, config: CallConfig,
+                 dc_id: str, start_s: float, duration_s: float,
+                 series_id: Optional[str]) -> None:
+    record = CallRecord(
+        call_id=call_id,
+        config=config,
+        dc_id=dc_id,
+        start_s=start_s,
+        duration_s=duration_s,
+        series_id=series_id,
+    )
+    legs: List[CallLegRecord] = []
+    for country, count in config.spread:
+        for _ in range(count):
+            legs.append(CallLegRecord(
+                call_id=call_id,
+                participant_country=country,
+                dc_id=dc_id,
+                latency_ms=fabricate_leg_latency(
+                    topology.latency, dc_id, country, rng, latency_jitter_frac
+                ),
+                start_s=start_s,
+            ))
+    db.ingest(record, legs)
 
 
 def demand_from_database(db: CallRecordsDatabase,

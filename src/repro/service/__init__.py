@@ -9,7 +9,7 @@ a :class:`ServiceReport`.
 """
 
 from repro.service.engine import AdmissionEngine
-from repro.service.loadgen import GeneratedLoad, LoadGenerator
+from repro.service.loadgen import GeneratedLoad, LoadGenerator, StreamingLoad
 from repro.service.report import ServiceReport
 
 __all__ = [
@@ -17,4 +17,5 @@ __all__ = [
     "GeneratedLoad",
     "LoadGenerator",
     "ServiceReport",
+    "StreamingLoad",
 ]

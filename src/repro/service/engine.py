@@ -19,14 +19,18 @@ the in-process replay path.
 
 from __future__ import annotations
 
+import itertools
 import queue
 import threading
 import time
 import zlib
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
 
 from repro.core.errors import SwitchboardError
+from repro.core.types import MediaType
 from repro.core.units import DEFAULT_FREEZE_WINDOW_S
 from repro.allocation.plan import AllocationPlan
 from repro.allocation.realtime import (
@@ -34,7 +38,12 @@ from repro.allocation.realtime import (
     RealTimeSelector,
     SlotLedger,
 )
-from repro.controller.events import ControllerEvent, EventType
+from repro.controller.columnar import ColumnarEventBatch
+from repro.controller.events import (
+    EVENT_SORT_CODE,
+    ControllerEvent,
+    EventType,
+)
 from repro.kvstore.client import PipelinedStateClient
 from repro.kvstore.sharded import ShardedKVStore
 from repro.kvstore.store import InMemoryKVStore
@@ -42,6 +51,16 @@ from repro.obs.events import Observability
 from repro.obs.histogram import LatencyHistogram
 from repro.service.report import ServiceReport
 from repro.topology.builder import Topology
+
+_START = EVENT_SORT_CODE[EventType.CALL_START]
+_JOIN = EVENT_SORT_CODE[EventType.PARTICIPANT_JOIN]
+_MEDIA = EVENT_SORT_CODE[EventType.MEDIA_CHANGE]
+_FREEZE = EVENT_SORT_CODE[EventType.CONFIG_FREEZE]
+_END = EVENT_SORT_CODE[EventType.CALL_END]
+
+#: What a worker inbox carries: a materialized event, a (batch, row)
+#: reference resolved lazily on the worker thread, or the None sentinel.
+_InboxItem = Union[ControllerEvent, Tuple[ColumnarEventBatch, int]]
 
 
 @dataclass
@@ -51,6 +70,9 @@ class _CallState:
     initial_dc: str
     settled: bool = False
     ended: bool = False
+    # Columnar path only: the lazy view built at CALL_START, reused at
+    # the freeze so settle does not rebuild it.
+    view: Optional[object] = None
 
 
 @dataclass
@@ -61,7 +83,7 @@ class _WorkerState:
     lock; totals merge after the run.
     """
 
-    inbox: "queue.Queue[Optional[ControllerEvent]]" = field(
+    inbox: "queue.Queue[Optional[_InboxItem]]" = field(
         default_factory=queue.Queue)
     calls: Dict[str, _CallState] = field(default_factory=dict)
     processed: int = 0
@@ -190,40 +212,135 @@ class AdmissionEngine:
             self._release_call(call_id)
         del worker.calls[call_id]
 
+    def _handle_row(self, worker: _WorkerState, batch: ColumnarEventBatch,
+                    i: int) -> None:
+        """The columnar twin of :meth:`_handle`: one event, read straight
+        from the batch arrays (sharded-worker entry point)."""
+        trace = batch.trace
+        call_index = int(batch.call_idx[i])
+        self._dispatch_row(worker, trace, call_index,
+                           trace.call_id(call_index),
+                           int(batch.type_code[i]),
+                           int(batch.country_code[i]),
+                           int(batch.media_code[i]))
+
+    def _dispatch_row(self, worker: _WorkerState, trace, call_index: int,
+                      call_id: str, code: int, country_code: int,
+                      media_code: int) -> None:
+        """One columnar event, all inputs already plain Python scalars.
+
+        Only CALL_START and CONFIG_FREEZE build a (lazy) call view — the
+        selector needs one; joins, media changes and hangups touch no
+        event or call objects at all.
+        """
+        if code == _START:
+            if country_code < 0:
+                worker.dropped += 1
+                return
+            t0 = time.perf_counter()
+            view = trace.call(call_index)
+            initial = self.selector.initial_dc(view)
+            worker.calls[call_id] = _CallState(initial_dc=initial, view=view)
+            self.client.open_call(call_id, initial,
+                                  trace.countries.value(country_code))
+            worker.generated += 1
+            self.admission_latency.record((time.perf_counter() - t0) * 1e3)
+        elif code == _JOIN:
+            if country_code < 0:
+                worker.dropped += 1
+                return
+            self.client.record_join(call_id,
+                                    trace.countries.value(country_code))
+            worker.joins += 1
+            if self._note_join is not None:
+                self._note_join(call_id)
+        elif code == _MEDIA:
+            if media_code < 0:
+                worker.dropped += 1
+                return
+            self.client.record_media(call_id, MediaType.from_code(media_code))
+            worker.media_changes += 1
+        elif code == _FREEZE:
+            state = worker.calls.get(call_id)
+            if state is None or state.settled:
+                worker.dropped += 1
+                return
+            t0 = time.perf_counter()
+            view = state.view if state.view is not None \
+                else trace.call(call_index)
+            outcome = self.selector.settle(view, state.initial_dc)
+            state.settled = True
+            if outcome.migrated:
+                worker.migrated += 1
+                self.client.migrate_call(call_id, outcome.final_dc)
+            elif outcome.overflowed:
+                worker.overflowed += 1
+            else:
+                worker.admitted += 1
+            if not outcome.planned:
+                worker.unplanned += 1
+            self.settle_latency.record((time.perf_counter() - t0) * 1e3)
+            if state.ended:
+                self._close(worker, call_id)
+        elif code == _END:
+            state = worker.calls.get(call_id)
+            if state is None:
+                worker.dropped += 1
+                return
+            worker.ended += 1
+            if state.settled:
+                self._close(worker, call_id)
+            else:
+                state.ended = True
+                worker.early_ended += 1
+        else:
+            raise SwitchboardError(f"unknown event code {code}")
+        worker.processed += 1
+
     # ------------------------------------------------------------------
-    def run(self, events: Iterable[ControllerEvent]) -> ServiceReport:
+    def run(self, events: Union[Iterable[ControllerEvent],
+                                ColumnarEventBatch,
+                                Iterable[ColumnarEventBatch]]) -> ServiceReport:
         """Ingest the whole stream; returns the run's report.
 
-        Events must arrive time-sorted (as
-        :func:`~repro.controller.events.event_stream` emits them); the
-        engine shards them to workers by call id, preserving per-call
-        order on the worker's FIFO inbox.
+        Accepts the object stream (a time-sorted iterable of
+        :class:`ControllerEvent`), one
+        :class:`~repro.controller.columnar.ColumnarEventBatch`, or an
+        iterable of batches (e.g.
+        :meth:`~repro.service.loadgen.StreamingLoad.batches` — served
+        incrementally, so peak memory stays one batch).  The engine
+        shards events to workers by call id, preserving per-call order
+        on the worker's FIFO inbox; with one worker, columnar input is
+        served on the calling thread with no queue or event objects.
         """
-        stream: List[ControllerEvent] = list(events)
-        if not stream:
-            raise SwitchboardError("no events to serve")
+        windows, known_total = self._window_source(events)
         workers = [_WorkerState() for _ in range(self.n_workers)]
 
         if self.obs is not None:
-            self.obs.record("service.run", label="admission",
-                            n_events=len(stream), n_workers=self.n_workers)
+            fields = {"n_workers": self.n_workers}
+            if known_total is not None:
+                fields["n_events"] = known_total
+            self.obs.record("service.run", label="admission", **fields)
 
+        n_events = 0
         start = time.perf_counter()
-        batches = self._batches(stream)
-        for batch_index, batch in enumerate(batches):
-            self._serve_batch(workers, batch)
+        for window in windows:
+            n_events += len(window)
+            self._serve_window(workers, window)
             if self.defragmenter is not None:
-                # Defrag runs *between* event batches — never while
+                # Defrag runs *between* event windows — never while
                 # workers are mutating the fleet — plus one tidy-up
-                # round after the final batch.
+                # round after the final window.
                 round_result = self.defragmenter.run_round()
                 self.defrag_rounds += 1
                 if round_result.executed_moves:
                     self.selector.stats.record_defrag(
                         round_result.executed_moves)
         wall = time.perf_counter() - start
+        if n_events == 0:
+            raise SwitchboardError("no events to serve")
 
-        report = self._report(workers, len(stream), wall)
+        report = self._report(workers, n_events, wall)
         if self.obs is not None:
             self.obs.record("service.done", label="admission",
                             events_per_s=report.events_per_s,
@@ -231,6 +348,52 @@ class AdmissionEngine:
         return report
 
     # ------------------------------------------------------------------
+    def _window_source(self, events) -> Tuple[Iterator, Optional[int]]:
+        """Normalize any accepted input into an iterator of defrag
+        windows (each a ``List[ControllerEvent]`` or a
+        ``ColumnarEventBatch``), plus the total event count when it is
+        knowable without draining a stream."""
+        if isinstance(events, ColumnarEventBatch):
+            return self._split_windows(iter([events])), len(events)
+        iterator = iter(events)
+        try:
+            first = next(iterator)
+        except StopIteration:
+            return iter(()), 0
+        rest = itertools.chain([first], iterator)
+        if isinstance(first, ColumnarEventBatch):
+            return self._split_windows(rest), None
+        stream = list(rest)
+        return iter(self._batches(stream)), len(stream)
+
+    def _split_windows(self, batches: Iterator[ColumnarEventBatch]
+                       ) -> Iterator[ColumnarEventBatch]:
+        """Split columnar batches into defrag windows, lazily.
+
+        Same windowing as :meth:`_batches`: fixed intervals anchored at
+        the stream's first timestamp, empty windows merged forward — but
+        computed as one vectorized bucketing per batch.
+        """
+        interval = self.defrag_interval_s
+        anchor: Optional[float] = None
+        for batch in batches:
+            if len(batch) == 0:
+                continue
+            if self.defragmenter is None or interval is None:
+                yield batch
+                continue
+            if anchor is None:
+                anchor = float(batch.t_s[0])
+            window = np.floor_divide(batch.t_s - anchor,
+                                     interval).astype(np.int64)
+            cuts = np.flatnonzero(np.diff(window)) + 1
+            last = 0
+            for cut in itertools.chain(cuts.tolist(), [len(batch)]):
+                cut = int(cut)
+                if cut > last:
+                    yield batch.slice(last, cut)
+                last = cut
+
     def _batches(self, stream: List[ControllerEvent]
                  ) -> List[List[ControllerEvent]]:
         """Split the time-sorted stream into defrag windows.
@@ -254,14 +417,81 @@ class AdmissionEngine:
             batches.append(current)
         return batches
 
-    def _serve_batch(self, workers: List[_WorkerState],
-                     batch: List[ControllerEvent]) -> None:
-        """Shard one batch to the workers and drain it to completion."""
+    def _serve_window(self, workers: List[_WorkerState], window) -> None:
+        if isinstance(window, ColumnarEventBatch):
+            if self.n_workers == 1:
+                # Hot path: no threads, no queue, no event objects — and
+                # the arrays converted to plain Python scalars up front
+                # (per-row numpy scalar indexing costs more than the
+                # dispatch itself at stream scale).  Joins are the bulk
+                # of the stream and only ever *write* to the call's
+                # spread hash, which nothing in the serving loop reads —
+                # so each call's joins are buffered and ride one
+                # pipelined trip, flushed no later than the call's
+                # freeze/end (before its close could delete the key).
+                # Per-op results and final store state are identical to
+                # per-event writes because spread increments commute.
+                worker = workers[0]
+                trace = window.trace
+                ids = trace.call_ids()
+                countries = trace.countries
+                dispatch = self._dispatch_row
+                note_join = self._note_join
+                record_joins = self.client.record_joins
+                pending: Dict[str, List[str]] = {}
+                for call_index, code, country_code, media_code in zip(
+                        window.call_idx.tolist(), window.type_code.tolist(),
+                        window.country_code.tolist(),
+                        window.media_code.tolist()):
+                    if code == _JOIN:
+                        if country_code < 0:
+                            worker.dropped += 1
+                            continue
+                        call_id = ids[call_index]
+                        pending.setdefault(call_id, []).append(
+                            countries.value(country_code))
+                        worker.joins += 1
+                        if note_join is not None:
+                            note_join(call_id)
+                        worker.processed += 1
+                        continue
+                    if code == _FREEZE or code == _END:
+                        joined = pending.pop(ids[call_index], None)
+                        if joined is not None:
+                            record_joins(ids[call_index], joined)
+                    dispatch(worker, trace, call_index, ids[call_index],
+                             code, country_code, media_code)
+                for call_id, joined in pending.items():
+                    record_joins(call_id, joined)
+                return
+            self._shard_columnar(workers, window)
+        else:
+            self._shard_events(workers, window)
+        self._drain(workers)
+
+    def _shard_events(self, workers: List[_WorkerState],
+                      batch: List[ControllerEvent]) -> None:
         for event in batch:
             # Stable shard (zlib.crc32, not the randomized builtin hash)
             # so a given trace always lands on the same workers.
             index = zlib.crc32(event.call_id.encode("utf-8")) % self.n_workers
             workers[index].inbox.put(event)
+
+    def _shard_columnar(self, workers: List[_WorkerState],
+                        batch: ColumnarEventBatch) -> None:
+        trace = batch.trace
+        # One crc32 per *call*, then a vectorized gather per event; the
+        # (batch, row) pairs are materialized into events lazily on the
+        # worker threads, overlapping object construction with serving.
+        shard_of_call = np.array(
+            [zlib.crc32(trace.call_id(i).encode("utf-8")) % self.n_workers
+             for i in range(trace.n_calls)], dtype=np.int64)
+        targets = shard_of_call[batch.call_idx]
+        for i, target in enumerate(targets.tolist()):
+            workers[target].inbox.put((batch, i))
+
+    def _drain(self, workers: List[_WorkerState]) -> None:
+        """Run every worker's inbox to completion on its own thread."""
         for worker in workers:
             worker.inbox.put(None)  # sentinel
 
@@ -270,11 +500,14 @@ class AdmissionEngine:
 
         def drain(worker: _WorkerState) -> None:
             while True:
-                event = worker.inbox.get()
-                if event is None:
+                item = worker.inbox.get()
+                if item is None:
                     return
                 try:
-                    self._handle(worker, event)
+                    if type(item) is tuple:
+                        self._handle_row(worker, item[0], item[1])
+                    else:
+                        self._handle(worker, item)
                 except BaseException as exc:  # surface, don't swallow
                     with error_lock:
                         errors.append(exc)

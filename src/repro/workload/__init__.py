@@ -8,18 +8,23 @@ from repro.workload.media import (
     AUDIO_MBPS_PER_PARTICIPANT,
     MediaLoadModel,
 )
+from repro.workload.columnar import ColumnarTrace, StringTable, concat_traces
 from repro.workload.series import (
     MeetingSeries,
     SeriesMember,
     generate_series,
     series_to_calls,
 )
-from repro.workload.trace import CallTrace, TraceGenerator
+from repro.workload.trace import DEFAULT_CHUNK_SLOTS, CallTrace, TraceGenerator
 
 __all__ = [
     "AUDIO_CORES_PER_PARTICIPANT",
     "AUDIO_MBPS_PER_PARTICIPANT",
     "CallTrace",
+    "ColumnarTrace",
+    "DEFAULT_CHUNK_SLOTS",
+    "StringTable",
+    "concat_traces",
     "ConfigEntry",
     "ConfigPopulation",
     "Demand",

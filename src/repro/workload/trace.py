@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.core.errors import WorkloadError
 from repro.core.types import Call, CallConfig, MediaType, Participant, TimeSlot
+from repro.workload import columnar
 from repro.workload.arrivals import Demand
 
 #: Lognormal join-offset parameters: median 60 s, sigma 1.6 puts ~84% of
@@ -99,8 +100,23 @@ class CallTrace:
         return Demand(self.slots, configs, counts)
 
 
+#: Default generation chunk: how many time slots of demand are expanded
+#: per columnar chunk.  One fixed default keeps ``generate()`` and the
+#: streaming ``iter_chunks()`` byte-identical for the same seed.
+DEFAULT_CHUNK_SLOTS = 8
+
+
 class TraceGenerator:
-    """Expands a sampled :class:`Demand` into individual calls."""
+    """Expands a sampled :class:`Demand` into individual calls.
+
+    The generator is columnar-native: calls are drawn per ``(chunk of
+    slots, config)`` block with vectorized numpy sampling straight into
+    :class:`~repro.workload.columnar.ColumnarTrace` arrays.
+    :meth:`generate` keeps the historical object API by materializing
+    the columns into ``Call``/``Participant`` views at the edge;
+    :meth:`iter_chunks` is the bounded-memory streaming path (one chunk
+    of slots in memory at a time, whole calls per chunk).
+    """
 
     def __init__(self, seed: int = 23,
                  join_mu: float = _JOIN_MU, join_sigma: float = _JOIN_SIGMA,
@@ -112,57 +128,173 @@ class TraceGenerator:
         self._duration_mu = duration_mu
         self._duration_sigma = duration_sigma
         self._next_call = 0
+        self._countries = columnar.StringTable()
+        self._config_codes: dict = {}
+        self._config_majority: dict = {}
 
-    def _make_participants(self, config: CallConfig, call_id: str) -> List[Participant]:
+    # ------------------------------------------------------------------
+    # per-config cached columns
+    # ------------------------------------------------------------------
+    def _codes_of(self, config: CallConfig) -> np.ndarray:
+        codes = self._config_codes.get(config)
+        if codes is None:
+            codes = self._countries.codes(config.participants())
+            self._config_codes[config] = codes
+        return codes
+
+    def _majority_indices(self, config: CallConfig) -> np.ndarray:
+        indices = self._config_majority.get(config)
+        if indices is None:
+            countries = list(config.participants())
+            indices = np.array(
+                [i for i, c in enumerate(countries)
+                 if c == config.majority_country], dtype=np.int64)
+            self._config_majority[config] = indices
+        return indices
+
+    # ------------------------------------------------------------------
+    # vectorized chunk generation
+    # ------------------------------------------------------------------
+    def _generate_block(self, config: CallConfig, slot_counts: np.ndarray,
+                        slot_starts: np.ndarray, slot_durs: np.ndarray):
+        """All calls of one config inside one slot chunk, vectorized.
+
+        Returns call-level arrays plus row-major participant matrices;
+        the distributional model is the paper's: the first joiner sits in
+        the majority country with p=0.97 (§5.4), join offsets are
+        lognormal around the scheduled start (Fig 8), one random carrier
+        plus a p=0.4 subset hold the call's defining media.
+        """
         rng = self._rng
-        countries = list(config.participants())
-        # The first joiner is usually the organizer, who sits in the
-        # majority country; with small probability it is any participant.
-        # This reproduces the paper's "95.2% of calls have their majority
-        # where the first joiner is" (§5.4).
-        majority = config.majority_country
-        majority_indices = [i for i, c in enumerate(countries) if c == majority]
-        if rng.random() < 0.97:
-            first_index = int(rng.choice(majority_indices))
-        else:
-            first_index = int(rng.integers(0, len(countries)))
-        offsets = rng.lognormal(self._join_mu, self._join_sigma, size=len(countries))
-        offsets[first_index] = 0.0
+        n = int(slot_counts.sum())
+        codes = self._codes_of(config)
+        p = codes.shape[0]
 
-        # Give the call's defining media to a random non-empty subset so
-        # that the escalated media of the participants equals config.media.
-        participants: List[Participant] = []
-        carrier = int(rng.integers(0, len(countries)))
-        for index, country in enumerate(countries):
-            media = config.media if index == carrier else MediaType.AUDIO
-            if config.media != MediaType.AUDIO and rng.random() < 0.4:
-                media = config.media
-            participants.append(Participant(
-                participant_id=f"{call_id}-p{index}",
-                country=country,
-                join_offset_s=float(offsets[index]),
-                media=media,
-            ))
-        participants.sort(key=lambda p: p.join_offset_s)
-        return participants
+        starts = (np.repeat(slot_starts, slot_counts)
+                  + rng.random(n) * np.repeat(slot_durs, slot_counts))
+        durations = rng.lognormal(self._duration_mu, self._duration_sigma, n)
+
+        offsets = rng.lognormal(self._join_mu, self._join_sigma, (n, p))
+        majority = self._majority_indices(config)
+        pick_majority = rng.random(n) < 0.97
+        first_index = np.where(
+            pick_majority,
+            majority[rng.integers(0, majority.shape[0], n)],
+            rng.integers(0, p, n),
+        )
+        rows = np.arange(n)
+        offsets[rows, first_index] = 0.0
+
+        media_code = config.media.code
+        if media_code:
+            media = np.where(rng.random((n, p)) < 0.4,
+                             media_code, 0).astype(np.int8)
+            media[rows, rng.integers(0, p, n)] = media_code
+        else:
+            media = np.zeros((n, p), dtype=np.int8)
+
+        # Participants sorted by join offset, keeping the pre-sort index
+        # so canonical ids ({call_id}-p{k}) survive the reorder.
+        order = np.argsort(offsets, axis=1, kind="stable")
+        uids = np.arange(self._next_call, self._next_call + n, dtype=np.int64)
+        self._next_call += n
+        return (
+            starts, durations, uids,
+            np.take_along_axis(offsets, order, axis=1),
+            np.broadcast_to(codes, (n, p))[rows[:, None], order],
+            np.take_along_axis(media, order, axis=1),
+            order.astype(np.int32),
+        )
+
+    def _generate_chunk(self, demand: Demand, slot_lo: int,
+                        slot_hi: int) -> "columnar.ColumnarTrace":
+        """One chunk of slots expanded into a start-sorted columnar trace."""
+        chunk_slots = demand.slots[slot_lo:slot_hi]
+        counts = np.rint(demand.counts[slot_lo:slot_hi]).astype(np.int64)
+        slot_starts = np.array([s.start_s for s in chunk_slots])
+        slot_durs = np.array([s.duration_s for s in chunk_slots])
+
+        blocks = []
+        for j, config in enumerate(demand.configs):
+            slot_counts = counts[:, j]
+            if slot_counts.sum() == 0:
+                continue
+            blocks.append(self._generate_block(
+                config, slot_counts, slot_starts, slot_durs))
+
+        if not blocks:
+            return columnar.ColumnarTrace(
+                start_s=np.zeros(0), duration_s=np.zeros(0),
+                call_uid=np.zeros(0, np.int64),
+                part_offsets=np.zeros(1, np.int64),
+                join_offset_s=np.zeros(0),
+                country_code=np.zeros(0, np.int32),
+                media_code=np.zeros(0, np.int8),
+                part_index=np.zeros(0, np.int32),
+                countries=self._countries, slots=list(demand.slots))
+
+        starts = np.concatenate([b[0] for b in blocks])
+        durations = np.concatenate([b[1] for b in blocks])
+        uids = np.concatenate([b[2] for b in blocks])
+        p_per_call = np.concatenate(
+            [np.full(b[0].shape[0], b[3].shape[1], dtype=np.int64)
+             for b in blocks])
+        join_flat = np.concatenate([b[3].ravel() for b in blocks])
+        ctry_flat = np.concatenate([b[4].ravel() for b in blocks])
+        media_flat = np.concatenate([b[5].ravel() for b in blocks])
+        pidx_flat = np.concatenate([b[6].ravel() for b in blocks])
+
+        # Sort the chunk's calls by start time and gather the CSR
+        # participant segments through the same permutation.
+        perm = np.argsort(starts, kind="stable")
+        old_offsets = np.concatenate(
+            [[0], np.cumsum(p_per_call)]).astype(np.int64)
+        new_lengths = p_per_call[perm]
+        new_offsets = np.concatenate(
+            [[0], np.cumsum(new_lengths)]).astype(np.int64)
+        gather = (np.repeat(old_offsets[:-1][perm], new_lengths)
+                  + np.arange(new_offsets[-1], dtype=np.int64)
+                  - np.repeat(new_offsets[:-1], new_lengths))
+
+        return columnar.ColumnarTrace(
+            start_s=starts[perm], duration_s=durations[perm],
+            call_uid=uids[perm], part_offsets=new_offsets,
+            join_offset_s=join_flat[gather],
+            country_code=ctry_flat[gather],
+            media_code=media_flat[gather],
+            part_index=pidx_flat[gather],
+            countries=self._countries, slots=list(demand.slots))
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def iter_chunks(self, demand: Demand,
+                    chunk_slots: int = DEFAULT_CHUNK_SLOTS
+                    ) -> Iterator["columnar.ColumnarTrace"]:
+        """Stream the trace as columnar chunks, ``chunk_slots`` at a time.
+
+        Chunks cover consecutive slot ranges (calls start-sorted inside
+        each chunk, chunk starts non-decreasing across chunks) and share
+        one country table, so ``concat_traces`` reassembles exactly
+        :meth:`generate_columnar`'s output.  Peak memory is one chunk.
+        """
+        if chunk_slots < 1:
+            raise WorkloadError("chunk_slots must be positive")
+        for slot_lo in range(0, len(demand.slots), chunk_slots):
+            yield self._generate_chunk(
+                demand, slot_lo, min(slot_lo + chunk_slots, len(demand.slots)))
+
+    def generate_columnar(self, demand: Demand,
+                          chunk_slots: int = DEFAULT_CHUNK_SLOTS
+                          ) -> "columnar.ColumnarTrace":
+        """The whole trace as one :class:`ColumnarTrace`."""
+        return columnar.concat_traces(list(self.iter_chunks(demand, chunk_slots)))
 
     def generate(self, demand: Demand) -> CallTrace:
-        """One call per unit of demand, with start uniform inside its slot."""
-        rng = self._rng
-        calls: List[Call] = []
-        for i, slot in enumerate(demand.slots):
-            for j, config in enumerate(demand.configs):
-                count = int(round(demand.counts[i, j]))
-                for _ in range(count):
-                    call_id = f"call-{self._next_call:08d}"
-                    self._next_call += 1
-                    start = slot.start_s + float(rng.random()) * slot.duration_s
-                    duration = float(rng.lognormal(self._duration_mu, self._duration_sigma))
-                    calls.append(Call(
-                        call_id=call_id,
-                        start_s=start,
-                        duration_s=duration,
-                        participants=self._make_participants(config, call_id),
-                    ))
-        calls.sort(key=lambda call: call.start_s)
-        return CallTrace(calls, list(demand.slots))
+        """One call per unit of demand, with start uniform inside its slot.
+
+        Object-edge API: generation itself runs through the columnar
+        path; this materializes ``Call``/``Participant`` objects for
+        callers that want them.
+        """
+        return self.generate_columnar(demand).to_trace()
