@@ -17,7 +17,8 @@ end-to-end scenarios.
 
 from repro.core.errors import SwitchboardDeprecationWarning, SwitchboardError
 from repro.core.types import Call, CallConfig, MediaType
-from repro.config import PlannerConfig, ServiceConfig
+from repro.autoscale import Autoscaler
+from repro.config import AutoscaleConfig, PlannerConfig, ServiceConfig
 from repro.kvstore import ShardedKVStore
 from repro.obs import Observability
 from repro.resilience import FaultPlan, SolveSupervisor
@@ -31,6 +32,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AdmissionEngine",
+    "AutoscaleConfig",
+    "Autoscaler",
     "Call",
     "CallConfig",
     "FaultPlan",

@@ -137,6 +137,35 @@ class SlotLedger(ABC):
         override this; the default is a no-op for ledgers that cannot
         restore slots."""
 
+    # ------------------------------------------------------------------
+    # elastic resizing (the autoscaler's primitives)
+    # ------------------------------------------------------------------
+    def add_slots(self, slot_index: int, config: CallConfig, dc_id: str,
+                  count: int) -> None:
+        """Grow a cell by ``count`` fresh slots (scale-out).
+
+        Unlike :meth:`credit` this *creates* the cell when the plan never
+        had it, marking it planned.  Backends that cannot grow raise.
+        """
+        raise CapacityError(
+            f"{type(self).__name__} cannot grow plan cells")
+
+    def remove_slots(self, slot_index: int, config: CallConfig, dc_id: str,
+                     count: int) -> int:
+        """Drain up to ``count`` *free* slots from a cell (scale-down).
+
+        Returns how many were actually reclaimed.  Implemented as a
+        debit loop, so it only ever takes slots an admission could have
+        taken — a slot held by an in-flight call is never touched and
+        the cell never goes negative.  A shortfall (return < ``count``)
+        means live calls still hold the difference; the caller keeps
+        that capacity provisioned until the calls drain.
+        """
+        taken = 0
+        while taken < count and self.try_debit(slot_index, config, dc_id):
+            taken += 1
+        return taken
+
 
 class LocalSlotLedger(SlotLedger):
     """In-process ledger: a dict of integerized cells behind one lock."""
@@ -171,6 +200,14 @@ class LocalSlotLedger(SlotLedger):
             cell = self._remaining.get((slot_index, config))
             if cell is not None:
                 cell[dc_id] = cell.get(dc_id, 0) + 1
+
+    def add_slots(self, slot_index: int, config: CallConfig, dc_id: str,
+                  count: int) -> None:
+        if count < 0:
+            raise CapacityError("add_slots count must be >= 0")
+        with self._lock:
+            cell = self._remaining.setdefault((slot_index, config), {})
+            cell[dc_id] = cell.get(dc_id, 0) + count
 
 
 class KVSlotLedger(SlotLedger):
@@ -227,6 +264,19 @@ class KVSlotLedger(SlotLedger):
     def credit(self, slot_index: int, config: CallConfig,
                dc_id: str) -> None:
         self._store.hincrby(self._key(slot_index, config), dc_id, 1)
+
+    def add_slots(self, slot_index: int, config: CallConfig, dc_id: str,
+                  count: int) -> None:
+        if count < 0:
+            raise CapacityError("add_slots count must be >= 0")
+        key = self._key(slot_index, config)
+        pipe = self._store.pipeline()
+        # Mark the cell planned: a scaled-out cell the original plan
+        # never had must read as planned-but-exhaustible (overflow
+        # semantics), not unanticipated (fallback).
+        pipe.hset(key, self._SENTINEL, 1)
+        pipe.hincrby(key, dc_id, count)
+        pipe.execute()
 
 
 class RealTimeSelector:

@@ -1,0 +1,29 @@
+"""Closed-loop elastic autoscaling for the service plane.
+
+The offline planner (``repro.switchboard``) provisions once per day from
+a forecast; this package closes the loop at runtime.  Telemetry from the
+admission engine is folded into windows (:mod:`~repro.autoscale.telemetry`),
+a hysteresis policy turns windows into scale decisions
+(:mod:`~repro.autoscale.policy`), and the controller re-runs the
+planner's provision/allocate path over the remaining horizon and applies
+the plan delta through the packing ledger — growing capacity on demand
+surprise and draining it, without dropping in-flight calls, when demand
+recedes (:mod:`~repro.autoscale.controller`).
+"""
+
+from repro.autoscale.controller import Autoscaler
+from repro.autoscale.policy import AutoscalePolicy, ScaleDecision
+from repro.autoscale.telemetry import (
+    ServiceSnapshot,
+    TelemetryAggregator,
+    TelemetryWindow,
+)
+
+__all__ = [
+    "Autoscaler",
+    "AutoscalePolicy",
+    "ScaleDecision",
+    "ServiceSnapshot",
+    "TelemetryAggregator",
+    "TelemetryWindow",
+]

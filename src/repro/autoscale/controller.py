@@ -1,0 +1,288 @@
+"""The closed-loop autoscaler: telemetry -> policy -> re-provision.
+
+:class:`Autoscaler` closes the loop between the service plane and the
+planner.  The admission engine hands it a cumulative
+:class:`~repro.autoscale.telemetry.ServiceSnapshot` at every serving-
+window boundary (workers quiescent, same safe point the defragmenter
+uses); the aggregator folds snapshots into telemetry windows; the policy
+turns windows into scale decisions; and this controller applies them:
+
+* **Rescale** (on a non-hold decision): re-run the planner's
+  ``provision()`` + ``allocate()`` over the *strictly future* slots of
+  the base forecast, scaled to the decision's target, then diff the new
+  integerized plan against the live plan and apply the delta through the
+  ledger — ``add_slots`` for growth, ``remove_slots`` for shrink.
+  ``remove_slots`` is a debit loop: it can only take *free* slots, so a
+  scale-down drains capacity without ever dropping an in-flight call
+  (calls settled into a cell hold their debit until END).  Restricting
+  deltas to slots starting after "now" means no settled debit can live
+  in a touched cell in the first place.
+* **Rolling capacity refresh** (every window, decisions or not): re-run
+  ``provision()`` over just the next ``provision_horizon_slots`` slots
+  at the current scale.  Provisioned capacity therefore follows the
+  demand curve instead of holding the daily peak around the clock —
+  this, not the rescales, is where the capacity-hours win comes from.
+
+Both paths ride the same :mod:`repro.resilience` degradation ladder as
+the offline planner, so a mid-day re-provision under solver pressure
+degrades (and is tagged) instead of failing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.allocation.plan import AllocationPlan
+from repro.config import AutoscaleConfig
+from repro.core.errors import SwitchboardError
+from repro.core.types import CallConfig
+from repro.forecasting.holt_winters import fit_auto
+from repro.obs.events import Observability
+from repro.workload.arrivals import Demand
+
+from repro.autoscale.policy import AutoscalePolicy, ScaleDecision
+from repro.autoscale.telemetry import (
+    ServiceSnapshot,
+    TelemetryAggregator,
+    TelemetryWindow,
+)
+
+#: Keep the predictive ratio estimate in a sane band — a cold forecast
+#: extrapolating from two points must not demand a 50x fleet.
+_RATIO_FLOOR = 0.05
+
+
+class Autoscaler:
+    """Rolling re-provision loop between service plane and planner.
+
+    ``controller`` is anything with the
+    :class:`~repro.baselines.base.ProvisioningStrategy` surface —
+    ``provision(demand, with_backup=...)`` and
+    ``allocate(demand, capacity)`` — in practice a
+    :class:`~repro.switchboard.Switchboard`.  ``forecast`` is the *base*
+    demand the live plan was provisioned for; ``plan`` is that live
+    plan.  Bind to an engine (``rescaler=`` on
+    :class:`~repro.service.engine.AdmissionEngine`) and the loop runs
+    itself.
+    """
+
+    def __init__(self, controller, forecast: Demand, plan: AllocationPlan,
+                 config: Optional[AutoscaleConfig] = None,
+                 capacity=None, obs: Optional[Observability] = None,
+                 with_backup: bool = False):
+        if forecast.n_slots == 0:
+            raise SwitchboardError("autoscaler needs a non-empty forecast")
+        self.controller = controller
+        self.forecast = forecast
+        self.config = config or AutoscaleConfig()
+        self.obs = obs
+        self.with_backup = with_backup
+        self.policy = AutoscalePolicy(self.config)
+
+        slot_starts = np.array([s.start_s for s in forecast.slots],
+                               dtype=float)
+        self.aggregator = TelemetryAggregator(
+            slot_starts=slot_starts,
+            slot_duration_s=forecast.slots[0].duration_s,
+            forecast_per_slot=forecast.counts.sum(axis=1),
+            interval_s=self.config.interval_s,
+        )
+        #: The integerized plan as the ledger currently reflects it,
+        #: updated cell-by-cell as rescale deltas apply.
+        self.live_cells: Dict[Tuple[int, CallConfig], Dict[str, int]] = {
+            key: dict(cell) for key, cell in plan.integerized().items()
+        }
+
+        self.windows: List[TelemetryWindow] = []
+        self.decisions: List[ScaleDecision] = []
+        self.rescale_events = 0
+        self.scale_ups = 0
+        self.scale_downs = 0
+        self.slots_added = 0
+        self.slots_drained = 0
+        #: Slots a scale-down wanted to drain but found settled (debited)
+        #: — nonzero would mean a drain touched live capacity.
+        self.drain_shortfall = 0
+        self.max_degradation_level = 0
+
+        self._engine = None
+        self._tail_mark = 0
+        #: Piecewise-constant provisioned capacity: (t_start_s, cores).
+        self._segments: List[Tuple[float, float]] = []
+        if capacity is not None:
+            self.max_degradation_level = max(self.max_degradation_level,
+                                             capacity.degradation_level)
+            self._segments.append((self.aggregator.horizon_start_s,
+                                   float(capacity.total_cores())))
+
+    # ------------------------------------------------------------------
+    def bind(self, engine) -> None:
+        """Called by the engine at construction; gives the loop access
+        to the live ledger and the settle-latency histogram."""
+        self._engine = engine
+
+    # ------------------------------------------------------------------
+    def on_window(self, snapshot: ServiceSnapshot) -> Optional[ScaleDecision]:
+        """The loop body: fold one engine snapshot; when it closes a
+        telemetry window, decide and (maybe) rescale.  Returns the
+        decision when a window closed, ``None`` otherwise."""
+        tail = None
+        if self._engine is not None:
+            tail = self._engine.settle_latency.tail_since(self._tail_mark)
+        window = self.aggregator.add(snapshot, settle_tail_ms=tail)
+        if window is None:
+            return None
+        if self._engine is not None:
+            self._tail_mark = len(self._engine.settle_latency)
+
+        if self.config.predictive:
+            predicted = self._predicted_ratio(window.t_end_s)
+            if predicted is not None:
+                window = dataclasses.replace(window,
+                                             predicted_ratio=predicted)
+        self.windows.append(window)
+
+        decision = self.policy.decide(window)
+        self.decisions.append(decision)
+        if decision.action != "hold":
+            self._rescale(window, decision)
+        self._refresh_capacity(window.t_end_s)
+        return decision
+
+    # ------------------------------------------------------------------
+    def _predicted_ratio(self, t_s: float) -> Optional[float]:
+        """Re-run the forecasting models on the observed-demand stream:
+        fit the per-slot observed/forecast ratio series and project it
+        ``forecast_lookahead_slots`` ahead."""
+        _, ratios = self.aggregator.completed_slot_ratios(t_s)
+        if len(ratios) < 2:
+            return None
+        season = min(self.config.season_length, len(ratios))
+        fit = fit_auto(np.asarray(ratios), season_length=season)
+        horizon = self.config.forecast_lookahead_slots
+        projected = float(np.mean(fit.forecast(horizon)))
+        return min(self.config.max_scale, max(_RATIO_FLOOR, projected))
+
+    # ------------------------------------------------------------------
+    def _future_slot_index(self, t_s: float) -> int:
+        """First forecast-slot position starting strictly after ``t_s``
+        — the earliest slot a rescale may touch (its cells cannot hold
+        settled debits yet)."""
+        starts = self.aggregator.slot_starts
+        return int(np.searchsorted(starts, t_s, side="right"))
+
+    def _rescale(self, window: TelemetryWindow,
+                 decision: ScaleDecision) -> None:
+        """Re-provision the strictly-future tail of the forecast at the
+        decision's target scale and apply the plan delta via the ledger."""
+        k = self._future_slot_index(window.t_end_s)
+        slots = self.forecast.slots
+        if k >= len(slots):
+            return  # horizon exhausted; nothing left to reshape
+        remaining = Demand(slots[k:], self.forecast.configs,
+                           self.forecast.counts[k:] * decision.target_scale)
+        capacity = self.controller.provision(remaining,
+                                             with_backup=self.with_backup)
+        outcome = self.controller.allocate(remaining, capacity)
+        self.max_degradation_level = max(self.max_degradation_level,
+                                         capacity.degradation_level,
+                                         outcome.degradation_level)
+
+        target: Dict[Tuple[int, CallConfig], Dict[str, int]] = {}
+        for (rel, config), cell in outcome.plan.integerized().items():
+            target[(rel + k, config)] = cell
+
+        ledger = self._engine.ledger if self._engine is not None else None
+        added = drained = shortfall = 0
+        keys = set(target) | {key for key in self.live_cells if key[0] >= k}
+        for key in sorted(keys, key=lambda kc: (kc[0], repr(kc[1]))):
+            slot_index, config = key
+            live = dict(self.live_cells.get(key, {}))
+            want = target.get(key, {})
+            for dc_id in sorted(set(live) | set(want)):
+                delta = want.get(dc_id, 0) - live.get(dc_id, 0)
+                if delta > 0:
+                    if ledger is not None:
+                        ledger.add_slots(slot_index, config, dc_id, delta)
+                    live[dc_id] = live.get(dc_id, 0) + delta
+                    added += delta
+                elif delta < 0:
+                    if ledger is not None:
+                        got = ledger.remove_slots(slot_index, config,
+                                                  dc_id, -delta)
+                    else:
+                        got = -delta
+                    live[dc_id] = live.get(dc_id, 0) - got
+                    drained += got
+                    shortfall += (-delta) - got
+            live = {dc: n for dc, n in live.items() if n > 0}
+            if live:
+                self.live_cells[key] = live
+            else:
+                self.live_cells.pop(key, None)
+
+        self.rescale_events += 1
+        if decision.action == "scale_out":
+            self.scale_ups += 1
+        else:
+            self.scale_downs += 1
+        self.slots_added += added
+        self.slots_drained += drained
+        self.drain_shortfall += shortfall
+        if self.obs is not None:
+            self.obs.record(
+                "autoscale.rescale",
+                label=f"{decision.action} -> {decision.target_scale:.2f}x "
+                      f"at t={window.t_end_s:.0f}s (+{added}/-{drained} "
+                      f"slots): {decision.reason}")
+            self.obs.counters.increment(f"autoscale.{decision.action}")
+
+    # ------------------------------------------------------------------
+    def _refresh_capacity(self, t_s: float) -> None:
+        """Rolling short-horizon re-provision: size capacity for just
+        the next ``provision_horizon_slots`` slots at the current scale."""
+        starts = self.aggregator.slot_starts
+        # The slot currently in progress, then the lookahead.
+        k = max(0, int(np.searchsorted(starts, t_s, side="right")) - 1)
+        if k >= len(starts):
+            return
+        end = min(len(starts), k + self.config.provision_horizon_slots)
+        horizon = Demand(self.forecast.slots[k:end], self.forecast.configs,
+                         self.forecast.counts[k:end]
+                         * self.policy.current_scale)
+        capacity = self.controller.provision(horizon, with_backup=False)
+        self.max_degradation_level = max(self.max_degradation_level,
+                                         capacity.degradation_level)
+        self._segments.append((t_s, float(capacity.total_cores())))
+
+    # ------------------------------------------------------------------
+    def capacity_core_hours(self, until_s: Optional[float] = None) -> float:
+        """Integral of the piecewise-constant provisioned capacity over
+        the horizon, in core-hours."""
+        end = until_s if until_s is not None else self.aggregator.horizon_end_s
+        total = 0.0
+        for i, (t, cores) in enumerate(self._segments):
+            t_next = (self._segments[i + 1][0]
+                      if i + 1 < len(self._segments) else end)
+            if t_next > t:
+                total += cores * (t_next - t) / 3600.0
+        return total
+
+    def autoscale_metrics(self) -> Dict[str, object]:
+        """Summary block merged into the :class:`ServiceReport`."""
+        return {
+            "windows": len(self.windows),
+            "rescale_events": self.rescale_events,
+            "scale_ups": self.scale_ups,
+            "scale_downs": self.scale_downs,
+            "final_scale": round(self.policy.current_scale, 4),
+            "slots_added": self.slots_added,
+            "slots_drained": self.slots_drained,
+            "drain_shortfall": self.drain_shortfall,
+            "capacity_core_hours": round(self.capacity_core_hours(), 3),
+            "max_degradation_level": self.max_degradation_level,
+            "decisions": [d.to_dict() for d in self.decisions],
+        }

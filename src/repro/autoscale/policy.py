@@ -1,0 +1,113 @@
+"""Scale decisions from telemetry windows.
+
+The policy is a small hysteresis controller over the demand-ratio
+estimate (predicted where the forecasting path has warmed up, cumulative
+observed otherwise):
+
+* **Reactive scale-out** — overflow pressure above the configured
+  threshold forces an immediate scale-out, sized to the worse of the
+  estimate and the window's own instantaneous demand ratio.  Overflow
+  means real calls on best-effort capacity *now*; no deadband applies.
+* **Predictive scale-out** — the estimate (plus headroom) exceeding the
+  current scale by more than the deadband triggers a scale-out.
+* **Scale-down** — requires the estimate to sit below the deadband for
+  ``scale_down_patience`` consecutive windows before shrinking, so a
+  single quiet window never thrashes the plan.
+
+Every committed decision starts a cooldown of ``cooldown_intervals``
+windows during which the policy holds, bounding oscillation frequency
+by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config import AutoscaleConfig
+
+
+@dataclass(frozen=True)
+class ScaleDecision:
+    """One policy verdict for one telemetry window."""
+
+    action: str  # "hold" | "scale_out" | "scale_down"
+    target_scale: float
+    reason: str
+
+    def to_dict(self) -> dict:
+        return {"action": self.action,
+                "target_scale": round(self.target_scale, 4),
+                "reason": self.reason}
+
+
+class AutoscalePolicy:
+    """Turns :class:`~repro.autoscale.telemetry.TelemetryWindow` streams
+    into :class:`ScaleDecision` streams, with hysteresis."""
+
+    def __init__(self, config: Optional[AutoscaleConfig] = None):
+        self.config = config or AutoscaleConfig()
+        #: Demand multiplier the plan is currently provisioned for
+        #: (1.0 == the planner's original forecast).
+        self.current_scale = 1.0
+        self._cooldown = 0
+        self._down_streak = 0
+
+    def _clamp(self, scale: float) -> float:
+        return min(self.config.max_scale,
+                   max(self.config.min_scale, scale))
+
+    def _commit(self, action: str, target: float,
+                reason: str) -> ScaleDecision:
+        self.current_scale = target
+        self._cooldown = self.config.cooldown_intervals
+        self._down_streak = 0
+        return ScaleDecision(action, target, reason)
+
+    def estimate(self, window) -> float:
+        """Best available demand-ratio estimate for the road ahead."""
+        if window.predicted_ratio is not None:
+            return window.predicted_ratio
+        if window.cumulative_ratio is not None:
+            return window.cumulative_ratio
+        return self.current_scale
+
+    def decide(self, window) -> ScaleDecision:
+        cfg = self.config
+        est = self.estimate(window)
+
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            return ScaleDecision("hold", self.current_scale,
+                                 "cooldown after rescale")
+
+        pressure = window.overflow_pressure
+        if pressure is not None and pressure > cfg.overflow_pressure_threshold:
+            instantaneous = window.demand_ratio
+            sizing = max(est, instantaneous) if instantaneous is not None \
+                else est
+            target = self._clamp(sizing * (1.0 + cfg.headroom))
+            if target > self.current_scale:
+                return self._commit(
+                    "scale_out", target,
+                    f"overflow pressure {pressure:.1%} > "
+                    f"{cfg.overflow_pressure_threshold:.1%}")
+
+        target = self._clamp(est * (1.0 + cfg.headroom))
+        if target > self.current_scale * (1.0 + cfg.deadband):
+            return self._commit(
+                "scale_out", target,
+                f"demand-ratio estimate {est:.2f} above deadband")
+        if target < self.current_scale * (1.0 - cfg.deadband):
+            self._down_streak += 1
+            if self._down_streak >= cfg.scale_down_patience:
+                return self._commit(
+                    "scale_down", target,
+                    f"estimate {est:.2f} below deadband for "
+                    f"{cfg.scale_down_patience} windows")
+            return ScaleDecision(
+                "hold", self.current_scale,
+                f"below deadband, patience "
+                f"{self._down_streak}/{cfg.scale_down_patience}")
+        self._down_streak = 0
+        return ScaleDecision("hold", self.current_scale, "within deadband")

@@ -146,6 +146,77 @@ class PackingConfig:
 
 
 @dataclass(frozen=True)
+class AutoscaleConfig:
+    """Knobs of the closed-loop autoscaler (``repro.autoscale``).
+
+    * ``interval_s`` — telemetry window width; the engine reports serving
+      state at this cadence and every window yields one scale decision
+      plus a rolling capacity refresh.
+    * ``overflow_pressure_threshold`` — reactive trigger: a window whose
+      overflowed/generated fraction exceeds this scales out immediately.
+    * ``headroom`` — fractional cushion added on top of the estimated
+      demand ratio when sizing a scale target.
+    * ``deadband`` — hysteresis: the predicted ratio must leave the
+      ``current_scale * (1 ± deadband)`` band before a rescale fires.
+    * ``cooldown_intervals`` — windows to hold after any rescale.
+    * ``scale_down_patience`` — consecutive below-band windows required
+      before scaling down (scale-out is never delayed).
+    * ``min_scale`` / ``max_scale`` — clamp on the scale factor.
+    * ``predictive`` — re-run the ``repro.forecasting`` models on the
+      observed-demand ratio stream to set targets ahead of the demand
+      (pure cumulative-ratio tracking otherwise).
+    * ``forecast_lookahead_slots`` — horizon of that ratio forecast.
+    * ``season_length`` — season passed to ``fit_auto`` (short intraday
+      series fall back to the trend fit automatically).
+    * ``provision_horizon_slots`` — the rolling capacity window: each
+      interval ``provision()`` re-runs over the next this-many slots at
+      the current scale, so provisioned cores follow the demand curve
+      instead of holding the daily peak.
+    """
+
+    interval_s: float = 1800.0
+    overflow_pressure_threshold: float = 0.05
+    headroom: float = 0.10
+    deadband: float = 0.15
+    cooldown_intervals: int = 1
+    scale_down_patience: int = 2
+    min_scale: float = 0.25
+    max_scale: float = 8.0
+    predictive: bool = True
+    forecast_lookahead_slots: int = 2
+    season_length: int = 48
+    provision_horizon_slots: int = 4
+
+    def __post_init__(self):
+        if self.interval_s <= 0:
+            raise SwitchboardError("interval_s must be positive")
+        if not 0 <= self.overflow_pressure_threshold <= 1:
+            raise SwitchboardError(
+                "overflow_pressure_threshold must be in [0, 1]")
+        if self.headroom < 0:
+            raise SwitchboardError("headroom must be >= 0")
+        if self.deadband < 0:
+            raise SwitchboardError("deadband must be >= 0")
+        if self.cooldown_intervals < 0:
+            raise SwitchboardError("cooldown_intervals must be >= 0")
+        if self.scale_down_patience < 1:
+            raise SwitchboardError("scale_down_patience must be >= 1")
+        if not 0 < self.min_scale <= self.max_scale:
+            raise SwitchboardError(
+                "need 0 < min_scale <= max_scale")
+        if self.forecast_lookahead_slots < 1:
+            raise SwitchboardError("forecast_lookahead_slots must be >= 1")
+        if self.season_length < 1:
+            raise SwitchboardError("season_length must be >= 1")
+        if self.provision_horizon_slots < 1:
+            raise SwitchboardError("provision_horizon_slots must be >= 1")
+
+    def but(self, **overrides: Any) -> "AutoscaleConfig":
+        """A copy with the given fields replaced (frozen-friendly)."""
+        return dataclasses.replace(self, **overrides)
+
+
+@dataclass(frozen=True)
 class PlannerConfig:
     """Every provisioning/allocation/resilience knob in one frozen value.
 
@@ -183,6 +254,9 @@ class PlannerConfig:
     * ``packing`` — intra-DC server-level packing knobs
       (:class:`PackingConfig`); ``None`` keeps admission at DC
       granularity (no server placement).
+    * ``autoscale`` — closed-loop elastic autoscaling knobs
+      (:class:`AutoscaleConfig`); ``None`` keeps provisioning one-shot
+      (the historical static behaviour).
     """
 
     latency_threshold_ms: float = DEFAULT_LATENCY_THRESHOLD_MS
@@ -201,6 +275,7 @@ class PlannerConfig:
     rng_seed: int = 0
     service: Optional[ServiceConfig] = None
     packing: Optional[PackingConfig] = None
+    autoscale: Optional[AutoscaleConfig] = None
 
     def __post_init__(self):
         if self.backup_method not in BACKUP_METHODS:

@@ -110,13 +110,14 @@ class ReplayEngine:
 
         if peak_rate is None:
             peak_rate = peak_event_rate(events)
-        events_per_s = len(events) / wall if wall > 0 else float("inf")
+        events_per_s = len(events) / wall if wall > 0 else 0.0
         return ReplayResult(
             n_threads=n_threads,
             n_events=len(events),
             wall_time_s=wall,
             events_per_s=events_per_s,
             peak_trace_rate=peak_rate,
-            throughput_vs_peak=events_per_s / peak_rate,
+            throughput_vs_peak=(events_per_s / peak_rate
+                                if peak_rate > 0 else 0.0),
             migration_rate=self.service.migration_rate,
         )

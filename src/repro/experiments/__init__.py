@@ -17,6 +17,7 @@ module            reproduces
 ``predictive``    §8 applied: prediction-assisted selection vs §5.4
 ``app_aware``     §4.4: app-aware vs resource-log provisioning (surge)
 ``fig_packing``   server-level packing policies at matched quality
+``fig_autoscale``  closed-loop autoscaling vs static plan (surprise)
 ``threshold_sweep``  ablation: cost vs the 120 ms ACL threshold
 ``figdata``       CSV export of every plot-shaped experiment's series
 ================  =============================================
@@ -30,6 +31,7 @@ from repro.experiments import (  # noqa: F401
     fig8,
     fig9,
     fig10,
+    fig_autoscale,
     fig_packing,
     migration,
     prediction,
@@ -51,6 +53,7 @@ __all__ = [
     "fig8",
     "fig9",
     "fig10",
+    "fig_autoscale",
     "fig_packing",
     "migration",
     "prediction",

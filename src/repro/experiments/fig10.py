@@ -99,7 +99,8 @@ def render(result: Dict[str, object]) -> str:
         lines.append(
             f"write latency at {most_threads} threads: "
             + "  ".join(f"p{p:g}={pcts[f'p{p:g}']:.2f}ms"
-                        for p in (50, 95, 99) if f"p{p:g}" in pcts)
+                        for p in (50, 95, 99)
+                        if pcts.get(f"p{p:g}") is not None)
         )
     return "\n".join(lines)
 

@@ -1,6 +1,13 @@
 """Observability: event log, counters, and latency histograms."""
 
-from repro.obs.events import Counters, Event, EventLog, Observability
+from repro.obs.events import (
+    Counters,
+    Event,
+    EventLog,
+    Observability,
+    ObsCheckpoint,
+    ObsWindow,
+)
 from repro.obs.histogram import (
     DEFAULT_PERCENTILES,
     LatencyHistogram,
@@ -14,5 +21,7 @@ __all__ = [
     "EventLog",
     "LatencyHistogram",
     "Observability",
+    "ObsCheckpoint",
+    "ObsWindow",
     "percentiles_ms",
 ]

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 import threading
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 #: The percentile set every report in this repo shows by default.
 DEFAULT_PERCENTILES: Sequence[float] = (50.0, 95.0, 99.0)
@@ -19,22 +19,26 @@ DEFAULT_PERCENTILES: Sequence[float] = (50.0, 95.0, 99.0)
 
 def percentiles_ms(samples: Sequence[float],
                    percentiles: Sequence[float] = DEFAULT_PERCENTILES
-                   ) -> Dict[str, float]:
-    """Nearest-rank percentiles as a ``{"p50": ..}`` mapping.
+                   ) -> Dict[str, Optional[float]]:
+    """Nearest-rank percentiles as a ``{"p50": .., "count": ..}`` mapping.
 
-    Empty input yields all-zero percentiles (a service that served no
-    traffic has no tail), matching ``latency_stats_ms`` conventions.
+    A service that served no traffic has no tail: empty input yields
+    ``None`` per percentile (rendered "n/a" downstream), never ``0.0`` —
+    an all-zero tail is indistinguishable from genuinely perfect latency
+    and has misled consumers before.  ``count`` carries the sample count
+    so readers can tell a thin tail from a deep one.
     """
-    result: Dict[str, float] = {}
+    result: Dict[str, Optional[float]] = {}
     ordered = sorted(samples)
     for p in percentiles:
         label = f"p{p:g}"
         if not ordered:
-            result[label] = 0.0
+            result[label] = None
             continue
         rank = max(0, min(len(ordered) - 1,
                           math.ceil(p / 100.0 * len(ordered)) - 1))
         result[label] = float(ordered[rank])
+    result["count"] = len(ordered)
     return result
 
 
@@ -76,8 +80,20 @@ class LatencyHistogram:
             return list(self._samples)
 
     def percentiles(self, percentiles: Sequence[float] = DEFAULT_PERCENTILES
-                    ) -> Dict[str, float]:
+                    ) -> Dict[str, Optional[float]]:
         return percentiles_ms(self.samples(), percentiles)
+
+    def tail_since(self, start_index: int,
+                   percentiles: Sequence[float] = DEFAULT_PERCENTILES
+                   ) -> Dict[str, Optional[float]]:
+        """Percentiles of the samples recorded after ``start_index``.
+
+        The windowed view the autoscaler reads: pair with ``len(self)``
+        taken at the previous window boundary.  Only retained samples
+        participate (recording stops at ``max_samples``)."""
+        with self._lock:
+            window = self._samples[max(0, start_index):]
+        return percentiles_ms(window, percentiles)
 
     def merge(self, other: "LatencyHistogram") -> None:
         """Fold another histogram's samples into this one."""

@@ -229,6 +229,27 @@ class FleetLedgerBase(SlotLedger):
         self._credit_slot(slot_index, config, dc_id)
         return False
 
+    def add_slots(self, slot_index: int, config: CallConfig, dc_id: str,
+                  count: int) -> None:
+        """Autoscaler scale-out: grow the plan-slot cell.
+
+        Fleet size is fixed at construction (provisioned hardware);
+        added plan slots draw on the existing servers' headroom — a
+        placement that finds no fitting server still refuses the debit.
+        """
+        self.slot_ledger.add_slots(slot_index, config, dc_id, count)
+
+    def remove_slots(self, slot_index: int, config: CallConfig, dc_id: str,
+                     count: int) -> int:
+        """Autoscaler scale-down: drain free plan slots only.
+
+        Routed straight at the slot ledger (no ``call_id``), so no
+        server reservation is created or touched — in-flight calls keep
+        their servers, and only never-admitted slots are reclaimed.
+        """
+        return self.slot_ledger.remove_slots(slot_index, config, dc_id,
+                                             count)
+
     # ------------------------------------------------------------------
     # placement / growth / release (the fleet side)
     # ------------------------------------------------------------------

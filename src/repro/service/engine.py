@@ -38,6 +38,7 @@ from repro.allocation.realtime import (
     RealTimeSelector,
     SlotLedger,
 )
+from repro.autoscale.telemetry import ServiceSnapshot
 from repro.controller.columnar import ColumnarEventBatch
 from repro.controller.events import (
     EVENT_SORT_CODE,
@@ -110,11 +111,15 @@ class AdmissionEngine:
                  obs: Optional[Observability] = None,
                  ledger: Optional[SlotLedger] = None,
                  defragmenter=None,
-                 defrag_interval_s: Optional[float] = None):
+                 defrag_interval_s: Optional[float] = None,
+                 rescaler=None,
+                 rescale_interval_s: Optional[float] = None):
         if n_workers < 1:
             raise SwitchboardError("need at least one admission worker")
         if defrag_interval_s is not None and defrag_interval_s <= 0:
             raise SwitchboardError("defrag_interval_s must be positive")
+        if rescale_interval_s is not None and rescale_interval_s <= 0:
+            raise SwitchboardError("rescale_interval_s must be positive")
         self.topology = topology
         self.store = store if store is not None else ShardedKVStore()
         self.n_workers = n_workers
@@ -130,6 +135,26 @@ class AdmissionEngine:
         self.defragmenter = defragmenter
         self.defrag_interval_s = defrag_interval_s
         self.defrag_rounds = 0
+        # The autoscaler shares the defragmenter's safe point: serving
+        # pauses at window boundaries (workers quiescent), so plan
+        # mutations never race the admission path.  With both present
+        # the window grid is the finer of the two intervals; each
+        # consumer still acts on every boundary it observes.
+        self.rescaler = rescaler
+        if rescaler is not None and rescale_interval_s is None:
+            config = getattr(rescaler, "config", None)
+            rescale_interval_s = getattr(config, "interval_s", None)
+        self.rescale_interval_s = (rescale_interval_s
+                                   if rescaler is not None else None)
+        intervals = [i for i in (
+            defrag_interval_s if defragmenter is not None else None,
+            self.rescale_interval_s,
+        ) if i is not None]
+        self._window_interval_s = min(intervals) if intervals else None
+        if rescaler is not None:
+            bind = getattr(rescaler, "bind", None)
+            if bind is not None:
+                bind(self)
         self.admission_latency = LatencyHistogram()
         self.settle_latency = LatencyHistogram()
         # Fleet-aware ledgers grow/release per-call server reservations;
@@ -336,6 +361,10 @@ class AdmissionEngine:
                 if round_result.executed_moves:
                     self.selector.stats.record_defrag(
                         round_result.executed_moves)
+            if self.rescaler is not None:
+                # Same safe point: workers are quiescent, so the
+                # autoscaler may mutate the plan through the ledger.
+                self.rescaler.on_window(self._snapshot(workers, window))
         wall = time.perf_counter() - start
         if n_events == 0:
             raise SwitchboardError("no events to serve")
@@ -346,6 +375,24 @@ class AdmissionEngine:
                             events_per_s=report.events_per_s,
                             accounting_exact=report.accounting_exact)
         return report
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _snapshot(workers: List[_WorkerState], window) -> ServiceSnapshot:
+        """Cumulative accounting at the just-served window's boundary."""
+        if isinstance(window, ColumnarEventBatch):
+            t_s = float(window.t_s[-1])
+        else:
+            t_s = float(window[-1].t_s)
+        return ServiceSnapshot(
+            t_s=t_s,
+            generated=sum(w.generated for w in workers),
+            admitted=sum(w.admitted for w in workers),
+            migrated=sum(w.migrated for w in workers),
+            overflowed=sum(w.overflowed for w in workers),
+            unplanned=sum(w.unplanned for w in workers),
+            events_processed=sum(w.processed for w in workers),
+        )
 
     # ------------------------------------------------------------------
     def _window_source(self, events) -> Tuple[Iterator, Optional[int]]:
@@ -374,12 +421,12 @@ class AdmissionEngine:
         the stream's first timestamp, empty windows merged forward — but
         computed as one vectorized bucketing per batch.
         """
-        interval = self.defrag_interval_s
+        interval = self._window_interval_s
         anchor: Optional[float] = None
         for batch in batches:
             if len(batch) == 0:
                 continue
-            if self.defragmenter is None or interval is None:
+            if interval is None:
                 yield batch
                 continue
             if anchor is None:
@@ -398,20 +445,21 @@ class AdmissionEngine:
                  ) -> List[List[ControllerEvent]]:
         """Split the time-sorted stream into defrag windows.
 
-        Without a defragmenter (or an interval) the whole stream is one
-        batch and serving behaves exactly as before.
+        Without a defragmenter or rescaler (or an interval) the whole
+        stream is one batch and serving behaves exactly as before.
         """
-        if self.defragmenter is None or self.defrag_interval_s is None:
+        interval = self._window_interval_s
+        if interval is None:
             return [stream]
         batches: List[List[ControllerEvent]] = []
-        window_end = stream[0].t_s + self.defrag_interval_s
+        window_end = stream[0].t_s + interval
         current: List[ControllerEvent] = []
         for event in stream:
             if event.t_s >= window_end and current:
                 batches.append(current)
                 current = []
                 while event.t_s >= window_end:
-                    window_end += self.defrag_interval_s
+                    window_end += interval
             current.append(event)
         if current:
             batches.append(current)
@@ -536,6 +584,10 @@ class AdmissionEngine:
         metrics_fn = getattr(self.ledger, "fleet_metrics", None)
         if metrics_fn is not None:
             packing = metrics_fn()
+        autoscale: Dict[str, object] = {}
+        autoscale_fn = getattr(self.rescaler, "autoscale_metrics", None)
+        if autoscale_fn is not None:
+            autoscale = autoscale_fn()
         return ServiceReport(
             n_workers=self.n_workers,
             n_shards=getattr(self.store, "n_shards", 1),
@@ -553,7 +605,7 @@ class AdmissionEngine:
             ended_calls=sum(w.ended for w in workers),
             unsettled_calls=unsettled,
             wall_time_s=wall_s,
-            events_per_s=processed / wall_s if wall_s > 0 else float("inf"),
+            events_per_s=processed / wall_s if wall_s > 0 else 0.0,
             admission_latency_ms=self.admission_latency.percentiles(),
             settle_latency_ms=self.settle_latency.percentiles(),
             kv_latency_ms=self.store.latency_percentiles_ms(),
@@ -564,4 +616,6 @@ class AdmissionEngine:
             defrag_rounds=self.defrag_rounds,
             frag_slots_lost=int(packing.get("frag_slots_lost", 0)),
             packing=packing,
+            rescale_events=int(autoscale.get("rescale_events", 0)),
+            autoscale=autoscale,
         )

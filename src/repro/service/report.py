@@ -12,9 +12,24 @@ enforces — a dropped or unsettled call is a serving bug, not noise.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.core.errors import SwitchboardError
+
+
+def _fmt_tail(tail: Dict[str, Optional[float]],
+              keys=("p50", "p95", "p99")) -> str:
+    """Render a percentile dict, showing ``n/a`` for empty samples.
+
+    ``percentiles_ms`` reports ``None`` per percentile (plus a ``count``
+    key) when no samples were recorded — rendering that as 0.00 would
+    read as a perfect latency tail.
+    """
+    return " ".join(
+        f"{key}={tail[key]:.2f}" if tail.get(key) is not None
+        else f"{key}=n/a"
+        for key in keys
+    )
 
 
 @dataclass
@@ -50,15 +65,23 @@ class ServiceReport:
     frag_slots_lost: int = 0   # allocatable-slots-lost at end of run
     packing: Dict[str, object] = field(default_factory=dict)
 
+    # Closed-loop autoscaling (zeroes/empty when no rescaler was bound).
+    rescale_events: int = 0
+    autoscale: Dict[str, object] = field(default_factory=dict)
+
     # Throughput.
     wall_time_s: float = 0.0
     events_per_s: float = 0.0
 
     # Latency tails (ms): admission = CALL_START handling, settle =
     # CONFIG_FREEZE reconciliation, kv = simulated store round-trips.
-    admission_latency_ms: Dict[str, float] = field(default_factory=dict)
-    settle_latency_ms: Dict[str, float] = field(default_factory=dict)
-    kv_latency_ms: Dict[str, float] = field(default_factory=dict)
+    # Values are None (rendered "n/a") when no samples were recorded;
+    # the "count" key always carries the sample count.
+    admission_latency_ms: Dict[str, Optional[float]] = field(
+        default_factory=dict)
+    settle_latency_ms: Dict[str, Optional[float]] = field(
+        default_factory=dict)
+    kv_latency_ms: Dict[str, Optional[float]] = field(default_factory=dict)
     kv_op_count: int = 0
 
     # Selector-level quality (same semantics as the day replay).
@@ -89,7 +112,11 @@ class ServiceReport:
             )
 
     def summary(self) -> str:
-        tail = self.admission_latency_ms
+        if self.settled_calls > 0:
+            quality = (f"  migration rate {self.migration_rate:.2%}, "
+                       f"mean ACL {self.mean_acl_ms:.1f} ms")
+        else:
+            quality = "  migration rate n/a, mean ACL n/a (no settled calls)"
         lines = [
             f"admission service: {self.n_workers} workers over "
             f"{self.n_shards} kv shards",
@@ -101,16 +128,10 @@ class ServiceReport:
             f"migrated + {self.overflowed_calls} overflowed "
             f"({self.unplanned_calls} unplanned, "
             f"{self.early_ended_calls} ended pre-freeze)",
-            f"  admission latency ms: "
-            f"p50={tail.get('p50', 0.0):.2f} "
-            f"p95={tail.get('p95', 0.0):.2f} "
-            f"p99={tail.get('p99', 0.0):.2f}",
+            f"  admission latency ms: {_fmt_tail(self.admission_latency_ms)}",
             f"  kv: {self.kv_op_count} ops, trip ms "
-            f"p50={self.kv_latency_ms.get('p50', 0.0):.2f} "
-            f"p95={self.kv_latency_ms.get('p95', 0.0):.2f} "
-            f"p99={self.kv_latency_ms.get('p99', 0.0):.2f}",
-            f"  migration rate {self.migration_rate:.2%}, "
-            f"mean ACL {self.mean_acl_ms:.1f} ms",
+            f"{_fmt_tail(self.kv_latency_ms)}",
+            quality,
             f"  accounting exact: {self.accounting_exact}",
         ]
         if self.packing:
@@ -120,6 +141,15 @@ class ServiceReport:
                 f"{self.defrag_migrated_calls} defrag moves over "
                 f"{self.defrag_rounds} rounds, "
                 f"{self.frag_slots_lost} frag slots lost"
+            )
+        if self.autoscale:
+            lines.append(
+                f"  autoscale: {self.rescale_events} rescales "
+                f"({self.autoscale.get('scale_ups', 0)} up / "
+                f"{self.autoscale.get('scale_downs', 0)} down) -> "
+                f"{self.autoscale.get('final_scale', 1.0)}x, "
+                f"{self.autoscale.get('capacity_core_hours', 0.0)} "
+                f"core-hours provisioned"
             )
         return "\n".join(lines)
 
@@ -147,11 +177,17 @@ class ServiceReport:
             "settle_latency_ms": dict(self.settle_latency_ms),
             "kv_latency_ms": dict(self.kv_latency_ms),
             "kv_op_count": self.kv_op_count,
-            "migration_rate": self.migration_rate,
-            "mean_acl_ms": self.mean_acl_ms,
+            # None, not 0.0, when nothing settled: a 0.0 migration rate
+            # over zero calls would read as a perfect day.
+            "migration_rate": (self.migration_rate
+                               if self.settled_calls > 0 else None),
+            "mean_acl_ms": (self.mean_acl_ms
+                            if self.settled_calls > 0 else None),
             "accounting_exact": self.accounting_exact,
             "defrag_migrated_calls": self.defrag_migrated_calls,
             "defrag_rounds": self.defrag_rounds,
             "frag_slots_lost": self.frag_slots_lost,
             "packing": dict(self.packing),
+            "rescale_events": self.rescale_events,
+            "autoscale": dict(self.autoscale),
         }

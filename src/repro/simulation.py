@@ -28,12 +28,13 @@ slot-exhaustion path prescribes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.core.errors import SwitchboardError
 from repro.core.types import make_slots
 from repro.core.units import DEFAULT_SLOT_S
 from repro.allocation.realtime import RealTimeSelector, SelectorStats
+from repro.autoscale import Autoscaler
 from repro.config import PlannerConfig, ServiceConfig
 from repro.controller.events import event_stream
 from repro.kvstore.sharded import ShardedKVStore
@@ -70,6 +71,13 @@ class DayReport:
     injected_fault: Optional[str] = None
     #: How far provisioning/allocation degraded this day (0 = full LP).
     degradation_level: int = 0
+    #: Closed-loop autoscaler rescale events this day (service path with
+    #: ``planner_config.autoscale`` set; 0 otherwise).
+    rescales: int = 0
+    #: Observability events recorded *this day* — per-day scoped via
+    #: checkpoints, so multi-day runs don't silently attribute one day's
+    #: noise to another.
+    obs_events: int = 0
 
 
 @dataclass
@@ -180,16 +188,23 @@ class ServiceSimulator:
             obs=capacity.obs,
         )
 
-    def _replay_through_service(self, plan, trace: CallTrace) -> SelectorStats:
+    def _replay_through_service(self, plan, trace: CallTrace,
+                                forecast: Optional[Demand] = None
+                                ) -> Tuple[SelectorStats, int]:
         """One day served by the real admission engine (not the replay).
 
         The engine keeps its ledgers and call state in a fresh sharded
         kvstore per day — the same way the production controller starts
         each plan day against Redis — and the day's statistics come from
         the identical selector core the replay path uses.
+
+        With ``planner_config.autoscale`` set (and a forecast for the
+        day), the engine carries a closed-loop
+        :class:`~repro.autoscale.Autoscaler` that re-provisions the plan
+        mid-day; returns ``(stats, rescale_events)``.
         """
         if not trace.calls:
-            return SelectorStats()
+            return SelectorStats(), 0
         svc = self.service_config
         if svc.kv_latency_median_ms is not None:
             store = ShardedKVStore.with_latency(
@@ -198,12 +213,20 @@ class ServiceSimulator:
         else:
             store = ShardedKVStore(n_shards=svc.n_shards,
                                    ring_replicas=svc.ring_replicas)
+        rescaler = None
+        if self.planner_config.autoscale is not None and forecast is not None:
+            rescaler = Autoscaler(
+                self.controller, forecast, plan,
+                config=self.planner_config.autoscale,
+                capacity=self.capacity, obs=self.controller.obs,
+                with_backup=self.with_backup)
         engine = AdmissionEngine(
             self.topology, plan, store=store, n_workers=svc.n_workers,
-            freeze_window_s=self.freeze_window_s, obs=self.controller.obs)
+            freeze_window_s=self.freeze_window_s, obs=self.controller.obs,
+            rescaler=rescaler)
         report = engine.run(event_stream(trace, self.freeze_window_s))
         report.require_exact_accounting()
-        return engine.selector.stats
+        return engine.selector.stats, report.rescale_events
 
     def _forecast_next_day(self, day: int) -> Demand:
         top = self.db.top_configs(self.top_config_fraction)
@@ -231,6 +254,10 @@ class ServiceSimulator:
 
         report = SimulationReport()
         for day in range(n_days):
+            # Scope observability per simulated day: everything recorded
+            # from here to day end is attributed to this day's report,
+            # instead of a single run-lifetime blob.
+            day_checkpoint = self.controller.obs.checkpoint()
             trace = self._day_trace(full_demand, day, generator)
             if day < self.bootstrap_days:
                 # Pre-Switchboard operation: closest DC, no plan.
@@ -244,6 +271,8 @@ class ServiceSimulator:
                     overflow_calls=0,
                     mean_acl_ms=acl_sum / len(trace) if len(trace) else 0.0,
                     reprovisioned=False, capacity_cost=0.0,
+                    obs_events=len(
+                        self.controller.obs.since(day_checkpoint).events),
                 ))
                 ingest_trace(self.db, trace, self.topology,
                              seed=self.seed + 10 + day,
@@ -288,8 +317,10 @@ class ServiceSimulator:
                 allocation_level = outcome.degradation_level
                 plan = outcome.plan
             if self.use_service:
-                stats = self._replay_through_service(plan, trace)
+                stats, rescales = self._replay_through_service(
+                    plan, trace, forecast)
             else:
+                rescales = 0
                 selector = RealTimeSelector(self.topology, plan,
                                             self.freeze_window_s)
                 selector.process_trace(trace.calls)
@@ -311,6 +342,9 @@ class ServiceSimulator:
                 injected_fault=injected_fault,
                 degradation_level=max(self.capacity.degradation_level,
                                       allocation_level),
+                rescales=rescales,
+                obs_events=len(
+                    self.controller.obs.since(day_checkpoint).events),
             ))
             ingest_trace(self.db, trace, self.topology,
                          seed=self.seed + 10 + day,

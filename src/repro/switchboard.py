@@ -34,8 +34,9 @@ from repro.core.units import DEFAULT_FREEZE_WINDOW_S
 from repro.allocation.offline import AllocationOptimizer, AllocationOutcome
 from repro.allocation.plan import AllocationPlan
 from repro.allocation.realtime import RealTimeSelector
+from repro.autoscale import Autoscaler
 from repro.baselines.base import ProvisioningStrategy
-from repro.config import PlannerConfig
+from repro.config import AutoscaleConfig, PlannerConfig
 from repro.forecasting.forecaster import CallCountForecaster
 from repro.obs.events import Event, Observability
 from repro.provisioning.demand import PlacementData
@@ -374,4 +375,25 @@ class SwitchboardPipeline:
             capacity=capacity,
             allocation=allocation,
             obs=controller.obs,
+        )
+
+    def autoscaler(self, result: PipelineResult,
+                   config: Optional[AutoscaleConfig] = None) -> Autoscaler:
+        """A closed-loop autoscaler wired to this pipeline's output.
+
+        Pass the returned object as ``rescaler=`` to an
+        :class:`~repro.service.engine.AdmissionEngine` serving
+        ``result``'s plan and the loop runs itself: telemetry windows →
+        scale decisions → incremental ``provision()``/``allocate()``
+        re-runs over the remaining horizon, applied through the ledger.
+        ``config`` overrides ``PlannerConfig.autoscale`` (either may be
+        None; the defaults then apply).
+        """
+        autoscale = config if config is not None else self.config.autoscale
+        controller = Switchboard(
+            self.topology, load_model=self.load_model, config=self.config
+        )
+        return Autoscaler(
+            controller, result.forecast_demand, result.allocation.plan,
+            config=autoscale, capacity=result.capacity, obs=result.obs,
         )

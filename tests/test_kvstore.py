@@ -232,14 +232,18 @@ class TestPercentiles:
         samples = [10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0,
                    100.0]
         pcts = percentiles_ms(samples)
-        assert pcts == {"p50": 50.0, "p95": 100.0, "p99": 100.0}
+        assert pcts == {"p50": 50.0, "p95": 100.0, "p99": 100.0,
+                        "count": 10}
 
     def test_even_count_uses_ceil_not_bankers_rounding(self):
         # n=6, p50 -> rank ceil(3)=3 -> 3rd smallest, NOT round(3.5)=4th.
         assert percentiles_ms([1.0, 2.0, 3.0, 4.0, 5.0, 6.0])["p50"] == 3.0
 
     def test_empty_input(self):
-        assert percentiles_ms([]) == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+        # None, not 0.0: an empty histogram must not read as a perfect
+        # latency tail.  The count key makes emptiness explicit.
+        assert percentiles_ms([]) == {"p50": None, "p95": None,
+                                      "p99": None, "count": 0}
 
     def test_store_percentiles(self):
         store = InMemoryKVStore(LatencyProfile(median_ms=0.5, floor_ms=0.3,

@@ -161,7 +161,9 @@ class TestAdmissionEngine:
                                             seed=3)
         engine = AdmissionEngine(topology, plan, store=store, n_workers=2)
         report = engine.run(load.events)
-        assert set(report.admission_latency_ms) == {"p50", "p95", "p99"}
+        assert set(report.admission_latency_ms) == {"p50", "p95", "p99",
+                                                    "count"}
+        assert report.admission_latency_ms["count"] > 0
         assert report.kv_latency_ms["p50"] >= 0.05
         assert report.kv_op_count > 0
 

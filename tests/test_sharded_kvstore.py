@@ -201,7 +201,8 @@ class TestPipelines:
         for i in range(50):
             store.set(f"key-{i}", i)
         pcts = store.latency_percentiles_ms()
-        assert set(pcts) == {"p50", "p95", "p99"}
+        assert set(pcts) == {"p50", "p95", "p99", "count"}
+        assert pcts["count"] == 50
         assert 0.05 <= pcts["p50"] <= pcts["p95"] <= pcts["p99"] <= 0.2
 
     def test_per_shard_latency_profiles_are_independent(self):
