@@ -21,25 +21,33 @@ Runnable standalone (CI's datapath-smoke job)::
 or under pytest-benchmark (``pytest benchmarks/bench_datapath.py``).
 Full mode asserts the >=3x columnar speedup; ``--smoke`` only asserts
 the columnar path wins, since tiny inputs under-feed the vectorization.
+
+``--executor process --workers N`` serves the *columnar* arm through
+the multiprocess engine (the object baseline stays on the thread
+executor — object streams cannot cross the shared-memory boundary).
 """
 
 from __future__ import annotations
 
-import argparse
-import json
+import sys
 import time
 import tracemalloc
 from typing import List
 
 import numpy as np
 
+try:
+    from benchmarks.svc_cli import service_arg_parser, write_json_artifact
+except ImportError:  # standalone: python benchmarks/bench_datapath.py
+    from svc_cli import service_arg_parser, write_json_artifact
+
 from repro.core.types import Call, Participant, make_slots
 from repro.core.units import DEFAULT_FREEZE_WINDOW_S, DEFAULT_SLOT_S
-from repro.config import PlannerConfig
+from repro.config import PlannerConfig, ServiceConfig
 from repro.controller.columnar import build_event_batch, iter_event_batches
 from repro.controller.events import event_stream
 from repro.kvstore import InMemoryKVStore
-from repro.service import AdmissionEngine
+from repro.service import ServiceRuntime
 from repro.switchboard import Switchboard
 from repro.topology.builder import Topology
 from repro.workload.arrivals import Demand, DemandModel
@@ -127,24 +135,31 @@ def _build_world(smoke: bool):
     return topology, model, demand
 
 
-def _make_engine(topology, plan) -> AdmissionEngine:
-    return AdmissionEngine(topology, plan, store=InMemoryKVStore(),
-                           n_workers=1)
+def _make_runtime(topology, plan, executor: str = "thread",
+                  n_workers: int = 1) -> ServiceRuntime:
+    """The serving arm: thread keeps the zero-latency in-memory store;
+    process shards call state over per-worker stores."""
+    config = ServiceConfig(n_workers=n_workers, executor=executor)
+    store = InMemoryKVStore() if executor == "thread" else None
+    return ServiceRuntime.from_config(topology, plan, config, store=store)
 
 
-def _bench_throughput(topology, demand, plan, repeats: int = 3) -> dict:
+def _bench_throughput(topology, demand, plan, repeats: int = 3,
+                      executor: str = "thread",
+                      n_workers: int = 1) -> dict:
     """Time generate → sort → serve on both data planes.
 
     Each path runs ``repeats`` times and keeps its best wall time — the
     minimum is the least-noise estimate of the true cost on a machine
-    with background load.
+    with background load.  ``executor``/``n_workers`` configure the
+    columnar serving arm only.
     """
     object_s = float("inf")
     for _ in range(repeats):
         t0 = time.perf_counter()
         trace = _LegacyTraceGenerator(seed=SEED + 1).generate(demand)
         events = event_stream(trace, DEFAULT_FREEZE_WINDOW_S)
-        object_report = _make_engine(topology, plan).run(events)
+        object_report = _make_runtime(topology, plan).run(events)
         object_s = min(object_s, time.perf_counter() - t0)
         object_report.require_exact_accounting()
 
@@ -153,7 +168,8 @@ def _bench_throughput(topology, demand, plan, repeats: int = 3) -> dict:
         t0 = time.perf_counter()
         columnar = TraceGenerator(seed=SEED + 1).generate_columnar(demand)
         batch = build_event_batch(columnar, DEFAULT_FREEZE_WINDOW_S)
-        columnar_report = _make_engine(topology, plan).run(batch)
+        columnar_report = _make_runtime(topology, plan, executor,
+                                        n_workers).run(batch)
         columnar_s = min(columnar_s, time.perf_counter() - t0)
         columnar_report.require_exact_accounting()
 
@@ -205,14 +221,16 @@ def _streaming_peak_bytes(model: DemandModel, horizon_s: float) -> dict:
     }
 
 
-def run_datapath_bench(smoke: bool = False) -> dict:
+def run_datapath_bench(smoke: bool = False, executor: str = "thread",
+                       n_workers: int = 1) -> dict:
     topology, model, demand = _build_world(smoke)
     controller = Switchboard(topology,
                              config=PlannerConfig(max_link_scenarios=0))
     capacity = controller.provision(demand, with_backup=False)
     plan = controller.allocate(demand, capacity).plan
 
-    throughput = _bench_throughput(topology, demand, plan)
+    throughput = _bench_throughput(topology, demand, plan,
+                                   executor=executor, n_workers=n_workers)
 
     # Whole diurnal days, so 2x means "twice as long", not "twice as
     # busy": the busiest chunk is the same size and only the chunk
@@ -224,19 +242,26 @@ def run_datapath_bench(smoke: bool = False) -> dict:
 
     results = {
         "mode": "smoke" if smoke else "full",
+        "executor": executor,
+        "serve_workers": n_workers,
         "throughput": throughput,
         "memory": {"at_1x": mem_1x, "at_2x": mem_2x,
                    "peak_growth_2x": round(growth, 2)},
     }
 
     # Accounting already asserted inside _bench_throughput; here the
-    # performance acceptance criteria.
-    if smoke:
-        assert throughput["speedup"] > 1.0, (
-            f"columnar path must win, got {throughput['speedup']}x")
-    else:
-        assert throughput["speedup"] >= 3.0, (
-            f"columnar path must be >=3x, got {throughput['speedup']}x")
+    # performance acceptance criteria.  The speedup floor is a claim
+    # about the columnar *data plane*, so it binds only when both arms
+    # serve on the thread executor — the process arm pays worker
+    # spawn/IPC costs the object baseline does not, which smoke-sized
+    # inputs cannot amortize.
+    if executor == "thread":
+        if smoke:
+            assert throughput["speedup"] > 1.0, (
+                f"columnar path must win, got {throughput['speedup']}x")
+        else:
+            assert throughput["speedup"] >= 3.0, (
+                f"columnar path must be >=3x, got {throughput['speedup']}x")
     # Doubling the trace must not double the streaming peak (chunks are
     # dropped as they are consumed); the materialized batch does grow.
     assert growth < 1.6, f"streaming peak grew {growth:.2f}x with 2x trace"
@@ -262,8 +287,9 @@ def render(results: dict) -> str:
     thr = results["throughput"]
     mem = results["memory"]
     return "\n".join([
-        f"datapath ({results['mode']}): {thr['n_calls']} calls, "
-        f"{thr['n_events']} events",
+        f"datapath ({results['mode']}, serve via "
+        f"{results['executor']} x{results['serve_workers']}): "
+        f"{thr['n_calls']} calls, {thr['n_events']} events",
         f"  object   path: {thr['object_events_per_s']:>9,} events/s "
         f"({thr['object_s']}s)",
         f"  columnar path: {thr['columnar_events_per_s']:>9,} events/s "
@@ -275,20 +301,17 @@ def render(results: dict) -> str:
     ])
 
 
-def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--smoke", action="store_true",
-                        help="small inputs, relaxed speedup assertion")
-    parser.add_argument("--json", metavar="PATH",
-                        help="dump the results dict as JSON")
-    args = parser.parse_args()
-    results = run_datapath_bench(smoke=args.smoke)
+def main(argv=None) -> int:
+    parser = service_arg_parser(
+        "Object vs columnar data plane, end to end.", default_workers=1)
+    args = parser.parse_args(argv)
+    results = run_datapath_bench(smoke=args.smoke, executor=args.executor,
+                                 n_workers=args.workers)
     print(render(results))
     if args.json:
-        with open(args.json, "w") as fh:
-            json.dump(results, fh, indent=2)
-        print(f"wrote {args.json}")
+        write_json_artifact(results, args.json)
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -1,14 +1,18 @@
 #!/usr/bin/env python3
-"""The online admission service end to end: loadgen -> plan -> engine.
+"""The online admission service end to end: loadgen -> plan -> runtime.
 
 Generates a high-volume day of controller events with the workload
 model, provisions capacity and an allocation plan for it, then serves
-the event stream through the sharded admission engine — printing the
-ServiceReport (throughput, p50/p95/p99 admission latency, exact call
-accounting) and optionally writing it as JSON for CI artifacts.
+the event stream through :class:`~repro.service.ServiceRuntime` —
+printing the ServiceReport (throughput, p50/p95/p99 admission latency,
+exact call accounting) and optionally writing it as JSON for CI
+artifacts.  ``--executor process`` serves the same load through the
+multiprocess engine (one OS process per worker over shared-memory
+columnar segments) with identical accounting.
 
 Run:  python examples/online_service.py [--events N] [--workers N]
-      [--shards N] [--kv-latency-ms X] [--json PATH] [--smoke]
+      [--shards N] [--executor thread|process] [--kv-latency-ms X]
+      [--json PATH] [--smoke]
 """
 
 import argparse
@@ -16,8 +20,8 @@ import json
 import sys
 
 from repro import PlannerConfig, Switchboard, Topology
-from repro.kvstore import ShardedKVStore
-from repro.service import AdmissionEngine, LoadGenerator
+from repro.config import SERVICE_EXECUTORS, ServiceConfig
+from repro.service import LoadGenerator, ServiceRuntime
 
 
 def main(argv=None) -> int:
@@ -26,9 +30,13 @@ def main(argv=None) -> int:
     parser.add_argument("--events", type=int, default=20_000,
                         help="approximate number of controller events")
     parser.add_argument("--workers", type=int, default=4,
-                        help="admission worker threads")
+                        help="admission workers (threads or processes)")
     parser.add_argument("--shards", type=int, default=4,
                         help="kvstore shards")
+    parser.add_argument("--executor", default="thread",
+                        choices=SERVICE_EXECUTORS,
+                        help="execution model: in-process worker threads "
+                             "or one OS process per worker")
     parser.add_argument("--kv-latency-ms", type=float, default=None,
                         help="simulate this median per-op KV latency")
     parser.add_argument("--json", type=str, default=None,
@@ -50,21 +58,18 @@ def main(argv=None) -> int:
     capacity = controller.provision(load.demand, with_backup=False)
     plan = controller.allocate(load.demand, capacity).plan
 
-    if args.kv_latency_ms is not None:
-        store = ShardedKVStore.with_latency(
-            n_shards=args.shards, median_ms=args.kv_latency_ms, seed=5)
-    else:
-        store = ShardedKVStore(n_shards=args.shards)
-    engine = AdmissionEngine(topology, plan, store=store,
-                             n_workers=args.workers)
-    report = engine.run(load.events)
+    config = ServiceConfig(n_shards=args.shards, n_workers=args.workers,
+                           kv_latency_median_ms=args.kv_latency_ms,
+                           kv_latency_seed=5, executor=args.executor)
+    runtime = ServiceRuntime.from_config(topology, plan, config)
+    report = runtime.run(load)
 
     print()
     print(report.summary())
 
     if args.json:
         with open(args.json, "w") as fh:
-            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+            json.dump(report.to_dict(), fh, indent=2)
         print(f"\nreport written to {args.json}")
 
     if args.smoke:

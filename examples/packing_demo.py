@@ -23,7 +23,7 @@ from repro.config import PACKING_POLICIES, PackingConfig
 from repro.kvstore import ShardedKVStore
 from repro.packing import build_packing
 from repro.packing.workload import generate_packing_load, media_mix
-from repro.service import AdmissionEngine
+from repro.service import ServiceRuntime
 
 #: Fragmentation above this many allocatable-slots-lost on the smoke
 #: workload is a packing regression (the defragmenter is not keeping
@@ -79,18 +79,18 @@ def main(argv=None) -> int:
     ledger, defragmenter = build_packing(
         fleet, packing_config, store=store,
         training_calls=load.training_calls)
-    engine = AdmissionEngine(
+    runtime = ServiceRuntime.from_config(
         topology, plan, store=store, ledger=ledger,
         defragmenter=defragmenter,
         defrag_interval_s=packing_config.defrag_interval_s)
-    report = engine.run(load.events)
+    report = runtime.run(load.events)
 
     print()
     print(report.summary())
 
     if args.json:
         with open(args.json, "w") as fh:
-            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+            json.dump(report.to_dict(), fh, indent=2)
         print(f"\nreport written to {args.json}")
 
     if args.smoke:

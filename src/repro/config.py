@@ -46,6 +46,10 @@ BACKUP_METHODS = ("joint", "incremental", "max")
 DEFAULT_LADDER: Tuple[str, ...] = ("joint", "max", "incremental", "locality")
 
 
+#: Execution models the admission service supports.
+SERVICE_EXECUTORS = ("thread", "process")
+
+
 @dataclass(frozen=True)
 class ServiceConfig:
     """Knobs of the online admission service (``repro.service``).
@@ -59,6 +63,12 @@ class ServiceConfig:
       0.3–4.2 ms per write, §6.6).
     * ``kv_latency_seed`` — seeds the per-shard latency streams.
     * ``ring_replicas`` — virtual nodes per shard on the hash ring.
+    * ``executor`` — how admission workers run: ``"thread"`` (the
+      in-process engine; deterministic oracle at ``n_workers=1``) or
+      ``"process"`` (``repro.service.mp``: one OS process per worker fed
+      call partitions over shared-memory columnar segments, so serving
+      scales past the GIL).  Selected by
+      :meth:`repro.service.ServiceRuntime.from_config`.
     """
 
     n_shards: int = 4
@@ -66,12 +76,18 @@ class ServiceConfig:
     kv_latency_median_ms: Optional[float] = None
     kv_latency_seed: int = 99
     ring_replicas: int = 64
+    executor: str = "thread"
 
     def __post_init__(self):
         if self.n_shards < 1:
             raise SwitchboardError("n_shards must be >= 1")
         if self.n_workers < 1:
             raise SwitchboardError("n_workers must be >= 1")
+        if self.executor not in SERVICE_EXECUTORS:
+            raise SwitchboardError(
+                f"unknown service executor {self.executor!r}; "
+                f"expected one of {SERVICE_EXECUTORS}"
+            )
         if (self.kv_latency_median_ms is not None
                 and self.kv_latency_median_ms <= 0):
             raise SwitchboardError("kv_latency_median_ms must be positive")

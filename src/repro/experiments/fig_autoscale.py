@@ -36,7 +36,7 @@ from repro.config import AutoscaleConfig, PlannerConfig
 from repro.controller.columnar import build_event_batch
 from repro.core.types import make_slots
 from repro.core.units import DEFAULT_SLOT_S
-from repro.service import AdmissionEngine
+from repro.service import ServiceRuntime
 from repro.switchboard import Switchboard
 from repro.topology.builder import Topology
 from repro.workload.arrivals import Demand, DemandModel
@@ -64,9 +64,9 @@ def _serve(topology: Topology, plan, events,
            rescaler: Optional[Autoscaler] = None) -> Dict[str, object]:
     """One arm: a fresh engine (fresh kvstore + ledger) over the
     realized stream; returns the arm's result row."""
-    engine = AdmissionEngine(topology, plan, freeze_window_s=FREEZE_WINDOW_S,
-                             rescaler=rescaler)
-    report = engine.run(events)
+    runtime = ServiceRuntime.from_config(
+        topology, plan, freeze_window_s=FREEZE_WINDOW_S, rescaler=rescaler)
+    report = runtime.run(events)
     report.require_exact_accounting()
     return {
         "generated_calls": report.generated_calls,

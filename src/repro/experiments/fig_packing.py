@@ -27,7 +27,7 @@ from typing import Dict, List, Optional
 from repro.config import PackingConfig, PlannerConfig
 from repro.packing import build_packing
 from repro.packing.workload import PackingLoad, generate_packing_load
-from repro.service import AdmissionEngine
+from repro.service import ServiceRuntime
 from repro.switchboard import Switchboard
 from repro.topology.builder import Topology
 
@@ -61,10 +61,11 @@ def run_policy(topology: Topology, plan, fleet: Dict[str, float],
                            defrag_interval_s=defrag_interval_s)
     ledger, defragmenter = build_packing(
         fleet, config, store=store, training_calls=load.training_calls)
-    engine = AdmissionEngine(topology, plan, store=store,
-                             ledger=ledger, defragmenter=defragmenter,
-                             defrag_interval_s=config.defrag_interval_s)
-    report = engine.run(load.events)
+    runtime = ServiceRuntime.from_config(
+        topology, plan, store=store,
+        ledger=ledger, defragmenter=defragmenter,
+        defrag_interval_s=config.defrag_interval_s)
+    report = runtime.run(load.events)
     report.require_exact_accounting()
     packing = report.packing
     return {

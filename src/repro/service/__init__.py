@@ -10,12 +10,17 @@ a :class:`ServiceReport`.
 
 from repro.service.engine import AdmissionEngine
 from repro.service.loadgen import GeneratedLoad, LoadGenerator, StreamingLoad
-from repro.service.report import ServiceReport
+from repro.service.mp import MultiprocessAdmissionEngine
+from repro.service.report import REPORT_SCHEMA_VERSION, ServiceReport
+from repro.service.runtime import ServiceRuntime
 
 __all__ = [
     "AdmissionEngine",
     "GeneratedLoad",
     "LoadGenerator",
+    "MultiprocessAdmissionEngine",
+    "REPORT_SCHEMA_VERSION",
     "ServiceReport",
+    "ServiceRuntime",
     "StreamingLoad",
 ]

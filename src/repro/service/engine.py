@@ -23,13 +23,14 @@ import itertools
 import queue
 import threading
 import time
+import warnings
 import zlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.core.errors import SwitchboardError
+from repro.core.errors import SwitchboardDeprecationWarning, SwitchboardError
 from repro.core.types import MediaType
 from repro.core.units import DEFAULT_FREEZE_WINDOW_S
 from repro.allocation.plan import AllocationPlan
@@ -113,7 +114,24 @@ class AdmissionEngine:
                  defragmenter=None,
                  defrag_interval_s: Optional[float] = None,
                  rescaler=None,
-                 rescale_interval_s: Optional[float] = None):
+                 rescale_interval_s: Optional[float] = None,
+                 _via_runtime: bool = False):
+        if not _via_runtime:
+            wired = [name for name, value in (
+                ("ledger", ledger), ("defragmenter", defragmenter),
+                ("defrag_interval_s", defrag_interval_s),
+                ("rescaler", rescaler),
+                ("rescale_interval_s", rescale_interval_s),
+            ) if value is not None]
+            if wired:
+                # Bare construction (store/n_workers/freeze window) stays
+                # supported — the engine is the building block — but the
+                # cross-subsystem wiring now belongs to ServiceRuntime.
+                warnings.warn(
+                    f"passing {', '.join(wired)} directly to "
+                    "AdmissionEngine is deprecated; build the service "
+                    "plane with repro.service.ServiceRuntime.from_config",
+                    SwitchboardDeprecationWarning, stacklevel=2)
         if n_workers < 1:
             raise SwitchboardError("need at least one admission worker")
         if defrag_interval_s is not None and defrag_interval_s <= 0:

@@ -16,6 +16,17 @@ from typing import Dict, Optional
 
 from repro.core.errors import SwitchboardError
 
+#: Version of the ``ServiceReport.to_dict()`` wire format.  Bump when a
+#: key is added, removed, or changes meaning — the CI artifacts and any
+#: downstream consumer key their parsing off this field.
+#:
+#: History:
+#:   1 — unversioned dict (pre-ServiceRuntime).
+#:   2 — adds ``schema_version`` and ``executor``; keys are emitted in
+#:       stable sorted order (nested dicts included) so artifacts diff
+#:       cleanly across runs.
+REPORT_SCHEMA_VERSION = 2
+
 
 def _fmt_tail(tail: Dict[str, Optional[float]],
               keys=("p50", "p95", "p99")) -> str:
@@ -38,6 +49,7 @@ class ServiceReport:
 
     n_workers: int
     n_shards: int
+    executor: str = "thread"
 
     # Event counters.
     events_total: int = 0
@@ -154,10 +166,17 @@ class ServiceReport:
         return "\n".join(lines)
 
     def to_dict(self) -> Dict[str, object]:
-        """JSON-friendly dump (the CI artifact)."""
-        return {
+        """JSON-friendly dump (the CI artifact), schema-versioned.
+
+        Keys are emitted in sorted order — nested dicts too — so two
+        artifacts from different runs (or executors) diff line by line.
+        ``schema_version`` always comes first; see
+        :data:`REPORT_SCHEMA_VERSION` for the change history.
+        """
+        payload = {
             "n_workers": self.n_workers,
             "n_shards": self.n_shards,
+            "executor": self.executor,
             "events_total": self.events_total,
             "events_processed": self.events_processed,
             "dropped_events": self.dropped_events,
@@ -173,9 +192,9 @@ class ServiceReport:
             "unsettled_calls": self.unsettled_calls,
             "wall_time_s": self.wall_time_s,
             "events_per_s": self.events_per_s,
-            "admission_latency_ms": dict(self.admission_latency_ms),
-            "settle_latency_ms": dict(self.settle_latency_ms),
-            "kv_latency_ms": dict(self.kv_latency_ms),
+            "admission_latency_ms": self.admission_latency_ms,
+            "settle_latency_ms": self.settle_latency_ms,
+            "kv_latency_ms": self.kv_latency_ms,
             "kv_op_count": self.kv_op_count,
             # None, not 0.0, when nothing settled: a 0.0 migration rate
             # over zero calls would read as a perfect day.
@@ -187,7 +206,16 @@ class ServiceReport:
             "defrag_migrated_calls": self.defrag_migrated_calls,
             "defrag_rounds": self.defrag_rounds,
             "frag_slots_lost": self.frag_slots_lost,
-            "packing": dict(self.packing),
+            "packing": self.packing,
             "rescale_events": self.rescale_events,
-            "autoscale": dict(self.autoscale),
+            "autoscale": self.autoscale,
         }
+
+        def stable(value):
+            if isinstance(value, dict):
+                return {key: stable(value[key]) for key in sorted(value)}
+            return value
+
+        out = {"schema_version": REPORT_SCHEMA_VERSION}
+        out.update(stable(payload))
+        return out

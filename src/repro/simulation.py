@@ -37,8 +37,7 @@ from repro.allocation.realtime import RealTimeSelector, SelectorStats
 from repro.autoscale import Autoscaler
 from repro.config import PlannerConfig, ServiceConfig
 from repro.controller.events import event_stream
-from repro.kvstore.sharded import ShardedKVStore
-from repro.service.engine import AdmissionEngine
+from repro.service.runtime import ServiceRuntime
 from repro.forecasting.forecaster import CallCountForecaster
 from repro.metrics.capacity import capacity_diff
 from repro.provisioning.planner import CapacityPlan
@@ -206,13 +205,6 @@ class ServiceSimulator:
         if not trace.calls:
             return SelectorStats(), 0
         svc = self.service_config
-        if svc.kv_latency_median_ms is not None:
-            store = ShardedKVStore.with_latency(
-                n_shards=svc.n_shards, median_ms=svc.kv_latency_median_ms,
-                seed=svc.kv_latency_seed, ring_replicas=svc.ring_replicas)
-        else:
-            store = ShardedKVStore(n_shards=svc.n_shards,
-                                   ring_replicas=svc.ring_replicas)
         rescaler = None
         if self.planner_config.autoscale is not None and forecast is not None:
             rescaler = Autoscaler(
@@ -220,13 +212,22 @@ class ServiceSimulator:
                 config=self.planner_config.autoscale,
                 capacity=self.capacity, obs=self.controller.obs,
                 with_backup=self.with_backup)
-        engine = AdmissionEngine(
-            self.topology, plan, store=store, n_workers=svc.n_workers,
+        runtime = ServiceRuntime.from_config(
+            self.topology, plan, svc,
             freeze_window_s=self.freeze_window_s, obs=self.controller.obs,
             rescaler=rescaler)
-        report = engine.run(event_stream(trace, self.freeze_window_s))
+        if svc.executor == "process":
+            # The process engine serves columnar input only: promote the
+            # day's trace to one shared-memory-ready batch.
+            from repro.controller.columnar import build_event_batch
+            from repro.workload.columnar import ColumnarTrace
+            events = build_event_batch(ColumnarTrace.from_trace(trace),
+                                       self.freeze_window_s)
+        else:
+            events = event_stream(trace, self.freeze_window_s)
+        report = runtime.run(events)
         report.require_exact_accounting()
-        return engine.selector.stats, report.rescale_events
+        return runtime.selector.stats, report.rescale_events
 
     def _forecast_next_day(self, day: int) -> Demand:
         top = self.db.top_configs(self.top_config_fraction)

@@ -26,7 +26,7 @@ from repro.kvstore import InMemoryKVStore
 from repro.obs import Counters, EventLog, LatencyHistogram, Observability, \
     percentiles_ms
 from repro.packing import build_packing
-from repro.service import AdmissionEngine, ServiceReport
+from repro.service import ServiceReport, ServiceRuntime
 from repro.switchboard import PipelineResult, Switchboard, SwitchboardPipeline
 from repro.workload.arrivals import Demand, DemandModel
 from repro.workload.configs import generate_population
@@ -357,9 +357,9 @@ class TestClosedLoop:
         controller, capacity, plan = _provision(topo, base.scale(1.25))
         rescaler = Autoscaler(controller, base, plan,
                               config=AutoscaleConfig(), capacity=capacity)
-        engine = AdmissionEngine(topo, plan, freeze_window_s=FREEZE_S,
-                                 rescaler=rescaler)
-        report = engine.run(_events(base, seed=3))
+        runtime = ServiceRuntime.from_config(
+            topo, plan, freeze_window_s=FREEZE_S, rescaler=rescaler)
+        report = runtime.run(_events(base, seed=3))
         report.require_exact_accounting()
         assert report.rescale_events == 0
         assert rescaler.slots_added == 0
@@ -378,9 +378,9 @@ class TestClosedLoop:
         quiet = Demand(base.slots, base.configs, base.counts * 0.3)
         rescaler = Autoscaler(controller, base, plan,
                               config=AutoscaleConfig(), capacity=capacity)
-        engine = AdmissionEngine(topo, plan, freeze_window_s=FREEZE_S,
-                                 rescaler=rescaler)
-        report = engine.run(_events(quiet, seed=4))
+        runtime = ServiceRuntime.from_config(
+            topo, plan, freeze_window_s=FREEZE_S, rescaler=rescaler)
+        report = runtime.run(_events(quiet, seed=4))
         report.require_exact_accounting()
         metrics = rescaler.autoscale_metrics()
         assert metrics["scale_downs"] >= 1
@@ -399,9 +399,9 @@ class TestClosedLoop:
         config = AutoscaleConfig(cooldown_intervals=1)
         rescaler = Autoscaler(controller, base, plan, config=config,
                               capacity=capacity)
-        engine = AdmissionEngine(topo, plan, freeze_window_s=FREEZE_S,
-                                 rescaler=rescaler)
-        report = engine.run(_events(noisy, seed=7))
+        runtime = ServiceRuntime.from_config(
+            topo, plan, freeze_window_s=FREEZE_S, rescaler=rescaler)
+        report = runtime.run(_events(noisy, seed=7))
         report.require_exact_accounting()
         metrics = rescaler.autoscale_metrics()
         windows = metrics["windows"]
@@ -417,9 +417,9 @@ class TestClosedLoop:
         surprise = Demand(base.slots, base.configs, base.counts * 1.6)
         rescaler = Autoscaler(controller, base, plan,
                               config=AutoscaleConfig(), capacity=capacity)
-        engine = AdmissionEngine(topo, plan, freeze_window_s=FREEZE_S,
-                                 rescaler=rescaler)
-        report = engine.run(_events(surprise, seed=8))
+        runtime = ServiceRuntime.from_config(
+            topo, plan, freeze_window_s=FREEZE_S, rescaler=rescaler)
+        report = runtime.run(_events(surprise, seed=8))
         report.require_exact_accounting()
         assert report.rescale_events > 0
         assert report.autoscale["scale_ups"] >= 1

@@ -1,0 +1,256 @@
+"""Executor parity: the multiprocess engine against the thread oracle.
+
+The process executor is only correct if it is *invisible* in the
+outcomes: same seed, same plan, same load must yield identical call
+accounting, identical KV op counts, and byte-identical merged store
+state whether the day is served in-process or sharded over 2 or 4
+worker processes — including with a packing fleet ledger defragmenting
+between windows and with a closed-loop autoscaler rescaling mid-day
+across a worker barrier.  Also covers the ServiceRuntime construction
+API itself: executor selection, the object-stream rejection on the
+process path, the deprecation shim on direct engine wiring, and the
+versioned report schema.
+"""
+
+import json
+import warnings
+
+import pytest
+
+from repro.core.errors import SwitchboardDeprecationWarning, SwitchboardError
+from repro.autoscale import Autoscaler
+from repro.config import AutoscaleConfig, PackingConfig, PlannerConfig, \
+    ServiceConfig
+from repro.controller.columnar import build_event_batch
+from repro.core.types import make_slots
+from repro.packing import build_packing
+from repro.packing.workload import generate_packing_load
+from repro.service import (
+    AdmissionEngine,
+    LoadGenerator,
+    MultiprocessAdmissionEngine,
+    REPORT_SCHEMA_VERSION,
+    ServiceRuntime,
+)
+from repro.switchboard import Switchboard
+from repro.workload.arrivals import DemandModel
+from repro.workload.columnar import ColumnarTrace
+from repro.workload.configs import generate_population
+from repro.workload.diurnal import DiurnalModel
+from repro.workload.trace import TraceGenerator
+
+FREEZE_S = 300.0
+
+#: The accounting fields the executors must agree on exactly.
+PARITY_FIELDS = (
+    "events_total", "events_processed", "dropped_events", "joins",
+    "media_changes", "generated_calls", "admitted_calls", "migrated_calls",
+    "overflowed_calls", "unplanned_calls", "early_ended_calls",
+    "ended_calls", "unsettled_calls", "kv_op_count",
+)
+
+
+def assert_parity(oracle, candidate):
+    for field in PARITY_FIELDS:
+        assert getattr(candidate, field) == getattr(oracle, field), (
+            f"{field}: process={getattr(candidate, field)} "
+            f"!= oracle={getattr(oracle, field)}")
+
+
+@pytest.fixture(scope="module")
+def load(topology):
+    return LoadGenerator(topology, n_configs=40, calls_per_slot_at_peak=40.0,
+                         seed=7).generate(target_events=1500)
+
+
+@pytest.fixture(scope="module")
+def plan(topology, load):
+    controller = Switchboard(topology,
+                             config=PlannerConfig(max_link_scenarios=0))
+    capacity = controller.provision(load.demand, with_backup=False)
+    return controller.allocate(load.demand, capacity).plan
+
+
+def _serve(topology, plan, load, executor, n_workers,
+           kv_latency_median_ms=None):
+    config = ServiceConfig(n_shards=4, n_workers=n_workers,
+                           kv_latency_median_ms=kv_latency_median_ms,
+                           kv_latency_seed=5, executor=executor)
+    runtime = ServiceRuntime.from_config(topology, plan, config)
+    report = runtime.run(load)
+    report.require_exact_accounting()
+    return report, runtime.store_state()
+
+
+class TestExecutorParity:
+    @pytest.mark.parametrize("n_workers", [1, 2, 4])
+    def test_process_matches_oracle(self, topology, plan, load, n_workers):
+        """Same seed -> identical accounting, KV op counts, and
+        byte-identical merged store state at 1/2/4 processes."""
+        oracle, oracle_state = _serve(topology, plan, load, "thread", 1)
+        report, state = _serve(topology, plan, load, "process", n_workers)
+        assert_parity(oracle, report)
+        assert state == oracle_state
+        assert report.executor == "process"
+        assert oracle.executor == "thread"
+
+    def test_simulated_kv_latency_preserves_parity(self, topology, plan,
+                                                   load):
+        """The latency-simulating sharded store (the bench config) must
+        not perturb outcomes either."""
+        oracle, oracle_state = _serve(topology, plan, load, "thread", 1,
+                                      kv_latency_median_ms=0.05)
+        report, state = _serve(topology, plan, load, "process", 2,
+                               kv_latency_median_ms=0.05)
+        assert_parity(oracle, report)
+        assert state == oracle_state
+
+
+class TestFleetLedgerParity:
+    def _run(self, topology, executor, n_workers):
+        plan_load = generate_packing_load(n_calls=80, seed=7,
+                                          countries=["US"])
+        controller = Switchboard(topology,
+                                 config=PlannerConfig(max_link_scenarios=0))
+        capacity = controller.provision(plan_load.demand, with_backup=False)
+        plan = controller.allocate(plan_load.demand, capacity).plan
+        fleet = {dc: cores * 3.0 for dc, cores in capacity.cores.items()}
+        config = PackingConfig(policy="first_fit", utilization_target=0.7,
+                               defrag_interval_s=900.0,
+                               defrag_fill_threshold=0.6)
+        ledger, defragmenter = build_packing(
+            fleet, config, training_calls=plan_load.training_calls)
+        runtime = ServiceRuntime.from_config(
+            topology, plan, ServiceConfig(executor=executor,
+                                          n_workers=n_workers),
+            ledger=ledger, defragmenter=defragmenter,
+            defrag_interval_s=config.defrag_interval_s)
+        if executor == "process":
+            events = build_event_batch(
+                ColumnarTrace.from_trace(plan_load.trace),
+                plan_load.freeze_window_s)
+        else:
+            events = plan_load.events
+        report = runtime.run(events)
+        report.require_exact_accounting()
+        return report, runtime.store_state()
+
+    def test_defrag_round_parity(self, topology):
+        """A fleet ledger placing every call on a server, growing
+        post-freeze reservations via note_join, releasing at call end,
+        and defragmenting between windows — identical in both
+        executors, defrag moves included."""
+        oracle, oracle_state = self._run(topology, "thread", 1)
+        report, state = self._run(topology, "process", 2)
+        assert oracle.defrag_rounds > 0, "scenario must exercise defrag"
+        assert_parity(oracle, report)
+        assert state == oracle_state
+        assert report.defrag_rounds == oracle.defrag_rounds
+        assert report.defrag_migrated_calls == oracle.defrag_migrated_calls
+        for key in ("servers_used_peak", "placements", "releases",
+                    "placement_failures", "overload_events",
+                    "frag_slots_lost", "defrag_moves"):
+            assert report.packing[key] == oracle.packing[key], key
+
+
+class TestAutoscaleParity:
+    def _run(self, topology, executor, n_workers):
+        population = generate_population(topology.world, n_configs=6, seed=5)
+        model = DemandModel(topology.world, population, DiurnalModel(),
+                            calls_per_slot_at_peak=120.0)
+        base = model.expected(make_slots(6 * 3600.0, 1800.0))
+        controller = Switchboard(topology,
+                                 config=PlannerConfig(max_link_scenarios=0))
+        capacity = controller.provision(base, with_backup=False)
+        plan = controller.allocate(base, capacity).plan
+        surprise = base.scale(1.6)
+        rescaler = Autoscaler(controller, base, plan,
+                              config=AutoscaleConfig(), capacity=capacity)
+        runtime = ServiceRuntime.from_config(
+            topology, plan, ServiceConfig(executor=executor,
+                                          n_workers=n_workers),
+            freeze_window_s=FREEZE_S, rescaler=rescaler)
+        events = build_event_batch(
+            TraceGenerator(seed=8).generate_columnar(surprise), FREEZE_S)
+        report = runtime.run(events)
+        report.require_exact_accounting()
+        return report
+
+    def test_midday_rescale_crosses_worker_barrier(self, topology):
+        """A 1.6x demand surprise forces scale-ups mid-day; the rescale
+        decisions and the resulting accounting must be identical when
+        the windows are served by 2 worker processes."""
+        oracle = self._run(topology, "thread", 1)
+        report = self._run(topology, "process", 2)
+        assert oracle.rescale_events > 0, "scenario must rescale mid-day"
+        assert_parity(oracle, report)
+        assert report.rescale_events == oracle.rescale_events
+        assert report.autoscale["scale_ups"] == \
+            oracle.autoscale["scale_ups"]
+        assert report.autoscale["slots_added"] == \
+            oracle.autoscale["slots_added"]
+        assert report.autoscale["final_scale"] == \
+            oracle.autoscale["final_scale"]
+
+
+class TestServiceRuntimeAPI:
+    def test_executor_selection(self, topology, plan):
+        thread = ServiceRuntime.from_config(topology, plan)
+        process = ServiceRuntime.from_config(
+            topology, plan, ServiceConfig(executor="process"))
+        assert isinstance(thread.engine, AdmissionEngine)
+        assert isinstance(process.engine, MultiprocessAdmissionEngine)
+        assert thread.executor == "thread"
+        assert process.executor == "process"
+
+    def test_planner_config_carries_service_config(self, topology, plan):
+        config = PlannerConfig(max_link_scenarios=0,
+                               service=ServiceConfig(executor="process",
+                                                     n_workers=2))
+        runtime = ServiceRuntime.from_config(topology, plan, config)
+        assert isinstance(runtime.engine, MultiprocessAdmissionEngine)
+        assert runtime.engine.n_workers == 2
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(SwitchboardError, match="unknown service"):
+            ServiceConfig(executor="fiber")
+
+    def test_report_before_run_raises(self, topology, plan):
+        runtime = ServiceRuntime.from_config(topology, plan)
+        with pytest.raises(SwitchboardError, match="no report yet"):
+            runtime.report()
+
+    def test_process_executor_rejects_object_streams(self, topology, plan,
+                                                     load):
+        runtime = ServiceRuntime.from_config(
+            topology, plan, ServiceConfig(executor="process"))
+        with pytest.raises(SwitchboardError, match="columnar"):
+            runtime.engine.run(iter(load.events))
+
+    def test_direct_wiring_kwargs_deprecated(self, topology, plan):
+        with pytest.warns(SwitchboardDeprecationWarning,
+                          match="ServiceRuntime.from_config"):
+            AdmissionEngine(topology, plan, rescale_interval_s=60.0)
+
+    def test_runtime_path_does_not_warn(self, topology, plan):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", SwitchboardDeprecationWarning)
+            ServiceRuntime.from_config(topology, plan,
+                                       rescale_interval_s=60.0)
+
+
+class TestReportSchema:
+    def test_schema_version_and_stable_key_order(self, topology, plan, load):
+        report, _ = _serve(topology, plan, load, "process", 2)
+        dumped = report.to_dict()
+        assert dumped["schema_version"] == REPORT_SCHEMA_VERSION
+        assert next(iter(dumped)) == "schema_version"
+        keys = [k for k in dumped if k != "schema_version"]
+        assert keys == sorted(keys)
+        for key, value in dumped.items():
+            if isinstance(value, dict):
+                assert list(value) == sorted(value), key
+        # The artifact round-trips through JSON with the order intact.
+        again = json.loads(json.dumps(dumped))
+        assert list(again) == list(dumped)
+        assert dumped["executor"] == "process"

@@ -26,7 +26,7 @@ from repro.packing import (
 )
 from repro.packing.workload import generate_packing_load, media_mix
 from repro.prediction import peak_predictor_or_default
-from repro.service import AdmissionEngine
+from repro.service import AdmissionEngine, ServiceRuntime
 from repro.switchboard import Switchboard
 from repro.workload.media import MediaLoadModel
 
@@ -339,11 +339,11 @@ class TestEngineWithFleetLedger:
         ledger, defragmenter = build_packing(
             fleet, config, store=store,
             training_calls=load.training_calls)
-        engine = AdmissionEngine(
+        runtime = ServiceRuntime.from_config(
             topology, plan, store=store, ledger=ledger,
             defragmenter=defragmenter,
             defrag_interval_s=config.defrag_interval_s)
-        return engine.run(load.events)
+        return runtime.run(load.events)
 
     @pytest.mark.parametrize("policy", ["first_fit", "predictive"])
     def test_replay_accounting_exact(self, topology, packing_setup,
