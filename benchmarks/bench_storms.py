@@ -1,0 +1,231 @@
+"""Benchmark: vectorized storm overlays vs a per-call Python loop.
+
+The storm DSL's trace faces are built on the columnar overlay hooks
+(``replace`` / ``permute_calls`` / ``repeat_calls``) — array ops over
+the whole trace, never a per-event Python loop.  This bench pins both
+the *correctness* and the *point* of that choice:
+
+* a reference implementation applies the same deterministic overlays
+  (join compression + clock shift) one call at a time, slicing the CSR
+  participant layout in Python exactly like a naive port would;
+* the vectorized path must produce **identical arrays** (same calls,
+  same order, same offsets), and in full mode must be >=3x faster
+  (``--smoke`` only asserts it wins — tiny traces under-feed the
+  vectorization).
+
+A second section times the chaos harness end to end per named storm
+(the ``storms-smoke`` CI budget lives here as a report, not a floor).
+
+Runnable standalone (CI's storms-smoke job)::
+
+    python benchmarks/bench_storms.py --smoke --json out.json
+
+or under pytest-benchmark (``pytest benchmarks/bench_storms.py``).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+try:
+    from benchmarks.svc_cli import service_arg_parser, write_json_artifact
+except ImportError:  # standalone: python benchmarks/bench_storms.py
+    from svc_cli import service_arg_parser, write_json_artifact
+
+from repro.core.types import make_slots
+from repro.core.units import DEFAULT_SLOT_S
+from repro.storms import ClockShift, SynchronizedJoins, named_storms, run_storm
+from repro.storms.overlays import _horizon_s
+from repro.topology.builder import Topology
+from repro.workload.arrivals import DemandModel
+from repro.workload.columnar import ColumnarTrace
+from repro.workload.configs import generate_population
+from repro.workload.diurnal import DiurnalModel
+from repro.workload.trace import TraceGenerator
+
+SEED = 31
+
+
+def _build_trace(smoke: bool) -> ColumnarTrace:
+    topology = Topology.default()
+    n_configs = 20 if smoke else 60
+    calls_per_slot = 40.0 if smoke else 400.0
+    horizon_s = 21600.0 if smoke else 86400.0
+    population = generate_population(topology.world, n_configs=n_configs,
+                                     seed=SEED)
+    model = DemandModel(topology.world, population, DiurnalModel(),
+                        calls_per_slot_at_peak=calls_per_slot)
+    demand = model.sample(make_slots(horizon_s, DEFAULT_SLOT_S), seed=SEED)
+    return TraceGenerator(seed=SEED + 1).generate_columnar(demand)
+
+
+def _loop_reference(trace: ColumnarTrace, joins: SynchronizedJoins,
+                    shift: ClockShift) -> ColumnarTrace:
+    """The same two overlays, one call at a time in Python.
+
+    Semantically identical to the vectorized faces: compress each
+    windowed call's join offsets so the slowest joiner lands within
+    ``compress_to_s``, then shift every start modulo the horizon and
+    stably re-sort.  Every step slices the CSR layout per call — the
+    exact per-event cost profile the columnar hooks exist to avoid.
+    """
+    horizon = _horizon_s(trace.slots)
+    lo, hi = joins.window(horizon)
+    offsets = trace.part_offsets
+
+    new_join = trace.join_offset_s.copy()
+    for i in range(trace.n_calls):
+        if not (lo <= trace.start_s[i] < hi):
+            continue
+        row = slice(offsets[i], offsets[i + 1])
+        call_max = float(new_join[row].max())
+        if call_max > joins.compress_to_s:
+            new_join[row] = new_join[row] * (joins.compress_to_s / call_max)
+
+    shifted = [float((trace.start_s[i] + shift.shift_s) % horizon)
+               for i in range(trace.n_calls)]
+    order = sorted(range(trace.n_calls), key=lambda i: shifted[i])
+
+    starts, durs, uids = [], [], []
+    join_rows, country_rows, media_rows, index_rows = [], [], [], []
+    new_offsets = [0]
+    for i in order:
+        row = slice(offsets[i], offsets[i + 1])
+        starts.append(shifted[i])
+        durs.append(float(trace.duration_s[i]))
+        uids.append(int(trace.call_uid[i]))
+        join_rows.append(new_join[row])
+        country_rows.append(trace.country_code[row])
+        media_rows.append(trace.media_code[row])
+        index_rows.append(trace.part_index[row])
+        new_offsets.append(new_offsets[-1] + int(offsets[i + 1] - offsets[i]))
+
+    return trace.replace(
+        start_s=np.array(starts),
+        duration_s=np.array(durs),
+        call_uid=np.array(uids, dtype=np.int64),
+        part_offsets=np.array(new_offsets, dtype=np.int64),
+        join_offset_s=np.concatenate(join_rows),
+        country_code=np.concatenate(country_rows),
+        media_code=np.concatenate(media_rows),
+        part_index=np.concatenate(index_rows),
+    )
+
+
+def _bench_overlays(trace: ColumnarTrace, repeats: int = 3) -> dict:
+    """Time loop vs vectorized on identical deterministic overlays."""
+    horizon = _horizon_s(trace.slots)
+    joins = SynchronizedJoins(compress_to_s=45.0, start_s=0.25 * horizon,
+                              duration_s=0.5 * horizon)
+    shift = ClockShift(shift_s=-3600.0)
+    plan = joins.overlay(shift)
+
+    loop_s = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        loop_trace = _loop_reference(trace, joins, shift)
+        loop_s = min(loop_s, time.perf_counter() - t0)
+
+    vec_s = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        vec_trace = plan.apply_trace(trace, seed=SEED)
+        vec_s = min(vec_s, time.perf_counter() - t0)
+
+    # Identical output, not just statistically similar: same call order,
+    # same CSR layout, same compressed offsets.
+    assert np.array_equal(loop_trace.call_uid, vec_trace.call_uid)
+    assert np.array_equal(loop_trace.part_offsets, vec_trace.part_offsets)
+    assert np.allclose(loop_trace.start_s, vec_trace.start_s)
+    assert np.allclose(loop_trace.join_offset_s, vec_trace.join_offset_s)
+    assert np.array_equal(loop_trace.country_code, vec_trace.country_code)
+
+    return {
+        "n_calls": trace.n_calls,
+        "n_participants": int(trace.part_offsets[-1]),
+        "loop_s": round(loop_s, 4),
+        "vectorized_s": round(vec_s, 4),
+        "speedup": round(loop_s / vec_s, 2),
+    }
+
+
+def _bench_harness(seed: int = 29) -> dict:
+    """Wall time of the chaos harness per named storm (thread executor)."""
+    rows = {}
+    for name in named_storms():
+        t0 = time.perf_counter()
+        report = run_storm(name, executor="thread", seed=seed)
+        rows[name] = {
+            "wall_s": round(time.perf_counter() - t0, 3),
+            "generated_calls": report["generated_calls"],
+            "overflow_frac": report["overflow_frac"],
+            "ok": report["ok"],
+        }
+        assert report["ok"], f"storm {name} violated its invariants"
+    return rows
+
+
+def run_storms_bench(smoke: bool = False) -> dict:
+    trace = _build_trace(smoke)
+    overlays = _bench_overlays(trace)
+    harness = _bench_harness()
+
+    results = {
+        "mode": "smoke" if smoke else "full",
+        "overlays": overlays,
+        "harness": harness,
+    }
+    if smoke:
+        assert overlays["speedup"] > 1.0, (
+            f"vectorized overlays must win, got {overlays['speedup']}x")
+    else:
+        assert overlays["speedup"] >= 3.0, (
+            f"vectorized overlays must be >=3x, got {overlays['speedup']}x")
+    return results
+
+
+def test_storm_overlay_speedup(benchmark):
+    from benchmarks.conftest import run_once
+    results = run_once(benchmark, lambda: run_storms_bench(smoke=True))
+    benchmark.extra_info.update({
+        "overlay_speedup": results["overlays"]["speedup"],
+        "n_calls": results["overlays"]["n_calls"],
+    })
+    print("\n" + render(results))
+
+
+def render(results: dict) -> str:
+    ovl = results["overlays"]
+    lines = [
+        f"storm overlays ({results['mode']}): {ovl['n_calls']} calls, "
+        f"{ovl['n_participants']} participants",
+        f"  per-call loop: {ovl['loop_s']}s   vectorized: "
+        f"{ovl['vectorized_s']}s   -> {ovl['speedup']}x",
+        "  chaos harness (thread executor):",
+    ]
+    for name, row in results["harness"].items():
+        lines.append(
+            f"    {name:<34}{row['wall_s']:>7.2f}s  "
+            f"{row['generated_calls']:>6} calls  "
+            f"overflow {row['overflow_frac']:.1%}  "
+            f"{'ok' if row['ok'] else 'VIOLATED'}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = service_arg_parser(
+        "Vectorized storm overlays vs per-call loop + harness wall times.",
+        default_workers=1)
+    args = parser.parse_args(argv)
+    results = run_storms_bench(smoke=args.smoke)
+    print(render(results))
+    if args.json:
+        write_json_artifact(results, args.json)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,7 @@ module            reproduces
 ``app_aware``     §4.4: app-aware vs resource-log provisioning (surge)
 ``fig_packing``   server-level packing policies at matched quality
 ``fig_autoscale``  closed-loop autoscaling vs static plan (surprise)
+``fig_storms``    chaos harness over the named scenario storms
 ``threshold_sweep``  ablation: cost vs the 120 ms ACL threshold
 ``figdata``       CSV export of every plot-shaped experiment's series
 ================  =============================================
@@ -33,6 +34,7 @@ from repro.experiments import (  # noqa: F401
     fig10,
     fig_autoscale,
     fig_packing,
+    fig_storms,
     migration,
     prediction,
     predictive,
@@ -55,6 +57,7 @@ __all__ = [
     "fig10",
     "fig_autoscale",
     "fig_packing",
+    "fig_storms",
     "migration",
     "prediction",
     "predictive",

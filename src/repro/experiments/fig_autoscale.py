@@ -29,17 +29,16 @@ import json
 import sys
 from typing import Dict, Optional, Tuple
 
-import numpy as np
-
 from repro.autoscale import Autoscaler
 from repro.config import AutoscaleConfig, PlannerConfig
 from repro.controller.columnar import build_event_batch
 from repro.core.types import make_slots
 from repro.core.units import DEFAULT_SLOT_S
 from repro.service import ServiceRuntime
+from repro.storms import FlashCrowd, StormPlan
 from repro.switchboard import Switchboard
 from repro.topology.builder import Topology
-from repro.workload.arrivals import Demand, DemandModel
+from repro.workload.arrivals import DemandModel
 from repro.workload.configs import generate_population
 from repro.workload.diurnal import DiurnalModel
 from repro.workload.trace import TraceGenerator
@@ -47,17 +46,19 @@ from repro.workload.trace import TraceGenerator
 FREEZE_WINDOW_S = 300.0
 
 
-def _surprise_demand(base: Demand, demand_surprise: float,
-                     flash_slots: Tuple[int, ...], flash_factor: float,
-                     seed: int) -> Demand:
-    """The day that actually happens: base x surprise, a flash-crowd
-    spike on ``flash_slots``, realized as a Poisson draw."""
-    expected = base.counts * demand_surprise
+def _surprise_storm(demand_surprise: float, flash_slots: Tuple[int, ...],
+                    flash_factor: float,
+                    slot_s: float = DEFAULT_SLOT_S) -> StormPlan:
+    """The day that actually happens, as ``repro.storms`` overlays: an
+    all-day surprise backdrop with a flash crowd layered on
+    ``flash_slots`` (realization is one Poisson draw over the stormed
+    expectation, via :meth:`StormPlan.realize`)."""
+    plan = FlashCrowd(factor=demand_surprise).plan()
     for slot in flash_slots:
-        expected[slot] *= flash_factor
-    rng = np.random.default_rng(seed)
-    return Demand(base.slots, base.configs,
-                  rng.poisson(expected).astype(float))
+        plan = plan.overlay(FlashCrowd(factor=flash_factor,
+                                       start_s=slot * slot_s,
+                                       duration_s=slot_s))
+    return plan.named("demand-surprise")
 
 
 def _serve(topology: Topology, plan, events,
@@ -97,8 +98,8 @@ def run(n_configs: int = 12, calls_per_slot: float = 150.0, seed: int = 23,
     # cushion.  Both arms are provisioned from this, and the autoscaler
     # measures demand ratios against it.
     planning = base.scale(cushion)
-    actual = _surprise_demand(base, demand_surprise, flash_slots,
-                              flash_factor, seed + 1)
+    storm = _surprise_storm(demand_surprise, flash_slots, flash_factor)
+    actual = storm.realize(base, seed + 1)
     trace = TraceGenerator(seed=seed + 2).generate_columnar(actual)
     events = build_event_batch(trace, FREEZE_WINDOW_S)
 

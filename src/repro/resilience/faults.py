@@ -43,6 +43,22 @@ _TOPOLOGY_FAULTS = ("dc_failure", "link_failure")
 _KINDS = _SOLVE_FAULTS + ("worker_death",) + _TOPOLOGY_FAULTS
 
 
+def _spec_sort_key(spec: "FaultSpec"):
+    """The canonical total order for composed plans.
+
+    ``(at_day, kind, target)`` with day-less (solve/worker) faults
+    first: two plans that schedule faults on the same day merge to the
+    same sequence regardless of insertion order, so which same-day
+    fault a consumer sees first no longer depends on builder-call
+    ordering.
+    """
+    return (
+        spec.at_day if spec.at_day is not None else -1,
+        spec.kind,
+        spec.dc or spec.link or spec.target or "",
+    )
+
+
 @dataclass
 class FaultSpec:
     """One injectable fault with a consumption budget."""
@@ -108,6 +124,22 @@ class FaultPlan:
                                      at_day=at_day))
         return self
 
+    # -- composition ---------------------------------------------------
+    def compose(self, *others: "FaultPlan") -> "FaultPlan":
+        """Merge plans into a new one with a deterministic fault order.
+
+        Specs are ordered by ``(at_day, kind, target)`` — not by
+        insertion order — so composing ``A.compose(B)`` and
+        ``B.compose(A)`` yields identical plans and same-day faults fire
+        in a well-defined sequence.  The sort is stable, so duplicate
+        keys keep their relative (self-before-others) order.  Inputs are
+        left untouched; budgets are copied, not shared.
+        """
+        specs: List[FaultSpec] = list(self.pending())
+        for other in others:
+            specs.extend(other.pending())
+        return FaultPlan(sorted(specs, key=_spec_sort_key))
+
     # -- consumption ---------------------------------------------------
     def take(self, kind: str, label: str = "") -> Optional[FaultSpec]:
         """Consume one budget unit of the first matching spec, if any."""
@@ -169,6 +201,25 @@ class FaultPlan:
                     del self._specs[i]
                     return spec
         return None
+
+    def take_topology_faults(self, day: int) -> List[FaultSpec]:
+        """All DC/link failures scheduled for this day, consumed at once.
+
+        Returned in the canonical ``(kind, target)`` order regardless of
+        how the plan was built — a storm that cuts a link *and* loses a
+        DC on the same day hands both to the allocator in one
+        deterministic batch (``take_topology_fault`` only ever surfaced
+        the first by insertion order).
+        """
+        with self._lock:
+            matching = [spec for spec in self._specs
+                        if spec.kind in _TOPOLOGY_FAULTS and spec.at_day == day]
+            if matching:
+                self._specs = [
+                    spec for spec in self._specs
+                    if not (spec.kind in _TOPOLOGY_FAULTS
+                            and spec.at_day == day)]
+            return sorted(matching, key=_spec_sort_key)
 
     def pending(self) -> List[FaultSpec]:
         with self._lock:

@@ -1,0 +1,49 @@
+"""Scenario storms: a composable DSL + chaos harness for correlated
+workload/fault stress.
+
+The DSL (:mod:`repro.storms.overlays`) layers flash crowds, synchronized
+joins, clock shifts, recurring-series surges, and DC/link outages onto
+one shared timeline via ``Storm.overlay()`` / ``Storm.then()``; every
+overlay is vectorized on the columnar data plane.  The registry
+(:mod:`repro.storms.catalog`) names ~6 reproducible storms with declared
+invariants, and the chaos harness (:mod:`repro.storms.harness`) serves
+each one through the full forecast → provision → (fault rebuild) →
+admit → autoscale stack on either service executor, asserting exact
+accounting, bounded overflow, drain safety, and settle-tail ceilings.
+"""
+
+from repro.storms.catalog import StormSpec, get_storm, named_storms
+from repro.storms.harness import (
+    STORM_REPORT_SCHEMA_VERSION,
+    check_storm_report,
+    run_named_storms,
+    run_storm,
+)
+from repro.storms.overlays import (
+    ClockShift,
+    FlashCrowd,
+    LinkCut,
+    RecurringSeries,
+    RegionalOutage,
+    Storm,
+    StormPlan,
+    SynchronizedJoins,
+)
+
+__all__ = [
+    "STORM_REPORT_SCHEMA_VERSION",
+    "ClockShift",
+    "FlashCrowd",
+    "LinkCut",
+    "RecurringSeries",
+    "RegionalOutage",
+    "Storm",
+    "StormPlan",
+    "StormSpec",
+    "SynchronizedJoins",
+    "check_storm_report",
+    "get_storm",
+    "named_storms",
+    "run_named_storms",
+    "run_storm",
+]

@@ -1,0 +1,180 @@
+"""The seeded registry of named storms and their declared invariants.
+
+Each entry is a reproducible, named :class:`~repro.storms.StormPlan` on
+the harness's canonical one-day world (the paper's 3-DC Asia-Pacific
+running example, ``Topology.small()``: dc-tokyo / dc-hongkong /
+dc-pune, 48 half-hour slots) plus the invariants the chaos harness
+asserts when serving it:
+
+* **exact accounting** — always (admitted + migrated + overflowed ==
+  generated, nothing dropped);
+* **bounded overflow** — overflowed/generated must stay under the
+  storm's declared ``overflow_ceiling``;
+* **drain safety** — any autoscaler scale-down through the storm must
+  report ``drain_shortfall == 0``;
+* **settle tail** — the p99 settle latency must stay under
+  ``settle_p99_ceiling_ms``.
+
+Ceilings are *declared per storm* because storms differ in kind: a
+predictable recurring-series surge must serve nearly clean, while a
+flash crowd colliding with a DC loss is allowed real overflow — the
+invariant is that it stays bounded and accounted, not that it never
+happens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+from repro.core.errors import SwitchboardError
+from repro.storms.overlays import (
+    ClockShift,
+    FlashCrowd,
+    LinkCut,
+    RecurringSeries,
+    RegionalOutage,
+    StormPlan,
+    SynchronizedJoins,
+)
+
+__all__ = ["StormSpec", "get_storm", "named_storms"]
+
+#: One demand slot on the canonical grid.
+_SLOT_S = 1800.0
+
+#: The APAC morning ramp (JP peaks ~01:40 UTC, IN ~05:10 UTC): windows
+#: placed here land on the loaded part of the diurnal curve.
+_PEAK_RAMP_S = 5 * _SLOT_S
+
+
+@dataclass(frozen=True)
+class StormSpec:
+    """A named storm: how to build it, and what must hold serving it."""
+
+    name: str
+    description: str
+    build: Callable[[], StormPlan] = field(repr=False)
+    #: Declared ceiling on overflowed/generated calls.
+    overflow_ceiling: float = 0.10
+    #: Declared ceiling on the p99 settle latency (simulated ms).
+    settle_p99_ceiling_ms: float = 60.0
+    #: Whether the harness binds the closed-loop autoscaler.  Fault
+    #: storms serve their failure-scenario plan statically — a mid-storm
+    #: re-provision would quietly resurrect the failed DC.
+    autoscale: bool = True
+
+
+def _viral_megameeting_during_dc_loss() -> StormPlan:
+    return (
+        FlashCrowd(factor=3.0, start_s=_PEAK_RAMP_S, duration_s=3600.0)
+        .overlay(RegionalOutage(dc="dc-tokyo", start_s=_PEAK_RAMP_S))
+        .named("viral-megameeting-during-dc-loss")
+    )
+
+
+def _dst_spring_forward() -> StormPlan:
+    return ClockShift(shift_s=-3600.0).plan().named("dst-spring-forward")
+
+
+def _national_event_sync_join() -> StormPlan:
+    return (
+        FlashCrowd(factor=2.0, start_s=_PEAK_RAMP_S, duration_s=3600.0)
+        .overlay(SynchronizedJoins(compress_to_s=45.0, start_s=_PEAK_RAMP_S,
+                                   duration_s=3600.0))
+        .named("national-event-sync-join")
+    )
+
+
+def _recurring_series_surge() -> StormPlan:
+    return (
+        RecurringSeries(boost=1.6, top_k=3)
+        .plan().named("recurring-series-surge")
+    )
+
+
+def _flash_crowd_cascade() -> StormPlan:
+    return (
+        FlashCrowd(factor=2.5, start_s=_PEAK_RAMP_S, duration_s=3600.0)
+        .then(FlashCrowd(factor=2.0, duration_s=3600.0))
+        .named("flash-crowd-cascade")
+    )
+
+
+def _link_cut_under_flash() -> StormPlan:
+    return (
+        FlashCrowd(factor=2.0, start_s=_PEAK_RAMP_S, duration_s=3600.0)
+        .overlay(LinkCut(link="JP--dc-tokyo", start_s=_PEAK_RAMP_S))
+        .named("link-cut-under-flash")
+    )
+
+
+_REGISTRY: Dict[str, StormSpec] = {
+    spec.name: spec for spec in (
+        StormSpec(
+            name="viral-megameeting-during-dc-loss",
+            description="3x flash crowd on the peak ramp while dc-tokyo "
+                        "is down: the surviving DCs absorb both the "
+                        "displaced and the surged calls",
+            build=_viral_megameeting_during_dc_loss,
+            overflow_ceiling=0.35,
+            autoscale=False,
+        ),
+        StormSpec(
+            name="dst-spring-forward",
+            description="daylight saving moves every diurnal peak one "
+                        "hour earlier than the plan expects",
+            build=_dst_spring_forward,
+            overflow_ceiling=0.20,
+        ),
+        StormSpec(
+            name="national-event-sync-join",
+            description="country-scale event: 2x demand with joins "
+                        "compressed to 45s, so freeze-window configs "
+                        "resolve against a synchronized burst",
+            build=_national_event_sync_join,
+            overflow_ceiling=0.25,
+        ),
+        StormSpec(
+            name="recurring-series-surge",
+            description="the top recurring-series configs run 1.6x all "
+                        "day — the predictable storm (paper §8); must "
+                        "serve nearly clean",
+            build=_recurring_series_surge,
+            overflow_ceiling=0.15,
+        ),
+        StormSpec(
+            name="flash-crowd-cascade",
+            description="a 2.5x surge rolling straight into a 2x "
+                        "aftershock the next hour (then-composition)",
+            build=_flash_crowd_cascade,
+            overflow_ceiling=0.30,
+        ),
+        StormSpec(
+            name="link-cut-under-flash",
+            description="the JP--dc-tokyo WAN link is cut during a 2x "
+                        "flash crowd; placement routes around the cut",
+            build=_link_cut_under_flash,
+            overflow_ceiling=0.30,
+            autoscale=False,
+        ),
+    )
+}
+
+
+def named_storms() -> Tuple[str, ...]:
+    """Every registered storm name, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_storm(name: str) -> StormSpec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise SwitchboardError(
+            f"unknown storm {name!r}; known: {', '.join(named_storms())}"
+        ) from None
+
+
+def all_specs() -> List[StormSpec]:
+    return [_REGISTRY[name] for name in named_storms()]

@@ -445,6 +445,128 @@ class ColumnarTrace:
         return float(matches.mean())
 
     # ------------------------------------------------------------------
+    # overlay hooks (the repro.storms substrate)
+    # ------------------------------------------------------------------
+    def replace(self, **arrays) -> "ColumnarTrace":
+        """A copy of this trace with some arrays/fields replaced.
+
+        The storm overlays transform traces through this hook: the copy
+        re-validates CSR consistency and starts with fresh caches, so a
+        transformed trace never leaks the original's config tables or
+        id caches.  Unnamed fields carry over (overrides are copied).
+        """
+        kwargs = dict(
+            start_s=self.start_s, duration_s=self.duration_s,
+            call_uid=self.call_uid, part_offsets=self.part_offsets,
+            join_offset_s=self.join_offset_s, country_code=self.country_code,
+            media_code=self.media_code, part_index=self.part_index,
+            countries=self.countries, slots=self.slots,
+            call_id_overrides=dict(self.call_id_overrides),
+            part_id_overrides=dict(self.part_id_overrides),
+        )
+        unknown = set(arrays) - set(kwargs)
+        if unknown:
+            raise WorkloadError(f"unknown trace fields: {sorted(unknown)}")
+        kwargs.update(arrays)
+        return ColumnarTrace(**kwargs)
+
+    def permute_calls(self, perm: np.ndarray) -> "ColumnarTrace":
+        """Reorder calls by ``perm`` (one CSR gather, no Python loops).
+
+        ``perm[k]`` is the old index of the call that lands at new index
+        ``k``; id overrides are remapped through the same permutation.
+        Overlays that move calls in time (e.g. ``ClockShift``) use this
+        to restore the start-sorted invariant.
+        """
+        perm = np.asarray(perm, dtype=np.int64)
+        if perm.shape != (self.n_calls,):
+            raise WorkloadError(
+                f"permutation length {perm.shape} != n_calls {self.n_calls}")
+        if self.n_calls == 0:
+            return self.replace()
+        lengths = np.diff(self.part_offsets)
+        new_lengths = lengths[perm]
+        new_offsets = np.concatenate(
+            [[0], np.cumsum(new_lengths)]).astype(np.int64)
+        gather = (np.repeat(self.part_offsets[:-1][perm], new_lengths)
+                  + np.arange(new_offsets[-1], dtype=np.int64)
+                  - np.repeat(new_offsets[:-1], new_lengths))
+        inverse = np.empty(self.n_calls, dtype=np.int64)
+        inverse[perm] = np.arange(self.n_calls)
+        pos_map = np.empty(self.n_participants, dtype=np.int64)
+        pos_map[gather] = np.arange(self.n_participants)
+        return self.replace(
+            start_s=self.start_s[perm], duration_s=self.duration_s[perm],
+            call_uid=self.call_uid[perm], part_offsets=new_offsets,
+            join_offset_s=self.join_offset_s[gather],
+            country_code=self.country_code[gather],
+            media_code=self.media_code[gather],
+            part_index=self.part_index[gather],
+            call_id_overrides={int(inverse[i]): v
+                               for i, v in self.call_id_overrides.items()},
+            part_id_overrides={int(pos_map[p]): v
+                               for p, v in self.part_id_overrides.items()},
+        )
+
+    def repeat_calls(self, repeats: np.ndarray) -> "ColumnarTrace":
+        """Call ``i`` appears ``repeats[i]`` times (0 drops it).
+
+        The first surviving copy keeps the call's uid and any id
+        overrides; extra copies are new calls and get fresh canonical
+        uids (allocated sequentially after the trace's current maximum)
+        so ids stay unique.  Participant arrays are replicated with one
+        CSR gather.  Repeats preserve start order, so a start-sorted
+        trace stays start-sorted.
+        """
+        reps = np.asarray(repeats, dtype=np.int64)
+        if reps.shape != (self.n_calls,):
+            raise WorkloadError(
+                f"repeats length {reps.shape} != n_calls {self.n_calls}")
+        if (reps < 0).any():
+            raise WorkloadError("repeats must be non-negative")
+        if self.n_calls == 0 or (reps == 1).all():
+            return self.replace()
+        src = np.repeat(np.arange(self.n_calls, dtype=np.int64), reps)
+        prefix = np.concatenate([[0], np.cumsum(reps)]).astype(np.int64)
+        occurrence = np.arange(src.shape[0], dtype=np.int64) - prefix[src]
+        lengths = np.diff(self.part_offsets)
+        new_lengths = lengths[src]
+        new_offsets = np.concatenate(
+            [[0], np.cumsum(new_lengths)]).astype(np.int64)
+        gather = (np.repeat(self.part_offsets[:-1][src], new_lengths)
+                  + np.arange(new_offsets[-1], dtype=np.int64)
+                  - np.repeat(new_offsets[:-1], new_lengths))
+
+        uid = self.call_uid[src].copy()
+        extra = occurrence > 0
+        n_extra = int(extra.sum())
+        if n_extra:
+            base = int(self.call_uid.max(initial=-1)) + 1
+            uid[extra] = base + np.arange(n_extra, dtype=np.int64)
+
+        call_over = {int(prefix[i]): v
+                     for i, v in self.call_id_overrides.items()
+                     if reps[i] > 0}
+        part_over = {}
+        if self.part_id_overrides:
+            # New row of the first copy of call c, participant offset d:
+            # new_offsets[prefix[c]] + d.
+            for p, v in self.part_id_overrides.items():
+                owner = int(self.participant_call()[p])
+                if reps[owner] > 0:
+                    delta = p - int(self.part_offsets[owner])
+                    part_over[int(new_offsets[prefix[owner]]) + delta] = v
+        return self.replace(
+            start_s=self.start_s[src], duration_s=self.duration_s[src],
+            call_uid=uid, part_offsets=new_offsets,
+            join_offset_s=self.join_offset_s[gather],
+            country_code=self.country_code[gather],
+            media_code=self.media_code[gather],
+            part_index=self.part_index[gather],
+            call_id_overrides=call_over, part_id_overrides=part_over,
+        )
+
+    # ------------------------------------------------------------------
     # chunking
     # ------------------------------------------------------------------
     def slice_calls(self, start: int, stop: int) -> "ColumnarTrace":
