@@ -18,8 +18,10 @@ end-to-end scenarios.
 from repro.core.errors import SwitchboardDeprecationWarning, SwitchboardError
 from repro.core.types import Call, CallConfig, MediaType
 from repro.autoscale import Autoscaler
-from repro.config import AutoscaleConfig, PlannerConfig, ServiceConfig
+from repro.config import (AutoscaleConfig, MigrationConfig, PlannerConfig,
+                          ServiceConfig)
 from repro.kvstore import ShardedKVStore
+from repro.migrate import MigrationExecutor, MigrationPlanner
 from repro.obs import Observability
 from repro.resilience import FaultPlan, SolveSupervisor
 from repro.service import AdmissionEngine, LoadGenerator, ServiceReport
@@ -39,6 +41,9 @@ __all__ = [
     "FaultPlan",
     "LoadGenerator",
     "MediaType",
+    "MigrationConfig",
+    "MigrationExecutor",
+    "MigrationPlanner",
     "Observability",
     "PipelineResult",
     "PlannerConfig",

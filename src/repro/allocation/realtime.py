@@ -35,7 +35,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.core.errors import CapacityError
+from repro.core.errors import CapacityError, TopologyError
 from repro.core.types import Call, CallConfig
 from repro.core.units import DEFAULT_FREEZE_WINDOW_S
 from repro.allocation.plan import AllocationPlan
@@ -293,6 +293,16 @@ class RealTimeSelector:
         self.ledger: SlotLedger = (ledger if ledger is not None
                                    else LocalSlotLedger.from_plan(plan))
         self.stats = SelectorStats()
+        #: Live in-flight call registry (``repro.migrate.CallRegistry``);
+        #: when set, every settle is reported so a drain can find the
+        #: calls currently hosted on a DC.  ``None`` = no live migration.
+        self.registry = None
+        #: DCs currently down/draining.  The set object is *shared* with
+        #: the :class:`~repro.migrate.MigrationExecutor` that installed
+        #: it — membership changes apply to subsequent settles without
+        #: re-wiring.  A down DC is skipped in the preference walk, and
+        #: fallback/overflow placements are redirected off it.
+        self.down_dcs = None
 
     # ------------------------------------------------------------------
     # the two decision points of §5.4
@@ -308,12 +318,16 @@ class RealTimeSelector:
         """
         config = call.config(self.freeze_window_s)
         slot_index = self.plan.slot_index_of(call.start_s)
+        down = self.down_dcs if self.down_dcs else ()
         cell = self.ledger.snapshot(slot_index, config)
         if cell is None:
             # Unanticipated config: closest DC to the majority (§5.4 b).
-            return self.topology.closest_dc(config.majority_country), False, False
+            dc = self.topology.closest_dc(config.majority_country)
+            if dc in down:
+                dc = self._failover_dc(config, down, dc)
+            return dc, False, False
 
-        if (cell.get(initial_dc, 0) > 0
+        if (initial_dc not in down and cell.get(initial_dc, 0) > 0
                 and self.ledger.try_debit(slot_index, config, initial_dc,
                                           call_id=call.call_id)):
             return initial_dc, True, False
@@ -323,7 +337,7 @@ class RealTimeSelector:
         # so walk the preference order until a debit lands.
         open_dcs = sorted(
             (dc for dc, slots in cell.items()
-             if slots > 0 and dc != initial_dc),
+             if slots > 0 and dc != initial_dc and dc not in down),
             key=lambda dc: (self.topology.acl_ms(dc, config), dc),
         )
         for dc in open_dcs:
@@ -332,8 +346,19 @@ class RealTimeSelector:
                 return dc, True, False
 
         # Slot exhaustion: more calls of this config arrived than planned.
-        # Stay at the initial DC and count the overflow.
+        # Stay at the initial DC and count the overflow — unless that DC
+        # is down, in which case overflow is redirected to the best live
+        # DC (a served-but-off-plan placement, still counted overflow).
+        if initial_dc in down:
+            return self._failover_dc(config, down, initial_dc), True, True
         return initial_dc, True, True
+
+    def _failover_dc(self, config: CallConfig, down, fallback: str) -> str:
+        """The best live DC when the natural choice is down."""
+        try:
+            return self.topology.best_dc(config, exclude=tuple(sorted(down)))
+        except TopologyError:
+            return fallback
 
     def settle(self, call: Call, initial_dc: str) -> SelectionOutcome:
         """Reconcile one call against the plan and record its outcome."""
@@ -341,6 +366,12 @@ class RealTimeSelector:
         migrated = final != initial_dc
         acl = self.topology.acl_ms(final, call.config())
         self.stats.record(acl, migrated, planned, overflowed)
+        if self.registry is not None:
+            self.registry.on_settle(
+                call_id=call.call_id,
+                slot_index=self.plan.slot_index_of(call.start_s),
+                config=call.config(self.freeze_window_s),
+                dc=final, planned=planned, overflowed=overflowed)
         return SelectionOutcome(
             call_id=call.call_id,
             initial_dc=initial_dc,

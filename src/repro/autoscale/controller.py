@@ -72,7 +72,7 @@ class Autoscaler:
     def __init__(self, controller, forecast: Demand, plan: AllocationPlan,
                  config: Optional[AutoscaleConfig] = None,
                  capacity=None, obs: Optional[Observability] = None,
-                 with_backup: bool = False):
+                 with_backup: bool = False, migrator=None):
         if forecast.n_slots == 0:
             raise SwitchboardError("autoscaler needs a non-empty forecast")
         self.controller = controller
@@ -80,6 +80,11 @@ class Autoscaler:
         self.config = config or AutoscaleConfig()
         self.obs = obs
         self.with_backup = with_backup
+        #: Optional :class:`~repro.migrate.MigrationExecutor`: scale-down
+        #: slots still held by settled calls are handed over as deferred
+        #: cell drains (the calls move out, the vacated slots are never
+        #: credited back) instead of counting as shortfall.
+        self.migrator = migrator
         self.policy = AutoscalePolicy(self.config)
 
         slot_starts = np.array([s.start_s for s in forecast.slots],
@@ -106,6 +111,8 @@ class Autoscaler:
         #: Slots a scale-down wanted to drain but found settled (debited)
         #: — nonzero would mean a drain touched live capacity.
         self.drain_shortfall = 0
+        #: Held slots handed to the migrator as deferred cell drains.
+        self.drains_deferred = 0
         self.max_degradation_level = 0
 
         self._engine = None
@@ -196,7 +203,7 @@ class Autoscaler:
             target[(rel + k, config)] = cell
 
         ledger = self._engine.ledger if self._engine is not None else None
-        added = drained = shortfall = 0
+        added = drained = shortfall = deferred = 0
         keys = set(target) | {key for key in self.live_cells if key[0] >= k}
         for key in sorted(keys, key=lambda kc: (kc[0], repr(kc[1]))):
             slot_index, config = key
@@ -215,9 +222,20 @@ class Autoscaler:
                                                   dc_id, -delta)
                     else:
                         got = -delta
-                    live[dc_id] = live.get(dc_id, 0) - got
+                    miss = (-delta) - got
+                    handed = 0
+                    if miss > 0 and self.migrator is not None:
+                        # The held slots drain through a live move at the
+                        # next migration window: the calls relocate and
+                        # the vacated source slots are never credited —
+                        # the drain completes without touching a call.
+                        self.migrator.request_cell_drain(
+                            slot_index, config, dc_id, miss)
+                        handed, miss = miss, 0
+                    live[dc_id] = live.get(dc_id, 0) - got - handed
                     drained += got
-                    shortfall += (-delta) - got
+                    deferred += handed
+                    shortfall += miss
             live = {dc: n for dc, n in live.items() if n > 0}
             if live:
                 self.live_cells[key] = live
@@ -232,6 +250,7 @@ class Autoscaler:
         self.slots_added += added
         self.slots_drained += drained
         self.drain_shortfall += shortfall
+        self.drains_deferred += deferred
         if self.obs is not None:
             self.obs.record(
                 "autoscale.rescale",
@@ -282,6 +301,7 @@ class Autoscaler:
             "slots_added": self.slots_added,
             "slots_drained": self.slots_drained,
             "drain_shortfall": self.drain_shortfall,
+            "drains_deferred": self.drains_deferred,
             "capacity_core_hours": round(self.capacity_core_hours(), 3),
             "max_degradation_level": self.max_degradation_level,
             "decisions": [d.to_dict() for d in self.decisions],

@@ -233,6 +233,36 @@ class AutoscaleConfig:
 
 
 @dataclass(frozen=True)
+class MigrationConfig:
+    """Knobs of live cross-DC call migration (``repro.migrate``).
+
+    * ``interval_s`` — the migration batch window: the executor drains
+      affected calls at this cadence on the engine's window barrier
+      (the same quiescent point defrag and rescale use).
+    * ``max_moves_per_window`` — move budget per batch window; bounding
+      the batch keeps a drain from monopolizing the barrier.
+    * ``disruption_ceiling`` — declared invariant for drills: the
+      disrupted/generated fraction a DC-loss experiment may not exceed.
+    """
+
+    interval_s: float = 900.0
+    max_moves_per_window: int = 64
+    disruption_ceiling: float = 0.25
+
+    def __post_init__(self):
+        if self.interval_s <= 0:
+            raise SwitchboardError("interval_s must be positive")
+        if self.max_moves_per_window < 1:
+            raise SwitchboardError("max_moves_per_window must be >= 1")
+        if not 0 <= self.disruption_ceiling <= 1:
+            raise SwitchboardError("disruption_ceiling must be in [0, 1]")
+
+    def but(self, **overrides: Any) -> "MigrationConfig":
+        """A copy with the given fields replaced (frozen-friendly)."""
+        return dataclasses.replace(self, **overrides)
+
+
+@dataclass(frozen=True)
 class PlannerConfig:
     """Every provisioning/allocation/resilience knob in one frozen value.
 

@@ -1,0 +1,35 @@
+"""``repro.migrate`` — live cross-DC call migration and drain.
+
+On a DC failure or drain order (from a
+:class:`~repro.resilience.faults.FaultPlan` topology fault or an
+autoscale scale-down), the :class:`MigrationPlanner` computes backup
+placements through the existing allocation plan + packing policies and
+the :class:`MigrationExecutor` applies the moves through the ledgers —
+destination debited before source credited, bounded moves per batch
+window, every infeasible call recorded as disrupted — on both service
+executors via the window-barrier hook defrag and rescale already use.
+
+Quick start::
+
+    from repro import MigrationExecutor, ServiceConfig
+    from repro.service import ServiceRuntime
+
+    migrator = MigrationExecutor()
+    migrator.order_drain("dc-tokyo", at_s=9000.0, until_s=14400.0)
+    runtime = ServiceRuntime.from_config(topology, plan, ServiceConfig(),
+                                         migrator=migrator)
+    report = runtime.run(events)
+    report.migration          # the executor's metrics block
+"""
+
+from repro.migrate.executor import DrainOrder, MigrationExecutor
+from repro.migrate.planner import MigrationPlanner
+from repro.migrate.registry import CallRegistry, LiveCall
+
+__all__ = [
+    "CallRegistry",
+    "DrainOrder",
+    "LiveCall",
+    "MigrationExecutor",
+    "MigrationPlanner",
+]

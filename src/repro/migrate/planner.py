@@ -1,0 +1,62 @@
+"""Backup-placement planning for live moves.
+
+Given a live call and the set of DCs currently down/draining, the
+planner produces the ordered list of candidate destinations the
+executor will try.  The order is the selector's own §5.4 preference —
+lowest ACL first, DC id as the tie-break — restricted to DCs the
+allocation plan holds open slots in for the call's cell.  Feasibility
+is *not* decided here: the executor's ledger debit is the only
+authority (a candidate can vanish between snapshot and debit), exactly
+like the selector's preference walk.
+
+Calls the plan never anticipated (§5.4 fallback placements hold no
+slots) get the pure topology answer: the best live DC for the config.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.allocation.realtime import SlotLedger
+from repro.core.errors import TopologyError
+from repro.migrate.registry import LiveCall
+from repro.topology.builder import Topology
+
+__all__ = ["MigrationPlanner"]
+
+
+class MigrationPlanner:
+    """Computes candidate destinations through plan + topology."""
+
+    def __init__(self, topology: Topology, ledger: SlotLedger):
+        self.topology = topology
+        self.ledger = ledger
+
+    def destinations(self, call: LiveCall,
+                     down: Iterable[str]) -> List[str]:
+        """ACL-ordered candidate DCs with open plan slots for the call.
+
+        Excludes the call's current DC and every down DC.  Empty means
+        the plan has nowhere to put the call — the executor may still
+        fall back (for calls holding no debit) or record disruption.
+        """
+        excluded = set(down)
+        excluded.add(call.dc)
+        cell = self.ledger.snapshot(call.slot_index, call.config)
+        if cell is None:
+            return []
+        return sorted(
+            (dc for dc, slots in cell.items()
+             if slots > 0 and dc not in excluded),
+            key=lambda dc: (self.topology.acl_ms(dc, call.config), dc))
+
+    def fallback_dc(self, call: LiveCall,
+                    down: Iterable[str]) -> Optional[str]:
+        """The best live DC ignoring the plan (unplanned/last resort)."""
+        excluded = set(down)
+        excluded.add(call.dc)
+        try:
+            return self.topology.best_dc(call.config,
+                                         exclude=tuple(sorted(excluded)))
+        except TopologyError:
+            return None

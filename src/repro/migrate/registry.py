@@ -1,0 +1,123 @@
+"""The live in-flight call registry the migration subsystem drains from.
+
+The ledgers know *capacity* (slots, servers, microcores) but not *which
+calls are currently being served where* — the selector settles a call
+and forgets it.  :class:`CallRegistry` closes that gap: the
+:class:`~repro.allocation.realtime.RealTimeSelector` reports every
+settle into it, the engines report every call end, and a drain asks it
+"which calls are live on this DC right now?".
+
+The registry is deliberately engine-side state (parent-process, under
+one lock): on the multiprocess executor the workers never see it — the
+parent observes every settle/end through the scheduled message protocol
+in global event order, so the registry's contents are identical on both
+executors and migration decisions stay deterministic.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.types import CallConfig
+
+__all__ = ["CallRegistry", "LiveCall"]
+
+
+@dataclass
+class LiveCall:
+    """One settled, not-yet-ended call and where it lives."""
+
+    call_id: str
+    slot_index: int
+    config: CallConfig
+    dc: str
+    #: The plan knew this config (vs §5.4 fallback placement).
+    planned: bool
+    #: Served without a slot debit (slot-exhaustion overflow).
+    overflowed: bool
+    #: The call holds a plan-slot debit (and, under a fleet ledger, a
+    #: server reservation) at ``dc`` — what a migration must move.
+    has_debit: bool
+    #: A drain found no feasible destination; recorded, never retried
+    #: silently and never dropped from the registry while live.
+    disrupted: bool = False
+
+
+class CallRegistry:
+    """Thread-safe index of live calls, keyed by call id."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._calls: Dict[str, LiveCall] = {}
+
+    # -- feeds ---------------------------------------------------------
+    def on_settle(self, call_id: str, slot_index: int, config: CallConfig,
+                  dc: str, planned: bool, overflowed: bool) -> None:
+        """The selector settled a call at ``dc``."""
+        with self._lock:
+            self._calls[call_id] = LiveCall(
+                call_id=call_id, slot_index=slot_index, config=config,
+                dc=dc, planned=planned, overflowed=overflowed,
+                has_debit=planned and not overflowed)
+
+    def on_end(self, call_id: str) -> None:
+        """The call ended (END event or early end at settle)."""
+        with self._lock:
+            self._calls.pop(call_id, None)
+
+    def on_move(self, call_id: str, dc: str,
+                has_debit: Optional[bool] = None) -> None:
+        """A migration landed the call at ``dc``."""
+        with self._lock:
+            call = self._calls.get(call_id)
+            if call is None:
+                return
+            call.dc = dc
+            call.disrupted = False
+            if has_debit is not None:
+                call.has_debit = has_debit
+                if has_debit:
+                    call.overflowed = False
+
+    def mark_disrupted(self, call_id: str) -> None:
+        with self._lock:
+            call = self._calls.get(call_id)
+            if call is not None:
+                call.disrupted = True
+
+    # -- queries -------------------------------------------------------
+    def live_on(self, dc: str) -> List[LiveCall]:
+        """Live, not-yet-disrupted calls hosted on ``dc``.
+
+        Sorted by ``(slot_index, call_id)``: registry insertion order
+        depends on worker interleaving on the thread executor, so
+        candidate order must not.
+        """
+        with self._lock:
+            return sorted(
+                (call for call in self._calls.values()
+                 if call.dc == dc and not call.disrupted),
+                key=lambda call: (call.slot_index, call.call_id))
+
+    def live_in_cell(self, slot_index: int, config: CallConfig,
+                     dc: str) -> List[LiveCall]:
+        """Live debit-holding calls of one plan cell at ``dc`` (the
+        autoscaler's deferred-drain unit)."""
+        with self._lock:
+            return sorted(
+                (call for call in self._calls.values()
+                 if call.dc == dc and call.slot_index == slot_index
+                 and call.config == config and call.has_debit
+                 and not call.disrupted),
+                key=lambda call: call.call_id)
+
+    def disrupted_calls(self) -> List[str]:
+        with self._lock:
+            return sorted(call_id for call_id, call in self._calls.items()
+                          if call.disrupted)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._calls)

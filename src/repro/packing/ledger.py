@@ -135,6 +135,9 @@ class FleetStats:
     rebalance_moves: int = 0
     rebalance_failures: int = 0
     defrag_moves: int = 0
+    #: Cross-DC relocations committed by ``relocate_call`` (the live
+    #: migration path) — distinct from within-DC defrag/rebalance moves.
+    live_moves: int = 0
 
     def __post_init__(self):
         self._lock = threading.Lock()
@@ -150,7 +153,7 @@ class FleetStats:
                 for name in ("placements", "placement_failures", "releases",
                              "growth_notes", "overload_events",
                              "rebalance_moves", "rebalance_failures",
-                             "defrag_moves")
+                             "defrag_moves", "live_moves")
             }
 
 
@@ -378,6 +381,73 @@ class FleetLedgerBase(SlotLedger):
                   kind: str = "defrag") -> bool:
         """Public move entry point (the defragmenter's executor)."""
         return self._move(call_id, to_index=to_index, kind=kind)
+
+    def relocate_call(self, call_id: str, slot_index: int,
+                      config: CallConfig, to_dc: str,
+                      credit_source: bool = True) -> bool:
+        """Move a placed call to another DC (the live migration path).
+
+        Ordering is the migration invariant: the **destination is
+        debited before the source is credited** — a plan slot is taken
+        at ``to_dc`` and a server reservation committed there, and only
+        then is the source server released (and, when ``credit_source``,
+        the source plan slot returned).  Any failure before the source
+        release leaves the call exactly where it was: no state is lost,
+        no capacity double-granted.
+
+        ``credit_source=False`` is the drain flavour (autoscale
+        scale-down): the vacated source slot is *not* returned to the
+        cell, completing a drain that ``remove_slots`` could not because
+        the call still held it.
+
+        Returns False when the call is unknown/unplaced, already at
+        ``to_dc``, or no destination slot+server could be taken — the
+        caller records such calls as disrupted rather than dropping
+        them.
+        """
+        with self._lock:
+            placement = self._placements.get(call_id)
+            if placement is None:
+                return False
+            from_dc = placement.dc_id
+            if to_dc == from_dc:
+                return False
+            dest = self._fleets.get(to_dc)
+            if dest is None or dest.n_servers == 0:
+                return False
+            # 1. debit the destination plan slot.
+            if not self.slot_ledger.try_debit(slot_index, config, to_dc):
+                return False
+            # 2. commit a destination server reservation.
+            held = min(placement.held_mc, dest.usable_mc)
+            while True:
+                index = self.policy.select(dest.free_mc, held)
+                if index < 0:
+                    self._credit_slot(slot_index, config, to_dc)
+                    return False
+                if self._commit_place(dest, index, call_id, held):
+                    break
+                # Authority refused (cross-process race): the mirror for
+                # that server was refreshed by _commit_place; rescore.
+            dest.free_mc[index] -= held
+            dest.call_count[index] += 1
+            dest.touched[index] = True
+            dest.note_open_peak()
+            # 3. only now release the source server...
+            source = self._fleets[from_dc]
+            src_index = placement.server_index
+            self._commit_release(source, src_index, call_id,
+                                 placement.held_mc)
+            source.free_mc[src_index] += placement.held_mc
+            source.call_count[src_index] -= 1
+            # 4. ...and credit the source plan slot.
+            if credit_source:
+                self._credit_slot(slot_index, config, from_dc)
+            placement.dc_id = to_dc
+            placement.server_index = index
+            placement.cap_mc = dest.usable_mc
+            self.stats.bump("live_moves")
+            return True
 
     # ------------------------------------------------------------------
     # introspection (metrics, defrag planning, equivalence tests)

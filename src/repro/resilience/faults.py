@@ -14,8 +14,12 @@ consult at well-defined points:
   scenario hard-exits (models an OOM-killed worker; exercises
   ``BrokenProcessPool`` recovery and pool restarts).
 * ``dc_failure`` / ``link_failure`` — at simulated day ``at_day``, the
-  named DC or WAN link is down for the day (exercises the failure-aware
-  allocation path from the simulator).
+  named DC or WAN link goes down (exercises the failure-aware
+  allocation path from the simulator).  An outage may carry an *end*:
+  ``until_day`` keeps the fault active across days until it heals, and
+  the optional intra-day ``at_s`` / ``until_s`` timestamps let the live
+  service plane (``repro.migrate``) drain the DC mid-day and drain back
+  after recovery.
 
 Each spec has a ``times`` budget; consuming a fault decrements it, so a
 ``times=2`` crash fails the first two attempts and lets the third
@@ -50,12 +54,16 @@ def _spec_sort_key(spec: "FaultSpec"):
     first: two plans that schedule faults on the same day merge to the
     same sequence regardless of insertion order, so which same-day
     fault a consumer sees first no longer depends on builder-call
-    ordering.
+    ordering.  Recovery timing (``until_day``, ``at_s``) only breaks
+    ties, so adding an end to an outage never reorders it relative to
+    other faults.
     """
     return (
         spec.at_day if spec.at_day is not None else -1,
         spec.kind,
         spec.dc or spec.link or spec.target or "",
+        spec.until_day if spec.until_day is not None else -1,
+        spec.at_s if spec.at_s is not None else -1.0,
     )
 
 
@@ -70,6 +78,13 @@ class FaultSpec:
     dc: Optional[str] = None
     link: Optional[str] = None
     at_day: Optional[int] = None
+    #: First simulated day the outage is healed again (exclusive end);
+    #: ``None`` means the historical "down, never recovers" semantics.
+    until_day: Optional[int] = None
+    #: Intra-day onset/heal timestamps (seconds on the served timeline)
+    #: for the live service plane; day-granularity consumers ignore them.
+    at_s: Optional[float] = None
+    until_s: Optional[float] = None
 
     def __post_init__(self):
         if self.kind not in _KINDS:
@@ -82,9 +97,23 @@ class FaultSpec:
             raise SwitchboardError("dc_failure fault needs dc=")
         if self.kind == "link_failure" and not self.link:
             raise SwitchboardError("link_failure fault needs link=")
+        if self.until_day is not None:
+            if self.at_day is None:
+                raise SwitchboardError("until_day needs at_day")
+            if self.until_day <= self.at_day:
+                raise SwitchboardError("until_day must be > at_day")
+        if self.at_s is not None and self.at_s < 0.0:
+            raise SwitchboardError("at_s must be >= 0")
+        if self.until_s is not None:
+            if self.at_s is None:
+                raise SwitchboardError("until_s needs at_s")
+            if self.until_s <= self.at_s:
+                raise SwitchboardError("until_s must be > at_s")
 
     def describe(self) -> str:
         where = self.dc or self.link or self.target or "*"
+        if self.until_day is not None:
+            return f"{self.kind}({where}, d{self.at_day}..d{self.until_day})"
         return f"{self.kind}({where})"
 
 
@@ -94,6 +123,12 @@ class FaultPlan:
     def __init__(self, specs: Optional[List[FaultSpec]] = None):
         self._lock = threading.Lock()
         self._specs: List[FaultSpec] = list(specs or [])
+        #: Topology faults consumed via ``take_topology_fault(s)`` whose
+        #: ``until_day`` has not arrived yet — they keep a DC/link down
+        #: across days and surface again through
+        #: ``active_topology_faults`` until ``take_topology_recoveries``
+        #: heals them.
+        self._active: List[FaultSpec] = []
 
     # -- builders ------------------------------------------------------
     @classmethod
@@ -115,13 +150,22 @@ class FaultPlan:
                                      times=times))
         return self
 
-    def dc_failure(self, dc: str, at_day: int) -> "FaultPlan":
-        self._specs.append(FaultSpec(kind="dc_failure", dc=dc, at_day=at_day))
+    def dc_failure(self, dc: str, at_day: int,
+                   until_day: Optional[int] = None,
+                   at_s: Optional[float] = None,
+                   until_s: Optional[float] = None) -> "FaultPlan":
+        self._specs.append(FaultSpec(kind="dc_failure", dc=dc, at_day=at_day,
+                                     until_day=until_day, at_s=at_s,
+                                     until_s=until_s))
         return self
 
-    def link_failure(self, link: str, at_day: int) -> "FaultPlan":
+    def link_failure(self, link: str, at_day: int,
+                     until_day: Optional[int] = None,
+                     at_s: Optional[float] = None,
+                     until_s: Optional[float] = None) -> "FaultPlan":
         self._specs.append(FaultSpec(kind="link_failure", link=link,
-                                     at_day=at_day))
+                                     at_day=at_day, until_day=until_day,
+                                     at_s=at_s, until_s=until_s))
         return self
 
     # -- composition ---------------------------------------------------
@@ -199,6 +243,8 @@ class FaultPlan:
             for i, spec in enumerate(self._specs):
                 if spec.kind in _TOPOLOGY_FAULTS and spec.at_day == day:
                     del self._specs[i]
+                    if spec.until_day is not None:
+                        self._active.append(spec)
                     return spec
         return None
 
@@ -219,7 +265,39 @@ class FaultPlan:
                     spec for spec in self._specs
                     if not (spec.kind in _TOPOLOGY_FAULTS
                             and spec.at_day == day)]
+                self._active.extend(
+                    spec for spec in matching if spec.until_day is not None)
             return sorted(matching, key=_spec_sort_key)
+
+    def active_topology_faults(self, day: int) -> List[FaultSpec]:
+        """Previously fired outages still down on this simulated day.
+
+        An outage with ``until_day`` stays active on every day in
+        ``[at_day, until_day)`` after it first fires; day-granularity
+        consumers keep rebuilding the failure-scenario allocation until
+        the recovery lands.  Returned in canonical order, unconsumed.
+        """
+        with self._lock:
+            return sorted(
+                (spec for spec in self._active
+                 if spec.at_day is not None and spec.until_day is not None
+                 and spec.at_day <= day < spec.until_day),
+                key=_spec_sort_key)
+
+    def take_topology_recoveries(self, day: int) -> List[FaultSpec]:
+        """All outages whose ``until_day`` has arrived, healed at once.
+
+        Consuming a recovery removes the fault from the active set — the
+        DC/link is back, and the live plane may drain calls back onto
+        it.  Returned in canonical order.
+        """
+        with self._lock:
+            healed = [spec for spec in self._active
+                      if spec.until_day is not None and spec.until_day <= day]
+            if healed:
+                self._active = [spec for spec in self._active
+                                if spec not in healed]
+            return sorted(healed, key=_spec_sort_key)
 
     def pending(self) -> List[FaultSpec]:
         with self._lock:
@@ -231,8 +309,10 @@ class FaultPlan:
 
     def __getstate__(self):
         with self._lock:
-            return {"specs": list(self._specs)}
+            return {"specs": list(self._specs),
+                    "active": list(self._active)}
 
     def __setstate__(self, state):
         self._lock = threading.Lock()
         self._specs = list(state["specs"])
+        self._active = list(state.get("active", []))

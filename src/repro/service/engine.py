@@ -115,6 +115,8 @@ class AdmissionEngine:
                  defrag_interval_s: Optional[float] = None,
                  rescaler=None,
                  rescale_interval_s: Optional[float] = None,
+                 migrator=None,
+                 migrate_interval_s: Optional[float] = None,
                  _via_runtime: bool = False):
         if not _via_runtime:
             wired = [name for name, value in (
@@ -122,6 +124,8 @@ class AdmissionEngine:
                 ("defrag_interval_s", defrag_interval_s),
                 ("rescaler", rescaler),
                 ("rescale_interval_s", rescale_interval_s),
+                ("migrator", migrator),
+                ("migrate_interval_s", migrate_interval_s),
             ) if value is not None]
             if wired:
                 # Bare construction (store/n_workers/freeze window) stays
@@ -138,6 +142,8 @@ class AdmissionEngine:
             raise SwitchboardError("defrag_interval_s must be positive")
         if rescale_interval_s is not None and rescale_interval_s <= 0:
             raise SwitchboardError("rescale_interval_s must be positive")
+        if migrate_interval_s is not None and migrate_interval_s <= 0:
+            raise SwitchboardError("migrate_interval_s must be positive")
         self.topology = topology
         self.store = store if store is not None else ShardedKVStore()
         self.n_workers = n_workers
@@ -164,21 +170,37 @@ class AdmissionEngine:
             rescale_interval_s = getattr(config, "interval_s", None)
         self.rescale_interval_s = (rescale_interval_s
                                    if rescaler is not None else None)
+        # The live migrator (repro.migrate.MigrationExecutor) runs on
+        # the same window barrier, after the rescaler — drain orders a
+        # rescale just issued execute in the same window, and this order
+        # is identical on the process executor.
+        self.migrator = migrator
+        if migrator is not None and migrate_interval_s is None:
+            migrate_interval_s = getattr(migrator, "interval_s", None)
+        self.migrate_interval_s = (migrate_interval_s
+                                   if migrator is not None else None)
         intervals = [i for i in (
             defrag_interval_s if defragmenter is not None else None,
             self.rescale_interval_s,
+            self.migrate_interval_s,
         ) if i is not None]
         self._window_interval_s = min(intervals) if intervals else None
         if rescaler is not None:
             bind = getattr(rescaler, "bind", None)
             if bind is not None:
                 bind(self)
+        if migrator is not None:
+            migrator.bind(self)
         self.admission_latency = LatencyHistogram()
         self.settle_latency = LatencyHistogram()
         # Fleet-aware ledgers grow/release per-call server reservations;
         # plain slot ledgers have neither hook.
         self._note_join = getattr(self.ledger, "note_join", None)
         self._release_call = getattr(self.ledger, "release", None)
+        # The migrator's live-call registry hears every call end (its
+        # settle feed is wired through the selector at bind time).
+        self._note_end = (migrator.registry.on_end
+                          if migrator is not None else None)
 
     # ------------------------------------------------------------------
     # event handlers (run on worker threads)
@@ -253,6 +275,8 @@ class AdmissionEngine:
         self.client.close_call(call_id)
         if self._release_call is not None:
             self._release_call(call_id)
+        if self._note_end is not None:
+            self._note_end(call_id)
         del worker.calls[call_id]
 
     def _handle_row(self, worker: _WorkerState, batch: ColumnarEventBatch,
@@ -383,6 +407,10 @@ class AdmissionEngine:
                 # Same safe point: workers are quiescent, so the
                 # autoscaler may mutate the plan through the ledger.
                 self.rescaler.on_window(self._snapshot(workers, window))
+            if self.migrator is not None:
+                # After the rescaler: drain orders it just issued (and
+                # any due DC failures) execute at this same barrier.
+                self.migrator.on_window(self._snapshot(workers, window))
         wall = time.perf_counter() - start
         if n_events == 0:
             raise SwitchboardError("no events to serve")
@@ -606,6 +634,12 @@ class AdmissionEngine:
         autoscale_fn = getattr(self.rescaler, "autoscale_metrics", None)
         if autoscale_fn is not None:
             autoscale = autoscale_fn()
+        migration: Dict[str, object] = {}
+        migration_latency: Dict[str, object] = {}
+        migration_fn = getattr(self.migrator, "migration_metrics", None)
+        if migration_fn is not None:
+            migration = migration_fn()
+            migration_latency = self.migrator.latency.percentiles()
         return ServiceReport(
             n_workers=self.n_workers,
             n_shards=getattr(self.store, "n_shards", 1),
@@ -636,4 +670,10 @@ class AdmissionEngine:
             packing=packing,
             rescale_events=int(autoscale.get("rescale_events", 0)),
             autoscale=autoscale,
+            live_migrated_calls=int(
+                migration.get("live_migrated_calls", 0)),
+            disrupted_calls=int(migration.get("disrupted_calls", 0)),
+            migration_batches=int(migration.get("batches", 0)),
+            migration_latency_ms=migration_latency,
+            migration=migration,
         )

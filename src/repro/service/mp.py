@@ -527,6 +527,8 @@ class MultiprocessAdmissionEngine:
                  defrag_interval_s: Optional[float] = None,
                  rescaler=None,
                  rescale_interval_s: Optional[float] = None,
+                 migrator=None,
+                 migrate_interval_s: Optional[float] = None,
                  worker_store_spec: Optional[StoreSpec] = None):
         if n_workers < 1:
             raise SwitchboardError("need at least one admission worker")
@@ -534,6 +536,8 @@ class MultiprocessAdmissionEngine:
             raise SwitchboardError("defrag_interval_s must be positive")
         if rescale_interval_s is not None and rescale_interval_s <= 0:
             raise SwitchboardError("rescale_interval_s must be positive")
+        if migrate_interval_s is not None and migrate_interval_s <= 0:
+            raise SwitchboardError("migrate_interval_s must be positive")
         self.topology = topology
         # The parent ledger store deliberately simulates no latency:
         # settles serialize through the parent actor, and their cost
@@ -559,21 +563,40 @@ class MultiprocessAdmissionEngine:
             rescale_interval_s = getattr(config, "interval_s", None)
         self.rescale_interval_s = (rescale_interval_s
                                    if rescaler is not None else None)
+        # Same window-barrier ordering as the thread engine: defrag,
+        # then rescaler, then migrator — drain orders a rescale just
+        # issued execute in the same window, identically on both
+        # executors.
+        self.migrator = migrator
+        if migrator is not None and migrate_interval_s is None:
+            migrate_interval_s = getattr(migrator, "interval_s", None)
+        self.migrate_interval_s = (migrate_interval_s
+                                   if migrator is not None else None)
         intervals = [i for i in (
             defrag_interval_s if defragmenter is not None else None,
             self.rescale_interval_s,
+            self.migrate_interval_s,
         ) if i is not None]
         self._window_interval_s = min(intervals) if intervals else None
         if rescaler is not None:
             bind = getattr(rescaler, "bind", None)
             if bind is not None:
                 bind(self)
+        if migrator is not None:
+            migrator.bind(self)
         self.admission_latency = LatencyHistogram()
         self.settle_latency = LatencyHistogram()
         self._note_join = getattr(self.ledger, "note_join", None)
         self._release_call = getattr(self.ledger, "release", None)
+        # The migrator's registry hears every call end; its settle feed
+        # is wired through the selector at bind time.  Its presence
+        # forces the fleet schedule (joins/ends routed to the parent)
+        # even over a plain slot ledger, so the registry stays exact.
+        self._note_end = (migrator.registry.on_end
+                          if migrator is not None else None)
         self._fleet = (self._note_join is not None
-                       or self._release_call is not None)
+                       or self._release_call is not None
+                       or migrator is not None)
         # Outcome counters (the parent settles, so the parent counts).
         self._admitted = 0
         self._migrated = 0
@@ -736,6 +759,12 @@ class MultiprocessAdmissionEngine:
             if self.rescaler is not None:
                 self.rescaler.on_window(self._snapshot(
                     float(batch.t_s[hi - 1]), worker_counters))
+            if self.migrator is not None:
+                # After the rescaler, same as the thread engine: drain
+                # orders it just issued (and any due DC failures)
+                # execute at this same barrier.
+                self.migrator.on_window(self._snapshot(
+                    float(batch.t_s[hi - 1]), worker_counters))
         return served, anchor
 
     def _release_segments(self) -> None:
@@ -770,17 +799,22 @@ class MultiprocessAdmissionEngine:
             self._conns[owner].send(("outcome", outcome.final_dc,
                                      outcome.migrated, outcome.planned,
                                      outcome.overflowed))
-            if call_ended and self._release_call is not None:
+            if call_ended:
                 # Early-ended call closing at its freeze: release its
                 # reservation *now*, before the next scheduled row, the
                 # way the oracle's _close does.
-                self._release_call(trace.call_id(call_index))
+                if self._release_call is not None:
+                    self._release_call(trace.call_id(call_index))
+                if self._note_end is not None:
+                    self._note_end(trace.call_id(call_index))
         elif kind == "join":
             if self._note_join is not None:
                 self._note_join(msg[2])
         elif kind == "release":
             if self._release_call is not None:
                 self._release_call(msg[2])
+            if self._note_end is not None:
+                self._note_end(msg[2])
         elif kind == "skip":
             pass
         else:
@@ -889,6 +923,12 @@ class MultiprocessAdmissionEngine:
         autoscale_fn = getattr(self.rescaler, "autoscale_metrics", None)
         if autoscale_fn is not None:
             autoscale = autoscale_fn()
+        migration: Dict[str, object] = {}
+        migration_latency: Dict[str, object] = {}
+        migration_fn = getattr(self.migrator, "migration_metrics", None)
+        if migration_fn is not None:
+            migration = migration_fn()
+            migration_latency = self.migrator.latency.percentiles()
         return ServiceReport(
             n_workers=self.n_workers,
             n_shards=(self.worker_store_spec.n_shards
@@ -922,4 +962,10 @@ class MultiprocessAdmissionEngine:
             packing=packing,
             rescale_events=int(autoscale.get("rescale_events", 0)),
             autoscale=autoscale,
+            live_migrated_calls=int(
+                migration.get("live_migrated_calls", 0)),
+            disrupted_calls=int(migration.get("disrupted_calls", 0)),
+            migration_batches=int(migration.get("batches", 0)),
+            migration_latency_ms=migration_latency,
+            migration=migration,
         )

@@ -25,7 +25,12 @@ from repro.core.errors import SwitchboardError
 #:   2 — adds ``schema_version`` and ``executor``; keys are emitted in
 #:       stable sorted order (nested dicts included) so artifacts diff
 #:       cleanly across runs.
-REPORT_SCHEMA_VERSION = 2
+#:   3 — adds the live-migration block: ``live_migrated_calls``,
+#:       ``disrupted_calls``, ``migration_batches``,
+#:       ``migration_latency_ms``, and the nested ``migration`` metrics
+#:       dict (``repro.migrate``); the packing block gains
+#:       ``live_moves``.
+REPORT_SCHEMA_VERSION = 3
 
 
 def _fmt_tail(tail: Dict[str, Optional[float]],
@@ -80,6 +85,19 @@ class ServiceReport:
     # Closed-loop autoscaling (zeroes/empty when no rescaler was bound).
     rescale_events: int = 0
     autoscale: Dict[str, object] = field(default_factory=dict)
+
+    # Live cross-DC migration (zeroes/empty when no migrator was bound).
+    # Like defrag moves, these are *placement* events on already-settled
+    # calls — a separate category never folded into ``migrated_calls``,
+    # so the exact-accounting partition is untouched.  ``disrupted``
+    # counts calls a drain could find no feasible destination for; they
+    # are recorded, never silently dropped.
+    live_migrated_calls: int = 0
+    disrupted_calls: int = 0
+    migration_batches: int = 0
+    migration_latency_ms: Dict[str, Optional[float]] = field(
+        default_factory=dict)
+    migration: Dict[str, object] = field(default_factory=dict)
 
     # Throughput.
     wall_time_s: float = 0.0
@@ -163,6 +181,14 @@ class ServiceReport:
                 f"{self.autoscale.get('capacity_core_hours', 0.0)} "
                 f"core-hours provisioned"
             )
+        if self.migration:
+            drained = ", ".join(self.migration.get("drained_dcs", [])) or "-"
+            lines.append(
+                f"  migration: {self.live_migrated_calls} live moves + "
+                f"{self.disrupted_calls} disrupted over "
+                f"{self.migration_batches} batches (drained {drained}), "
+                f"move ms {_fmt_tail(self.migration_latency_ms)}"
+            )
         return "\n".join(lines)
 
     def to_dict(self) -> Dict[str, object]:
@@ -209,6 +235,11 @@ class ServiceReport:
             "packing": self.packing,
             "rescale_events": self.rescale_events,
             "autoscale": self.autoscale,
+            "live_migrated_calls": self.live_migrated_calls,
+            "disrupted_calls": self.disrupted_calls,
+            "migration_batches": self.migration_batches,
+            "migration_latency_ms": self.migration_latency_ms,
+            "migration": self.migration,
         }
 
         def stable(value):

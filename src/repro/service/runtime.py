@@ -91,6 +91,8 @@ class ServiceRuntime:
                     defrag_interval_s: Optional[float] = None,
                     rescaler=None,
                     rescale_interval_s: Optional[float] = None,
+                    migrator=None,
+                    migrate_interval_s: Optional[float] = None,
                     freeze_window_s: float = DEFAULT_FREEZE_WINDOW_S,
                     obs: Optional[Observability] = None) -> "ServiceRuntime":
         """Stand up the service plane described by ``config``.
@@ -99,7 +101,8 @@ class ServiceRuntime:
         sub-config is used), a :class:`ServiceConfig`, or ``None`` for
         defaults.  The keyword-only arguments inject the optional
         subsystems (a packing fleet ledger + defragmenter, a bound
-        autoscaler, a pre-built store); with the process executor,
+        autoscaler, a live migrator, a pre-built store); with the
+        process executor,
         ``store`` is the parent-side ledger store and the per-worker
         stores are built from the config's sharding/latency knobs.
         """
@@ -111,6 +114,7 @@ class ServiceRuntime:
                 defragmenter=defragmenter,
                 defrag_interval_s=defrag_interval_s,
                 rescaler=rescaler, rescale_interval_s=rescale_interval_s,
+                migrator=migrator, migrate_interval_s=migrate_interval_s,
                 worker_store_spec=StoreSpec.from_service_config(svc))
         else:
             if store is None:
@@ -121,6 +125,7 @@ class ServiceRuntime:
                 defragmenter=defragmenter,
                 defrag_interval_s=defrag_interval_s,
                 rescaler=rescaler, rescale_interval_s=rescale_interval_s,
+                migrator=migrator, migrate_interval_s=migrate_interval_s,
                 _via_runtime=True)
         return cls(engine, svc.executor)
 

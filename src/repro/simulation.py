@@ -67,7 +67,12 @@ class DayReport:
     cores_added: float = 0.0
     cores_reclaimed: float = 0.0
     #: ``describe()`` of the injected DC/link failure this day, if any.
+    #: A multi-day outage (``until_day``) repeats here on every day it
+    #: remains active.
     injected_fault: Optional[str] = None
+    #: ``describe()`` of outage(s) whose ``until_day`` arrived this day —
+    #: the failed DC/link is back and the normal plan resumes.
+    recovered_fault: Optional[str] = None
     #: How far provisioning/allocation degraded this day (0 = full LP).
     degradation_level: int = 0
     #: Closed-loop autoscaler rescale events this day (service path with
@@ -300,16 +305,37 @@ class ServiceSimulator:
             # this day rebuilds the plan for the failure scenario — the
             # surviving capacity absorbs the displaced calls (§4.2).
             injected_fault = None
+            recovered_fault = None
             allocation_level = 0
             fault = None
-            if self.planner_config.fault_plan is not None:
-                fault = self.planner_config.fault_plan.take_topology_fault(day)
+            fault_plan = self.planner_config.fault_plan
+            if fault_plan is not None:
+                healed = fault_plan.take_topology_recoveries(day)
+                if healed:
+                    recovered_fault = ", ".join(
+                        spec.describe() for spec in healed)
+                    self.controller.obs.record(
+                        "fault.recovered", label=f"day[{day}]",
+                        fault=recovered_fault,
+                    )
+                fault = fault_plan.take_topology_fault(day)
+                if fault is not None:
+                    self.controller.obs.record(
+                        "fault.injected", label=f"day[{day}]",
+                        fault_kind=fault.kind, fault=fault.describe(),
+                    )
+                else:
+                    # A multi-day outage consumed on an earlier day keeps
+                    # the failure-scenario plan until its recovery lands.
+                    active = fault_plan.active_topology_faults(day)
+                    if active:
+                        fault = active[0]
+                        self.controller.obs.record(
+                            "fault.active", label=f"day[{day}]",
+                            fault_kind=fault.kind, fault=fault.describe(),
+                        )
             if fault is not None:
                 injected_fault = fault.describe()
-                self.controller.obs.record(
-                    "fault.injected", label=f"day[{day}]",
-                    fault_kind=fault.kind, fault=injected_fault,
-                )
                 plan = self.controller.allocation_plan(
                     forecast, failed_dc=fault.dc, failed_link=fault.link,
                 )
@@ -341,6 +367,7 @@ class ServiceSimulator:
                 cores_added=cores_added,
                 cores_reclaimed=cores_reclaimed,
                 injected_fault=injected_fault,
+                recovered_fault=recovered_fault,
                 degradation_level=max(self.capacity.degradation_level,
                                       allocation_level),
                 rescales=rescales,

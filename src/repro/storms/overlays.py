@@ -305,14 +305,38 @@ class RecurringSeries(Storm):
         return f"RecurringSeries(x{self.boost:g}, top{self.top_k})"
 
 
+def _outage_timing(storm: Storm):
+    """``(at_day, until_day, at_s, until_s)`` for a fault-face overlay.
+
+    The window's start day anchors the day-granularity consumers (the
+    simulator's failure-scenario replan); ``at_s``/``until_s`` carry the
+    exact onset/heal for the live plane (``repro.migrate``).  A bounded
+    window healing within its start day keeps ``until_day=None`` — the
+    day-granularity view still sees a whole-day outage, the live view
+    drains back mid-day.
+    """
+    at_day = int(storm.start_s // _SECONDS_PER_DAY)
+    until_s = (storm.start_s + storm.duration_s
+               if storm.duration_s is not None else None)
+    until_day = None
+    if until_s is not None:
+        until_day = int(until_s // _SECONDS_PER_DAY)
+        if until_day <= at_day:
+            until_day = None
+    return at_day, until_day, storm.start_s, until_s
+
+
 @dataclass(frozen=True)
 class RegionalOutage(Storm):
-    """A datacenter is down for the window's day (wraps ``FaultPlan``).
+    """A datacenter is down for the window (wraps ``FaultPlan``).
 
     Pure fault-face overlay: no workload change, but the plan's merged
     fault timeline gains a ``dc_failure`` at the window's day, which the
     chaos harness (and :class:`~repro.simulation.ServiceSimulator`)
-    consume by rebuilding the allocation for the failure scenario.
+    consume by rebuilding the allocation for the failure scenario.  A
+    bounded window (``duration_s``) gives the outage an end: the
+    simulator heals it at ``until_day`` and the live migration plane
+    drains back at ``until_s``.
     """
 
     dc: str = ""
@@ -322,8 +346,9 @@ class RegionalOutage(Storm):
             raise WorkloadError("RegionalOutage needs dc=")
 
     def fault_specs(self) -> List[FaultSpec]:
-        return [FaultSpec(kind="dc_failure", dc=self.dc,
-                          at_day=int(self.start_s // _SECONDS_PER_DAY))]
+        at_day, until_day, at_s, until_s = _outage_timing(self)
+        return [FaultSpec(kind="dc_failure", dc=self.dc, at_day=at_day,
+                          until_day=until_day, at_s=at_s, until_s=until_s)]
 
     def describe(self) -> str:
         return f"RegionalOutage({self.dc}@day{int(self.start_s // 86400)})"
@@ -331,7 +356,7 @@ class RegionalOutage(Storm):
 
 @dataclass(frozen=True)
 class LinkCut(Storm):
-    """A WAN link is cut for the window's day (wraps ``FaultPlan``)."""
+    """A WAN link is cut for the window (wraps ``FaultPlan``)."""
 
     link: str = ""
 
@@ -340,8 +365,9 @@ class LinkCut(Storm):
             raise WorkloadError("LinkCut needs link=")
 
     def fault_specs(self) -> List[FaultSpec]:
-        return [FaultSpec(kind="link_failure", link=self.link,
-                          at_day=int(self.start_s // _SECONDS_PER_DAY))]
+        at_day, until_day, at_s, until_s = _outage_timing(self)
+        return [FaultSpec(kind="link_failure", link=self.link, at_day=at_day,
+                          until_day=until_day, at_s=at_s, until_s=until_s)]
 
     def describe(self) -> str:
         return f"LinkCut({self.link}@day{int(self.start_s // 86400)})"
