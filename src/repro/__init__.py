@@ -19,7 +19,7 @@ from repro.core.errors import SwitchboardDeprecationWarning, SwitchboardError
 from repro.core.types import Call, CallConfig, MediaType
 from repro.autoscale import Autoscaler
 from repro.config import (AutoscaleConfig, MigrationConfig, PlannerConfig,
-                          ServiceConfig)
+                          PortfolioConfig, ServiceConfig)
 from repro.kvstore import ShardedKVStore
 from repro.migrate import MigrationExecutor, MigrationPlanner
 from repro.obs import Observability
@@ -47,6 +47,7 @@ __all__ = [
     "Observability",
     "PipelineResult",
     "PlannerConfig",
+    "PortfolioConfig",
     "ServiceConfig",
     "ServiceReport",
     "ServiceSimulator",

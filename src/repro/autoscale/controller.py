@@ -292,7 +292,7 @@ class Autoscaler:
 
     def autoscale_metrics(self) -> Dict[str, object]:
         """Summary block merged into the :class:`ServiceReport`."""
-        return {
+        metrics: Dict[str, object] = {
             "windows": len(self.windows),
             "rescale_events": self.rescale_events,
             "scale_ups": self.scale_ups,
@@ -306,3 +306,12 @@ class Autoscaler:
             "max_degradation_level": self.max_degradation_level,
             "decisions": [d.to_dict() for d in self.decisions],
         }
+        # The rolling-horizon refreshes re-solve the same LP structure
+        # every window; when the controller carries a warm-start cache,
+        # report its reuse so the telemetry shows the seeding at work.
+        warmstart = getattr(self.controller, "warmstart_stats", None)
+        if callable(warmstart):
+            stats = warmstart()
+            if stats is not None:
+                metrics["warmstart"] = stats
+        return metrics

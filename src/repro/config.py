@@ -39,11 +39,77 @@ if TYPE_CHECKING:
     from repro.resilience.faults import FaultPlan
 
 #: Methods plan_with_backup understands, i.e. valid non-terminal rungs.
-BACKUP_METHODS = ("joint", "incremental", "max")
+#: ``decomposed`` is the master/subproblem bound-exchange split of the
+#: joint formulation (serving LP + per-scenario backup subproblems with a
+#: provable gap report).
+BACKUP_METHODS = ("joint", "incremental", "max", "decomposed")
 
 #: The full degradation ladder, most faithful first.  ``locality`` is the
 #: LP-free terminal rung that can always produce *a* plan.
 DEFAULT_LADDER: Tuple[str, ...] = ("joint", "max", "incremental", "locality")
+
+
+#: Arms the solver portfolio can race, in the canonical cheap-first order.
+PORTFOLIO_ARMS = ("locality", "lagrangean", "exact")
+
+
+@dataclass(frozen=True)
+class PortfolioConfig:
+    """Knobs of the decomposed/warm-started/raced planner.
+
+    * ``arms`` — race lineup for each empty-base scenario solve, run in
+      the given order (cheapest bound first).  A plan is accepted the
+      moment an arm's upper bound is within ``gap`` of the best known
+      lower bound; the ``exact`` arm always satisfies that (gap 0), so
+      lineups ending in ``exact`` return plans within ``gap`` of the
+      optimum on *every* scenario.
+    * ``gap`` — the relative optimality gap the race accepts.
+    * ``warm_start`` — seed repeat solves of structurally identical LPs
+      (day N → day N+1, the autoscaler's rolling refresh) from the cached
+      solution support, with reduced-cost certification and cold-solve
+      fallback.
+    * ``max_pricing_rounds`` — how many rounds of pulling mispriced
+      columns into the restricted problem a warm solve attempts before
+      falling back cold.
+    * ``dedupe`` — collapse structurally identical failure scenarios
+      (same surviving-option sets) before the sweep and fan results back
+      out.
+    * ``decomposition_gap`` — target relative gap of the
+      ``backup_method="decomposed"`` bound-exchange loop.
+    * ``decomposition_max_iterations`` — refinement-iteration cap of that
+      loop (it reports its achieved gap either way).
+    """
+
+    arms: Tuple[str, ...] = PORTFOLIO_ARMS
+    gap: float = 0.02
+    warm_start: bool = True
+    max_pricing_rounds: int = 2
+    dedupe: bool = True
+    decomposition_gap: float = 0.05
+    decomposition_max_iterations: int = 4
+
+    def __post_init__(self):
+        if not self.arms:
+            raise SwitchboardError("portfolio arms cannot be empty")
+        for arm in self.arms:
+            if arm not in PORTFOLIO_ARMS:
+                raise SwitchboardError(
+                    f"unknown portfolio arm {arm!r}; "
+                    f"expected one of {PORTFOLIO_ARMS}"
+                )
+        if self.gap < 0:
+            raise SwitchboardError("portfolio gap must be >= 0")
+        if self.max_pricing_rounds < 1:
+            raise SwitchboardError("max_pricing_rounds must be >= 1")
+        if self.decomposition_gap < 0:
+            raise SwitchboardError("decomposition_gap must be >= 0")
+        if self.decomposition_max_iterations < 1:
+            raise SwitchboardError(
+                "decomposition_max_iterations must be >= 1")
+
+    def but(self, **overrides: Any) -> "PortfolioConfig":
+        """A copy with the given fields replaced (frozen-friendly)."""
+        return dataclasses.replace(self, **overrides)
 
 
 #: Execution models the admission service supports.
@@ -322,6 +388,10 @@ class PlannerConfig:
     service: Optional[ServiceConfig] = None
     packing: Optional[PackingConfig] = None
     autoscale: Optional[AutoscaleConfig] = None
+    #: Decomposition / warm-start / arm-racing knobs
+    #: (:class:`PortfolioConfig`); ``None`` keeps every scenario on the
+    #: historical cold exact-LP path.
+    portfolio: Optional[PortfolioConfig] = None
 
     def __post_init__(self):
         if self.backup_method not in BACKUP_METHODS:

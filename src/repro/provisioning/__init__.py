@@ -2,29 +2,43 @@
 
 from repro.provisioning.background import BackgroundTraffic, diurnal_background
 from repro.provisioning.backup_lp import solve_backup_lp, total_backup
+from repro.provisioning.decomposition import DecompositionReport, plan_decomposed
 from repro.provisioning.demand import PlacementData, PlacementOption
 from repro.provisioning.failures import (
     NO_FAILURE,
     FailureScenario,
+    dedupe_scenarios,
     enumerate_compound_scenarios,
     enumerate_scenarios,
+    scenario_structure_signature,
 )
 from repro.provisioning.formulation import ScenarioLP, ScenarioResult
 from repro.provisioning.lp import (
     ConstraintSet,
     LinearProgram,
+    LPInstance,
     LPSolution,
     SolveStats,
     VariableRegistry,
+    WarmStartCache,
 )
 from repro.provisioning.planner import CapacityPlan, CapacityPlanner
+from repro.provisioning.portfolio import (
+    ArmOutcome,
+    build_arms,
+    run_race,
+    scenario_lower_bound,
+)
 
 __all__ = [
+    "ArmOutcome",
     "BackgroundTraffic",
     "CapacityPlan",
     "CapacityPlanner",
     "ConstraintSet",
+    "DecompositionReport",
     "FailureScenario",
+    "LPInstance",
     "LPSolution",
     "LinearProgram",
     "NO_FAILURE",
@@ -34,9 +48,16 @@ __all__ = [
     "ScenarioResult",
     "SolveStats",
     "VariableRegistry",
+    "WarmStartCache",
+    "build_arms",
+    "dedupe_scenarios",
     "diurnal_background",
     "enumerate_compound_scenarios",
     "enumerate_scenarios",
+    "plan_decomposed",
+    "run_race",
+    "scenario_lower_bound",
+    "scenario_structure_signature",
     "solve_backup_lp",
     "total_backup",
 ]

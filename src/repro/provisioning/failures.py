@@ -22,10 +22,14 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.errors import TopologyError
 from repro.topology.builder import Topology
+
+if TYPE_CHECKING:
+    from repro.provisioning.demand import PlacementData
+    from repro.workload.arrivals import Demand
 
 
 @dataclass(frozen=True)
@@ -151,3 +155,59 @@ def enumerate_compound_scenarios(topology: Topology,
                     failed_links=(link.link_id,),
                 ))
     return scenarios
+
+
+def scenario_structure_signature(placement: "PlacementData",
+                                 demand: "Demand",
+                                 scenario: FailureScenario) -> Tuple:
+    """What the LP actually *sees* of a scenario: the surviving options.
+
+    Two scenarios with different failure lists can induce identical LPs —
+    cutting a link no demanded config routes over, or losing a DC that
+    reroutes onto the same fallback another failure already forces.  The
+    signature captures, per config **with demand**, the sorted content of
+    its surviving :class:`~repro.provisioning.demand.PlacementOption` set
+    (DC, ACL, cores/call, per-link Gbps) — equal signatures imply
+    identical scenario LPs for the same demand matrix, so one solve
+    serves all of them.
+    """
+    counts = demand.counts
+    parts: List[Tuple] = []
+    for j, config in enumerate(demand.configs):
+        if not bool((counts[:, j] > 0).any()):
+            continue
+        options = placement.options_under_scenario(config, scenario)
+        parts.append((
+            j,
+            tuple(sorted(
+                (option.dc_id, option.acl_ms, option.cores_per_call,
+                 tuple(sorted(option.link_gbps.items())))
+                for option in options
+            )),
+        ))
+    return tuple(parts)
+
+
+def dedupe_scenarios(placement: "PlacementData", demand: "Demand",
+                     scenarios: Sequence[FailureScenario]
+                     ) -> Tuple[List[FailureScenario], List[int]]:
+    """Collapse structurally identical scenarios before a sweep.
+
+    Returns ``(unique, expansion)``: the first-seen representative of
+    each :func:`scenario_structure_signature` class, and for every input
+    scenario the index of its representative in ``unique`` — so callers
+    solve only ``unique`` and fan the results back out over the original
+    list.
+    """
+    unique: List[FailureScenario] = []
+    expansion: List[int] = []
+    index_of: Dict[Tuple, int] = {}
+    for scenario in scenarios:
+        signature = scenario_structure_signature(placement, demand, scenario)
+        idx = index_of.get(signature)
+        if idx is None:
+            idx = len(unique)
+            index_of[signature] = idx
+            unique.append(scenario)
+        expansion.append(idx)
+    return unique, expansion

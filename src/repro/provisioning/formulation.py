@@ -60,8 +60,10 @@ from repro.provisioning.demand import PlacementData
 from repro.provisioning.failures import NO_FAILURE, FailureScenario
 from repro.provisioning.lp import (
     LinearProgram,
+    LPInstance,
     LPSolution,
     SolveStats,
+    WarmStartCache,
     conditioning_scale,
 )
 from repro.workload.arrivals import Demand
@@ -149,6 +151,10 @@ class ScenarioResult:
     shares: Dict[Tuple[int, CallConfig], Dict[str, float]]
     cost: float
     stats: SolveStats = field(default_factory=SolveStats)
+    #: For portfolio/heuristic results: the certified relative optimality
+    #: gap ``(upper - lower) / lower`` of the winning arm.  ``None`` means
+    #: the result is an exact LP optimum (gap 0 by construction).
+    bound_gap: Optional[float] = None
 
     def mean_acl_ms(self, placement: PlacementData, demand: Demand) -> float:
         """Demand-weighted mean ACL of this scenario's allocation."""
@@ -200,6 +206,7 @@ class ScenarioLP:
         self.latency_weight = latency_weight
         self.background = background
         self.dc_core_limits = dict(dc_core_limits) if dc_core_limits else {}
+        self._prepared: Optional[Tuple["ScenarioLP", LPInstance, float]] = None
 
     def _survivor_options(self, config: CallConfig):
         return self.placement.options_under_scenario(config, self.scenario)
@@ -383,29 +390,126 @@ class ScenarioLP:
                 lp.less_equal.add_term(row, lp.variables[("NP", link_id)], -1.0)
         return lp
 
-    def solve(self) -> ScenarioResult:
-        """Normalize, assemble, solve, and rescale (see module docstring)."""
-        t0 = time.perf_counter()
-        groups = [
-            self.demand.counts,
-            list(self.base_cores.values()),
-            list(self.base_links.values()),
-            list(self.dc_core_limits.values()),
-        ]
-        if self.background is not None:
-            groups.extend(
-                self.background.series(link_id)
-                for link_id in self.background.links()
-            )
-        scale = conditioning_scale(*groups)
-        problem = self._normalized(scale) if scale != 1.0 else self
-        lp = problem.build()
-        assembly_seconds = time.perf_counter() - t0
+    def prepared(self) -> Tuple["ScenarioLP", LPInstance, float]:
+        """``(normalized problem, materialized instance, scale)``, memoized.
+
+        Conditioning, formulation build, and the COO→CSR conversion run
+        once per ``ScenarioLP`` object however many consumers need the
+        instance — the portfolio race prices a cached dual point on it
+        first and, only if no heuristic arm certifies, hands the *same*
+        instance to the exact solve.
+        """
+        if self._prepared is None:
+            t0 = time.perf_counter()
+            groups = [
+                self.demand.counts,
+                list(self.base_cores.values()),
+                list(self.base_links.values()),
+                list(self.dc_core_limits.values()),
+            ]
+            if self.background is not None:
+                groups.extend(
+                    self.background.series(link_id)
+                    for link_id in self.background.links()
+                )
+            scale = conditioning_scale(*groups)
+            problem = self._normalized(scale) if scale != 1.0 else self
+            lp = problem.build()
+            assembly_seconds = time.perf_counter() - t0
+            instance = lp.snapshot(assembly_seconds=assembly_seconds)
+            self._prepared = (problem, instance, scale)
+        return self._prepared
+
+    def dual_floor(self, warm_cache: Optional[WarmStartCache]
+                   ) -> Optional[float]:
+        """A lower bound on this LP's optimum from cached duals, if any.
+
+        A previous solve of the same :meth:`signature` left its dual
+        point in the cache; that point stays dual-feasible here (same
+        matrix and objective — only the RHS moved), so pricing this
+        instance's RHS against it bounds the optimum from below in
+        **original units** (the bound scales back out of the
+        conditioning normalization with the objective).  Returns ``None``
+        when no usable duals are cached.
+        """
+        if warm_cache is None:
+            return None
+        duals = warm_cache.get_duals(self.signature())
+        if duals is None:
+            return None
+        _, instance, scale = self.prepared()
+        bound = instance.dual_bound(*duals)
+        if bound is None:
+            return None
+        return bound * scale
+
+    def signature(self) -> Tuple:
+        """Structural signature of this LP for warm-start keying.
+
+        Two instances with equal signatures assemble the *same variable
+        set and constraint pattern* — only the numbers (demand counts,
+        base capacities, background levels) differ, which is exactly the
+        day-N → day-N+1 and rolling-horizon-refresh relationship.  Base
+        capacities shift right-hand sides, never structure, so they are
+        deliberately absent; the demand **activity mask** is included
+        because slots/configs with zero demand drop rows and columns.
+        """
+        return (
+            self.scenario.all_failed_dcs,
+            self.scenario.all_failed_links,
+            tuple(self.demand.configs),
+            self.demand.n_slots,
+            (self.demand.counts > 0).tobytes(),
+            tuple(sorted(self.dc_core_limits)),
+            self.background is not None,
+        )
+
+    def _warm_seed_of(self, instance: LPInstance,
+                      solution: LPSolution) -> Tuple:
+        """The support to cache: nonzero S shares plus *every* CP/NP key.
+
+        Capacity columns must always be in the seed even when their value
+        is 0 — a compute row is ``Σ cores·S − CP ≤ base``, and dropping a
+        zero-valued CP column would make that row unsatisfiable the
+        moment the base shrinks or demand grows.
+        """
+        support = set(instance.support(solution))
+        support.update(
+            key for key in instance.keys if key[0] in ("CP", "NP")
+        )
+        return tuple(sorted(support, key=repr))
+
+    def solve(self, warm_cache: Optional[WarmStartCache] = None,
+              max_pricing_rounds: int = 2) -> ScenarioResult:
+        """Normalize, assemble, solve, and rescale (see module docstring).
+
+        With a ``warm_cache``, the previous solution's support under this
+        instance's :meth:`signature` seeds a restricted solve with
+        reduced-cost certification (:meth:`LPInstance.solve_seeded`); any
+        failure to certify falls back to the cold path, and the winning
+        support is written back for the next solve.  Warm or cold, the
+        returned result is an exact optimum of the full LP.
+        """
+        description = f"provisioning[{self.scenario.name}]"
         try:
-            solution = lp.solve(
-                description=f"provisioning[{self.scenario.name}]",
-                assembly_seconds=assembly_seconds,
-            )
+            problem, instance, scale = self.prepared()
+            solution = None
+            signature = None
+            if warm_cache is not None:
+                signature = self.signature()
+                seed = warm_cache.get(signature)
+                if seed is not None:
+                    solution = instance.solve_seeded(
+                        seed, description=description,
+                        max_pricing_rounds=max_pricing_rounds,
+                    )
+            if solution is None:
+                solution = instance.solve(description=description)
+            if warm_cache is not None and signature is not None:
+                warm_cache.put(signature,
+                               self._warm_seed_of(instance, solution),
+                               dual_ineq=solution.dual_ineq,
+                               dual_eq=solution.dual_eq)
         except InfeasibleError as exc:
             diagnosis = diagnose_infeasibility(
                 self.placement, self.demand, self.scenario,

@@ -24,24 +24,34 @@ Two sweep modes implement the combining:
 
 from __future__ import annotations
 
+import dataclasses
+import functools
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.core.errors import InfeasibleError, SolverError, SolveTimeoutError
 from repro.obs.events import Event, Observability
 from repro.provisioning.demand import PlacementData
-from repro.provisioning.failures import NO_FAILURE, FailureScenario, enumerate_scenarios
+from repro.provisioning.failures import (
+    NO_FAILURE,
+    FailureScenario,
+    dedupe_scenarios,
+    enumerate_scenarios,
+)
 from repro.provisioning.formulation import ScenarioLP, ScenarioResult
-from repro.provisioning.lp import SolveStats
+from repro.provisioning.lp import SolveStats, WarmStartCache
+from repro.provisioning.portfolio import build_arms, run_race
 from repro.topology.builder import Topology
 from repro.workload.arrivals import Demand
 
 if TYPE_CHECKING:
+    from repro.config import PortfolioConfig
+    from repro.provisioning.decomposition import DecompositionReport
     from repro.resilience.supervisor import SolveSupervisor
 
 
@@ -63,6 +73,11 @@ class CapacityPlan:
     method: Optional[str] = None
     degradation_level: int = 0
     obs: Optional[Observability] = field(default=None, repr=False, compare=False)
+    #: Certified (upper, lower, gap) bracket when the plan came from the
+    #: ``decomposed`` bound-exchange loop; ``None`` otherwise.
+    gap_report: Optional["DecompositionReport"] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def degraded(self) -> bool:
@@ -109,13 +124,31 @@ class CapacityPlan:
     def aggregate_stats(self) -> SolveStats:
         """Merged :class:`SolveStats` over every scenario solve.
 
-        Sizes, nnz, and seconds sum across scenarios, so the record
-        answers "how much LP work did this plan cost, and was it spent
-        assembling or solving?".
+        Seconds, nnz, and solve counts *sum* across scenarios (total
+        work); ``n_rows``/``n_cols`` take the *max* (the largest problem
+        solved) — so the record answers "how much LP work did this plan
+        cost, and how big did it get?".  ``arm`` survives only when every
+        scenario was won by the same arm; use :meth:`arm_stats` for the
+        per-arm breakdown.
         """
         return SolveStats.combine(
             result.stats for result in self.scenario_results
         )
+
+    def arm_stats(self) -> Dict[str, SolveStats]:
+        """Per-arm aggregate :class:`SolveStats`, keyed by arm name.
+
+        Results with no arm attribution (the historical cold exact path)
+        group under ``"exact"``; deduplicated fan-out copies appear under
+        ``"dedup"`` with ``n_solves == 0``.
+        """
+        grouped: Dict[str, List[SolveStats]] = {}
+        for result in self.scenario_results:
+            grouped.setdefault(result.stats.arm or "exact",
+                               []).append(result.stats)
+        return {
+            arm: SolveStats.combine(stats) for arm, stats in grouped.items()
+        }
 
     def fits(self, other: "CapacityPlan", tolerance: float = 1e-6) -> bool:
         """True when ``other``'s capacities fit inside this plan's."""
@@ -144,27 +177,74 @@ def _scenario_label(scenario: FailureScenario) -> str:
 
 
 def _init_scenario_worker(placement, demand, background, dc_core_limits,
-                          fault_plan=None):
+                          fault_plan=None, portfolio=None, warm_seeds=None):
     _WORKER_CONTEXT["args"] = (placement, demand, background, dc_core_limits)
     _WORKER_CONTEXT["faults"] = fault_plan
+    _WORKER_CONTEXT["portfolio"] = portfolio
+    _WORKER_CONTEXT["shipped_seeds"] = dict(warm_seeds or {})
+    cache = None
+    if portfolio is not None and portfolio.warm_start:
+        cache = WarmStartCache()
+        for signature, entry in (warm_seeds or {}).items():
+            cache.put(signature, *entry)
+    _WORKER_CONTEXT["warm_cache"] = cache
+
+
+def _inject_worker_faults(scenario: FailureScenario) -> None:
+    faults = _WORKER_CONTEXT.get("faults")
+    if faults is None:
+        return
+    label = _scenario_label(scenario)
+    if faults.take("worker_death", label) is not None:
+        # An OOM-kill / segfault stand-in: the whole worker process
+        # hard-exits, breaking the pool for every sibling future.
+        os._exit(1)
+    hang = faults.take("hang", label)
+    if hang is not None:
+        time.sleep(hang.hang_seconds)
 
 
 def _solve_scenario_in_worker(scenario: FailureScenario) -> ScenarioResult:
     placement, demand, background, dc_core_limits = _WORKER_CONTEXT["args"]
-    faults = _WORKER_CONTEXT.get("faults")
-    if faults is not None:
-        label = _scenario_label(scenario)
-        if faults.take("worker_death", label) is not None:
-            # An OOM-kill / segfault stand-in: the whole worker process
-            # hard-exits, breaking the pool for every sibling future.
-            os._exit(1)
-        hang = faults.take("hang", label)
-        if hang is not None:
-            time.sleep(hang.hang_seconds)
+    _inject_worker_faults(scenario)
     return ScenarioLP(
         placement, demand, scenario,
         background=background, dc_core_limits=dc_core_limits,
     ).solve()
+
+
+def _race_scenario_in_worker(scenario: FailureScenario):
+    """Pool task for portfolio runs: race the arms inside the worker.
+
+    Returns ``(result, trail, cache_updates)`` — the parent replays the
+    win/loss ``trail`` into its observability log and folds
+    ``cache_updates`` (warm-start seeds learned here, keyed by LP
+    signature) into the session cache, so day-N pool solves warm-start
+    day-N+1 even though each worker's cache is process-local.
+    """
+    placement, demand, background, dc_core_limits = _WORKER_CONTEXT["args"]
+    _inject_worker_faults(scenario)
+    portfolio = _WORKER_CONTEXT["portfolio"]
+    cache = _WORKER_CONTEXT["warm_cache"]
+    arms = build_arms(
+        placement, demand, scenario,
+        arms=portfolio.arms,
+        warm_cache=cache,
+        max_pricing_rounds=portfolio.max_pricing_rounds,
+        background=background, dc_core_limits=dc_core_limits,
+    )
+    result, trail = run_race(
+        arms, portfolio.gap, label=_scenario_label(scenario)
+    )
+    updates = {}
+    if cache is not None:
+        shipped = _WORKER_CONTEXT["shipped_seeds"]
+        updates = {
+            signature: entry
+            for signature, entry in cache.seeds_snapshot().items()
+            if shipped.get(signature) != entry
+        }
+    return result, trail, updates
 
 
 class CapacityPlanner:
@@ -176,18 +256,51 @@ class CapacityPlanner:
     arms the ``method="max"`` sweep's process pool with death recovery.
     Without a supervisor the planner behaves exactly as before: direct
     solves, no events, failures propagate immediately.
+
+    ``portfolio`` (optional, a :class:`~repro.config.PortfolioConfig`)
+    turns on the decomposed/warm-started/raced planner: empty-base
+    scenario solves race heuristic bounds against the exact LP
+    (first-valid-wins-under-gap), structurally identical scenarios are
+    deduplicated before the sweep, and repeat solves of the same LP
+    structure warm-start from ``warm_cache`` (one is created per planner
+    when not given; pass the :class:`~repro.provisioning.lp.WarmStartCache`
+    of a longer-lived owner — :class:`~repro.switchboard.Switchboard` —
+    to carry seeds across days and rolling refreshes).
     """
 
     def __init__(self, placement: PlacementData, demand: Demand,
-                 supervisor: Optional["SolveSupervisor"] = None):
+                 supervisor: Optional["SolveSupervisor"] = None,
+                 portfolio: Optional["PortfolioConfig"] = None,
+                 warm_cache: Optional[WarmStartCache] = None):
         self.placement = placement
         self.demand = demand
         self.supervisor = supervisor
+        self.portfolio = portfolio
+        if warm_cache is None and portfolio is not None and \
+                portfolio.warm_start:
+            warm_cache = WarmStartCache()
+        self.warm_cache = warm_cache
 
     def _run(self, label: str, fn: Callable[[], ScenarioResult]):
         if self.supervisor is None:
             return fn()
         return self.supervisor.run(label, fn)
+
+    @property
+    def _active_warm_cache(self) -> Optional[WarmStartCache]:
+        if self.portfolio is not None and self.portfolio.warm_start:
+            return self.warm_cache
+        return None
+
+    def _exact_solve(self, lp: ScenarioLP) -> Callable[[], ScenarioResult]:
+        """The exact-LP thunk for one scenario, warm-started when on."""
+        cache = self._active_warm_cache
+        if cache is None:
+            return lp.solve
+        rounds = self.portfolio.max_pricing_rounds
+        return functools.partial(
+            lp.solve, warm_cache=cache, max_pricing_rounds=rounds
+        )
 
     def plan_without_backup(self, background=None,
                             dc_core_limits=None) -> CapacityPlan:
@@ -216,6 +329,11 @@ class CapacityPlanner:
         incremental sweep (sequential by design); the parallel plan is
         bitwise-deterministic and identical to the sequential one because
         results are merged in scenario order.
+
+        ``method="decomposed"`` runs the master/subproblem bound-exchange
+        loop (:mod:`repro.provisioning.decomposition`): incremental
+        master sweeps plus standalone subproblem solves that certify an
+        optimality bracket, attached to the plan as ``plan.gap_report``.
         """
         scenarios = enumerate_scenarios(
             self.placement.topology, max_link_scenarios=max_link_scenarios
@@ -237,6 +355,18 @@ class CapacityPlanner:
             return self.plan(scenarios=scenarios, background=background,
                              dc_core_limits=dc_core_limits,
                              combine="max", workers=workers)
+        if method == "decomposed":
+            from repro.provisioning.decomposition import plan_decomposed
+
+            portfolio = self.portfolio
+            return plan_decomposed(
+                self, scenarios,
+                background=background, dc_core_limits=dc_core_limits,
+                gap=(portfolio.decomposition_gap
+                     if portfolio is not None else 0.05),
+                max_iterations=(portfolio.decomposition_max_iterations
+                                if portfolio is not None else 4),
+            )
         raise SolverError(f"unknown provisioning method {method!r}")
 
     def plan(self, scenarios: List[FailureScenario], background=None,
@@ -265,7 +395,7 @@ class CapacityPlanner:
             raise SolverError(f"unknown combine mode {combine!r}")
         ordered = sorted(scenarios, key=lambda s: not s.is_baseline)
         if combine == "max":
-            results = self._solve_independent(
+            results = self._sweep_deduped(
                 ordered, background, dc_core_limits, workers
             )
             cores: Dict[str, float] = {}
@@ -288,13 +418,60 @@ class CapacityPlanner:
                 background=background,
                 dc_core_limits=dc_core_limits,
             )
-            result = self._run(_scenario_label(scenario), lp.solve)
+            result = self._run(_scenario_label(scenario),
+                               self._exact_solve(lp))
             results.append(result)
             for dc_id, extra in result.excess_cores.items():
                 cores[dc_id] = cores.get(dc_id, 0.0) + extra
             for link_id, extra in result.excess_links.items():
                 link_gbps[link_id] = link_gbps.get(link_id, 0.0) + extra
         return CapacityPlan(cores=cores, link_gbps=link_gbps, scenario_results=results)
+
+    def _sweep_deduped(self, ordered: List[FailureScenario],
+                       background, dc_core_limits,
+                       workers: Optional[int]) -> List[ScenarioResult]:
+        """The independent sweep, with structural scenario dedup when on.
+
+        Only the first scenario of each structure class is solved; the
+        duplicates are fanned back out as zero-cost copies (fresh
+        ``n_solves=0`` stats tagged ``arm="dedup"``) so the result list
+        still lines up one-to-one with ``ordered`` and aggregate stats
+        count the LP work exactly once.
+        """
+        portfolio = self.portfolio
+        if portfolio is None or not portfolio.dedupe or len(ordered) < 2:
+            return self._solve_independent(
+                ordered, background, dc_core_limits, workers
+            )
+        unique, expansion = dedupe_scenarios(
+            self.placement, self.demand, ordered
+        )
+        if len(unique) == len(ordered):
+            return self._solve_independent(
+                ordered, background, dc_core_limits, workers
+            )
+        if self.supervisor is not None:
+            self.supervisor.obs.record(
+                "dedup.collapsed", label="provision.max",
+                scenarios=len(ordered), unique=len(unique),
+            )
+        solved = self._solve_independent(
+            unique, background, dc_core_limits, workers
+        )
+        first_index: Dict[int, int] = {}
+        results: List[ScenarioResult] = []
+        for i, idx in enumerate(expansion):
+            if idx not in first_index:
+                first_index[idx] = i
+                results.append(solved[idx])
+                continue
+            original = solved[idx]
+            results.append(dataclasses.replace(
+                original,
+                scenario=ordered[i],
+                stats=SolveStats(n_solves=0, arm="dedup"),
+            ))
+        return results
 
     def _solve_independent(self, ordered: List[FailureScenario],
                            background, dc_core_limits,
@@ -307,14 +484,33 @@ class CapacityPlanner:
         dead workers (see :meth:`_solve_pool_supervised`).
         """
         n_workers = self._effective_workers(workers, len(ordered))
+        portfolio = self.portfolio
         if n_workers <= 1:
             results = []
             for scenario in ordered:
+                label = _scenario_label(scenario)
+                if portfolio is not None:
+                    arms = build_arms(
+                        self.placement, self.demand, scenario,
+                        arms=portfolio.arms,
+                        warm_cache=self._active_warm_cache,
+                        max_pricing_rounds=portfolio.max_pricing_rounds,
+                        background=background,
+                        dc_core_limits=dc_core_limits,
+                    )
+                    if self.supervisor is not None:
+                        results.append(self.supervisor.race(
+                            label, arms, portfolio.gap
+                        ))
+                    else:
+                        result, _ = run_race(arms, portfolio.gap, label=label)
+                        results.append(result)
+                    continue
                 lp = ScenarioLP(
                     self.placement, self.demand, scenario,
                     background=background, dc_core_limits=dc_core_limits,
                 )
-                results.append(self._run(_scenario_label(scenario), lp.solve))
+                results.append(self._run(label, self._exact_solve(lp)))
             return results
         if self.supervisor is not None:
             return self._solve_pool_supervised(
@@ -324,9 +520,29 @@ class CapacityPlanner:
             max_workers=n_workers,
             initializer=_init_scenario_worker,
             initargs=(self.placement, self.demand, background,
-                      dc_core_limits, None),
+                      dc_core_limits, None, portfolio,
+                      self._warm_seeds_snapshot()),
         ) as executor:
-            return list(executor.map(_solve_scenario_in_worker, ordered))
+            if portfolio is None:
+                return list(executor.map(_solve_scenario_in_worker, ordered))
+            results = []
+            for result, _trail, updates in executor.map(
+                _race_scenario_in_worker, ordered
+            ):
+                self._absorb_cache_updates(updates)
+                results.append(result)
+            return results
+
+    def _warm_seeds_snapshot(self):
+        cache = self._active_warm_cache
+        return cache.seeds_snapshot() if cache is not None else None
+
+    def _absorb_cache_updates(self, updates) -> None:
+        cache = self._active_warm_cache
+        if cache is None or not updates:
+            return
+        for signature, entry in updates.items():
+            cache.put(signature, *entry)
 
     def _solve_pool_supervised(self, ordered: List[FailureScenario],
                                background, dc_core_limits,
@@ -352,6 +568,9 @@ class CapacityPlanner:
         cfg = supervisor.config
         obs = supervisor.obs
         fault_plan = cfg.fault_plan
+        portfolio = self.portfolio
+        task = (_race_scenario_in_worker if portfolio is not None
+                else _solve_scenario_in_worker)
         results: Dict[int, ScenarioResult] = {}
         restarts_left = cfg.pool_restarts
         retries_left = {i: cfg.solve_retries for i in range(len(ordered))}
@@ -365,7 +584,8 @@ class CapacityPlanner:
                 max_workers=n_workers,
                 initializer=_init_scenario_worker,
                 initargs=(self.placement, self.demand, background,
-                          dc_core_limits, fault_plan),
+                          dc_core_limits, fault_plan, portfolio,
+                          self._warm_seeds_snapshot()),
             )
             broken = False
             try:
@@ -388,16 +608,23 @@ class CapacityPlanner:
                         obs.record("solve.retry", label=label,
                                    delay_s=0.0)
                     submitted.append(
-                        (i, scenario,
-                         executor.submit(_solve_scenario_in_worker, scenario))
+                        (i, scenario, executor.submit(task, scenario))
                     )
                 for i, scenario, future in submitted:
                     label = _scenario_label(scenario)
                     while True:
                         try:
-                            results[i] = future.result(
+                            outcome = future.result(
                                 timeout=cfg.solve_timeout_s
                             )
+                            if portfolio is not None:
+                                result, trail, updates = outcome
+                                for kind, fields in trail:
+                                    obs.record(kind, **fields)
+                                self._absorb_cache_updates(updates)
+                                results[i] = result
+                            else:
+                                results[i] = outcome
                             obs.record("solve.success", label=label)
                             break
                         except FutureTimeoutError:
@@ -427,9 +654,7 @@ class CapacityPlanner:
                             retries_left[i] -= 1
                             obs.record("solve.retry", label=label,
                                        delay_s=0.0)
-                            future = executor.submit(
-                                _solve_scenario_in_worker, scenario
-                            )
+                            future = executor.submit(task, scenario)
                     if broken:
                         break
             finally:

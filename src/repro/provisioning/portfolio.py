@@ -1,0 +1,415 @@
+"""Solver portfolio: heuristic bounds racing the exact scenario LP.
+
+The max-combining sweep solves one LP per failure scenario.  Most of
+those scenarios are *easy* — the optimal plan is near the obvious one —
+so paying a full LP for each is wasted wall clock at 10–100x scenario
+counts.  This module provides cheap **arms** that bracket the optimum
+with certified bounds, and a race that accepts the first arm whose upper
+bound is provably within the configured gap of the best lower bound:
+
+* ``locality`` — closed form.  Upper bound: assign every config to its
+  cheapest surviving option (unit cost = cores·DC$ + Σ Gbps·WAN$) and
+  price the resulting peaks.  Lower bound: the busiest slot priced at
+  cheapest-option rates — valid because total cost is at least any one
+  slot's usage priced at the cheapest unit rates.
+* ``lagrangean`` — one dual step.  The capacity constraints are relaxed
+  with multipliers that split each capacity price over slots
+  proportionally to a reference usage profile (the locality assignment's,
+  with idle DCs/links priced uniformly).  The relaxed problem separates
+  per slot, giving the dual bound ``L(λ) = Σ_t Σ_j counts·min_o
+  price_o(t)``; the per-slot argmin assignment is simultaneously a
+  feasible plan (its real-cost peaks are the upper bound) that shaves
+  peaks by steering demand away from slots where a DC's multiplier is
+  high.
+* ``exact`` — the full :class:`~repro.provisioning.formulation.ScenarioLP`
+  (optionally warm-started), upper bound = lower bound = optimum.
+
+**First-valid-wins-under-gap**: arms run cheapest first; each one raises
+the best known lower bound, and a heuristic wins the moment its upper
+bound is ≤ ``(1+gap)`` times that bound — so a returned plan is *always*
+within ``gap`` of the exact optimum, by construction, whether or not the
+exact LP ever ran.  Heuristic arms are only raced on empty-base solves
+(the max-combining sweep); incremental/base-capacity solves always use
+the exact arm.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.errors import InfeasibleError
+from repro.provisioning.demand import PlacementData, PlacementOption
+from repro.provisioning.failures import FailureScenario
+from repro.provisioning.formulation import ScenarioLP, ScenarioResult
+from repro.provisioning.lp import SolveStats, WarmStartCache
+from repro.workload.arrivals import Demand
+
+if TYPE_CHECKING:
+    from repro.provisioning.background import BackgroundTraffic
+
+#: Arm order is race order: cheapest bound first, exact LP as the backstop.
+DEFAULT_ARMS: Tuple[str, ...] = ("locality", "lagrangean", "exact")
+
+#: Relative slack when testing UB <= (1+gap)·LB, so solver-tolerance noise
+#: on an exactly-tight bound doesn't flip a win into a loss.
+_BOUND_RTOL = 1e-9
+
+
+@dataclass
+class ArmOutcome:
+    """One arm's verdict: a feasible plan (maybe) plus certified bounds."""
+
+    arm: str
+    result: Optional[ScenarioResult]
+    upper_bound: float
+    lower_bound: float
+    exact: bool = False
+
+
+def unit_cost(placement: PlacementData, option: PlacementOption) -> float:
+    """Capacity cost of hosting one steady call on this option."""
+    topology = placement.topology
+    return (
+        option.cores_per_call * topology.dc_cost(option.dc_id)
+        + sum(
+            gbps * topology.wan_cost(link_id)
+            for link_id, gbps in option.link_gbps.items()
+        )
+    )
+
+
+def scenario_lower_bound(placement: PlacementData, demand: Demand,
+                         scenario: FailureScenario) -> float:
+    """Closed-form lower bound on a scenario's standalone optimum.
+
+    Any feasible plan's cost is at least any single slot's usage priced
+    at each config's cheapest surviving unit rate, so the busiest slot so
+    priced bounds the optimum from below.  Also used by the decomposition
+    loop to pick which scenario to solve standalone next.
+    """
+    counts = demand.counts
+    if counts.size == 0:
+        return 0.0
+    min_costs = np.array([
+        min(
+            unit_cost(placement, option)
+            for option in placement.options_under_scenario(config, scenario)
+        )
+        for config in demand.configs
+    ])
+    return float((counts * min_costs).sum(axis=1).max())
+
+
+def _used_links(placement: PlacementData, demand: Demand,
+                scenario: FailureScenario) -> List[str]:
+    links: set = set()
+    for config in demand.configs:
+        for option in placement.options_under_scenario(config, scenario):
+            links.update(option.link_gbps)
+    return sorted(links)
+
+
+def _assignment_result(placement: PlacementData, demand: Demand,
+                       scenario: FailureScenario,
+                       choice: Dict[int, np.ndarray],
+                       arm: str,
+                       background: Optional["BackgroundTraffic"],
+                       dc_core_limits: Optional[Dict[str, float]],
+                       started: float) -> Optional[ScenarioResult]:
+    """Price a concrete per-slot assignment into a feasible ScenarioResult.
+
+    ``choice[j][t]`` is the index (into the config's surviving-option
+    list) hosting all of config ``j``'s slot-``t`` calls.  Returns
+    ``None`` when the assignment violates a DC core cap — the arm is then
+    invalid and the race moves on.
+    """
+    counts = demand.counts
+    n_slots = demand.n_slots
+    core_series: Dict[str, np.ndarray] = {}
+    link_series: Dict[str, np.ndarray] = {}
+    shares: Dict[Tuple[int, object], Dict[str, float]] = {}
+    for j, config in enumerate(demand.configs):
+        options = placement.options_under_scenario(config, scenario)
+        column = counts[:, j]
+        for t in np.nonzero(column > 0)[0]:
+            option = options[int(choice[j][t])]
+            calls = float(column[t])
+            series = core_series.setdefault(
+                option.dc_id, np.zeros(n_slots)
+            )
+            series[t] += calls * option.cores_per_call
+            for link_id, gbps in option.link_gbps.items():
+                link_series.setdefault(
+                    link_id, np.zeros(n_slots)
+                )[t] += calls * gbps
+            shares.setdefault((int(t), config), {})[option.dc_id] = calls
+
+    cores = {dc_id: float(series.max())
+             for dc_id, series in core_series.items()}
+    if dc_core_limits:
+        for dc_id, value in cores.items():
+            cap = dc_core_limits.get(dc_id)
+            if cap is not None and value > cap * (1.0 + 1e-9):
+                return None
+
+    link_gbps: Dict[str, float] = {}
+    for link_id, series in link_series.items():
+        if background is not None:
+            series = series + background.series(link_id)[:n_slots]
+        link_gbps[link_id] = float(series.max())
+    if background is not None:
+        # Mirror the LP: NP on every reachable link must cover the
+        # background's own peak even where no call traffic lands.
+        for link_id in _used_links(placement, demand, scenario):
+            peak = background.peak(link_id)
+            if peak > 0:
+                link_gbps[link_id] = max(link_gbps.get(link_id, 0.0), peak)
+
+    topology = placement.topology
+    cost = (
+        sum(topology.dc_cost(dc_id) * v for dc_id, v in cores.items())
+        + sum(topology.wan_cost(l) * v for l, v in link_gbps.items())
+    )
+    return ScenarioResult(
+        scenario=scenario,
+        cores=cores,
+        link_gbps=link_gbps,
+        excess_cores=dict(cores),
+        excess_links=dict(link_gbps),
+        shares=shares,
+        cost=cost,
+        stats=SolveStats(
+            solver_seconds=time.perf_counter() - started,
+            arm=arm,
+        ),
+    )
+
+
+def _locality_arm(placement: PlacementData, demand: Demand,
+                  scenario: FailureScenario,
+                  background: Optional["BackgroundTraffic"],
+                  dc_core_limits: Optional[Dict[str, float]]) -> ArmOutcome:
+    started = time.perf_counter()
+    choice: Dict[int, np.ndarray] = {}
+    for j, config in enumerate(demand.configs):
+        options = placement.options_under_scenario(config, scenario)
+        costs = [unit_cost(placement, option) for option in options]
+        choice[j] = np.full(demand.n_slots, int(np.argmin(costs)),
+                            dtype=np.int64)
+    lower = scenario_lower_bound(placement, demand, scenario)
+    result = _assignment_result(
+        placement, demand, scenario, choice, "locality",
+        background, dc_core_limits, started,
+    )
+    upper = result.cost if result is not None else float("inf")
+    return ArmOutcome("locality", result, upper, lower)
+
+
+def _lagrangean_arm(placement: PlacementData, demand: Demand,
+                    scenario: FailureScenario,
+                    background: Optional["BackgroundTraffic"],
+                    dc_core_limits: Optional[Dict[str, float]]) -> ArmOutcome:
+    started = time.perf_counter()
+    counts = demand.counts
+    n_slots = demand.n_slots
+    topology = placement.topology
+
+    # Reference usage: the locality static assignment's per-slot series.
+    core_series: Dict[str, np.ndarray] = {}
+    link_series: Dict[str, np.ndarray] = {}
+    options_of: Dict[int, List[PlacementOption]] = {}
+    for j, config in enumerate(demand.configs):
+        options = placement.options_under_scenario(config, scenario)
+        options_of[j] = options
+        best = min(options, key=lambda option: unit_cost(placement, option))
+        usage = counts[:, j]
+        series = core_series.setdefault(best.dc_id, np.zeros(n_slots))
+        series += usage * best.cores_per_call
+        for link_id, gbps in best.link_gbps.items():
+            link_series.setdefault(link_id, np.zeros(n_slots))
+            link_series[link_id] += usage * gbps
+
+    def multipliers(series: Optional[np.ndarray], price: float) -> np.ndarray:
+        """Split a capacity price over slots: Σ_t λ_t == price (≤ is all
+        validity needs), weighted by the reference usage, uniform when
+        idle."""
+        if series is None or float(series.sum()) <= 0.0:
+            return np.full(n_slots, price / n_slots)
+        return price * series / float(series.sum())
+
+    lam: Dict[str, np.ndarray] = {}
+    mu: Dict[str, np.ndarray] = {}
+    choice: Dict[int, np.ndarray] = {}
+    lower = 0.0
+    per_slot_lb = np.zeros(n_slots)
+    for j, config in enumerate(demand.configs):
+        options = options_of[j]
+        prices = np.zeros((len(options), n_slots))
+        for k, option in enumerate(options):
+            dc_id = option.dc_id
+            if dc_id not in lam:
+                lam[dc_id] = multipliers(
+                    core_series.get(dc_id), topology.dc_cost(dc_id)
+                )
+            prices[k] = option.cores_per_call * lam[dc_id]
+            for link_id, gbps in option.link_gbps.items():
+                if link_id not in mu:
+                    mu[link_id] = multipliers(
+                        link_series.get(link_id), topology.wan_cost(link_id)
+                    )
+                prices[k] += gbps * mu[link_id]
+        choice[j] = prices.argmin(axis=0)
+        per_slot_lb += counts[:, j] * prices.min(axis=0)
+    lower = float(per_slot_lb.sum())
+
+    result = _assignment_result(
+        placement, demand, scenario, choice, "lagrangean",
+        background, dc_core_limits, started,
+    )
+    upper = result.cost if result is not None else float("inf")
+    return ArmOutcome("lagrangean", result, upper, lower)
+
+
+def build_arms(placement: PlacementData, demand: Demand,
+               scenario: FailureScenario,
+               arms: Sequence[str] = DEFAULT_ARMS,
+               warm_cache: Optional[WarmStartCache] = None,
+               max_pricing_rounds: int = 2,
+               background: Optional["BackgroundTraffic"] = None,
+               dc_core_limits: Optional[Dict[str, float]] = None,
+               ) -> List[Tuple[str, Callable[[], ArmOutcome]]]:
+    """The race lineup for one empty-base scenario solve, in race order.
+
+    All arms share one :class:`ScenarioLP` object: its memoized
+    :meth:`~ScenarioLP.prepared` instance serves both the dual-floor
+    pricing and (when no heuristic certifies) the exact solve, so a
+    failed heuristic attempt costs only the bound arithmetic — the
+    formulation is never assembled twice.
+
+    The closed-form lower bounds are weak on large topologies (the
+    busiest-slot relaxation ignores that different configs peak in
+    different slots), so heuristic arms also raise their lower bound to
+    the **cached-dual floor**: the previous structurally identical
+    solve's dual point priced on today's RHS
+    (:meth:`ScenarioLP.dual_floor`).  That is what lets a 2-3%-tight
+    locality plan actually *win* on day N+1 sweeps.
+    """
+    caps = dict(dc_core_limits) if dc_core_limits else None
+    lp = ScenarioLP(placement, demand, scenario,
+                    background=background, dc_core_limits=caps)
+    floor_memo: Dict[str, float] = {}
+
+    def dual_floor() -> float:
+        if "floor" not in floor_memo:
+            bound = lp.dual_floor(warm_cache)
+            floor_memo["floor"] = bound if bound is not None else 0.0
+        return floor_memo["floor"]
+
+    def locality() -> ArmOutcome:
+        outcome = _locality_arm(placement, demand, scenario, background, caps)
+        outcome.lower_bound = max(outcome.lower_bound, dual_floor())
+        return outcome
+
+    def lagrangean() -> ArmOutcome:
+        outcome = _lagrangean_arm(placement, demand, scenario, background,
+                                  caps)
+        outcome.lower_bound = max(outcome.lower_bound, dual_floor())
+        return outcome
+
+    def exact() -> ArmOutcome:
+        if warm_cache is not None:
+            result = lp.solve(warm_cache=warm_cache,
+                              max_pricing_rounds=max_pricing_rounds)
+        else:
+            result = lp.solve()
+        if result.stats.arm is None:
+            result.stats.arm = "exact"
+        return ArmOutcome("exact", result, result.cost, result.cost,
+                          exact=True)
+
+    available = {"locality": locality, "lagrangean": lagrangean,
+                 "exact": exact}
+    return [(name, available[name]) for name in arms]
+
+
+def run_race(arms: Sequence[Tuple[str, Callable[[], ArmOutcome]]],
+             gap: float,
+             runner: Optional[Callable[[str, Callable[[], ArmOutcome]],
+                                       ArmOutcome]] = None,
+             label: str = "portfolio",
+             ) -> Tuple[ScenarioResult, List[Tuple[str, Dict[str, object]]]]:
+    """Race the arms; first valid under the gap wins.
+
+    ``runner(label, fn)`` lets a supervisor wrap each arm with its
+    timeout/retry machinery; by default arms run directly (the process-
+    pool workers use this, returning the event ``trail`` for the parent
+    to replay into its observability log).
+
+    Returns ``(result, trail)`` where ``result.bound_gap`` is the
+    certified relative gap of the winning plan (0.0 for exact wins) and
+    ``trail`` is a list of ``(event_kind, fields)`` pairs —
+    ``portfolio.arm.win`` / ``portfolio.arm.loss`` — in race order.
+    """
+    trail: List[Tuple[str, Dict[str, object]]] = []
+    best_lower = 0.0
+    fallback: Optional[ArmOutcome] = None
+    for name, fn in arms:
+        arm_label = f"{label}@{name}"
+        try:
+            outcome = runner(arm_label, fn) if runner is not None else fn()
+        except InfeasibleError:
+            raise  # infeasibility is a property of the scenario, not the arm
+        except Exception as exc:
+            if name == "exact":
+                raise
+            trail.append(("portfolio.arm.loss", {
+                "label": label, "arm": name, "error": repr(exc),
+            }))
+            continue
+        best_lower = max(best_lower, outcome.lower_bound)
+        fields: Dict[str, object] = {
+            "label": label, "arm": name,
+            "upper_bound": outcome.upper_bound,
+            "lower_bound": best_lower,
+        }
+        wins = outcome.exact or (
+            outcome.result is not None
+            and outcome.upper_bound
+            <= (1.0 + gap) * best_lower * (1.0 + _BOUND_RTOL)
+        )
+        if wins:
+            if best_lower > 0:
+                bound_gap = max(
+                    0.0, (outcome.upper_bound - best_lower) / best_lower
+                )
+            else:
+                bound_gap = 0.0 if outcome.upper_bound <= 0 else float("inf")
+            outcome.result.bound_gap = bound_gap
+            fields["gap"] = bound_gap
+            trail.append(("portfolio.arm.win", fields))
+            return outcome.result, trail
+        trail.append(("portfolio.arm.loss", fields))
+        if outcome.result is not None and (
+            fallback is None or outcome.upper_bound < fallback.upper_bound
+        ):
+            fallback = outcome
+    if fallback is None or fallback.result is None:
+        raise InfeasibleError(f"{label}: no portfolio arm produced a plan")
+    # No arm met the gap (an exact-less lineup): return the best upper
+    # bound with its honest gap so callers can see what they got.
+    if best_lower > 0:
+        fallback.result.bound_gap = max(
+            0.0, (fallback.upper_bound - best_lower) / best_lower
+        )
+    trail.append(("portfolio.arm.win", {
+        "label": label, "arm": fallback.arm,
+        "upper_bound": fallback.upper_bound,
+        "lower_bound": best_lower,
+        "gap": fallback.result.bound_gap,
+        "gap_exceeded": True,
+    }))
+    return fallback.result, trail

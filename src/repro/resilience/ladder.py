@@ -44,17 +44,21 @@ from repro.workload.arrivals import Demand
 
 def provision_with_ladder(placement: PlacementData, demand: Demand,
                           config: PlannerConfig, with_backup: bool = True,
-                          supervisor: Optional[SolveSupervisor] = None
-                          ) -> CapacityPlan:
+                          supervisor: Optional[SolveSupervisor] = None,
+                          warm_cache=None) -> CapacityPlan:
     """Walk the degradation ladder until some rung yields a plan.
 
     Without backup there is only one LP to run, so the walk is the
     two-rung ``serving → locality``.  With backup the walk is
-    :meth:`PlannerConfig.provisioning_ladder`.
+    :meth:`PlannerConfig.provisioning_ladder`.  ``config.portfolio``
+    (plus an optional caller-owned ``warm_cache``) arms the planner with
+    arm racing, scenario dedup, and warm-started re-solves.
     """
     supervisor = supervisor or SolveSupervisor(config)
     obs = supervisor.obs
-    planner = CapacityPlanner(placement, demand, supervisor=supervisor)
+    planner = CapacityPlanner(placement, demand, supervisor=supervisor,
+                              portfolio=config.portfolio,
+                              warm_cache=warm_cache)
     rungs: Tuple[str, ...]
     if with_backup:
         rungs = config.provisioning_ladder()

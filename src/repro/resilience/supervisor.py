@@ -111,6 +111,28 @@ class SolveSupervisor:
                         attempts=attempts, error=str(last_error))
         raise last_error
 
+    def race(self, label: str, arms, gap: float):
+        """Race portfolio arms, each under the full :meth:`run` policy.
+
+        ``arms`` is the ``[(name, thunk)]`` lineup from
+        :func:`repro.provisioning.portfolio.build_arms`; each arm runs
+        through :meth:`run` as ``"{label}@{arm}"`` — so a hanging exact
+        LP still times out, a crashing arm still retries, and every
+        attempt lands in the event log — layered under the race's
+        first-valid-wins-under-gap semantics.  Win/loss per arm is
+        recorded as ``portfolio.arm.win`` / ``portfolio.arm.loss``
+        events.  :class:`InfeasibleError` propagates immediately
+        (infeasibility belongs to the scenario, not to an arm); an
+        exhausted *heuristic* arm is just a loss, while an exhausted
+        exact arm fails the race.
+        """
+        from repro.provisioning.portfolio import run_race
+
+        result, trail = run_race(arms, gap, runner=self.run, label=label)
+        for kind, fields in trail:
+            self.obs.record(kind, **fields)
+        return result
+
     def backoff_delay(self, attempt: int) -> float:
         """Jittered exponential backoff before retry ``attempt + 1``."""
         base = self.config.retry_backoff_s * (2.0 ** attempt)

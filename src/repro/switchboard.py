@@ -42,6 +42,7 @@ from repro.obs.events import Event, Observability
 from repro.provisioning.demand import PlacementData
 from repro.provisioning.failures import FailureScenario
 from repro.provisioning.formulation import ScenarioLP
+from repro.provisioning.lp import WarmStartCache
 from repro.provisioning.planner import CapacityPlan
 from repro.records.aggregation import cushion_factor, demand_from_database
 from repro.records.database import CallRecordsDatabase
@@ -124,6 +125,15 @@ class Switchboard(ProvisioningStrategy):
         self.obs = Observability()
         self._supervisor = SolveSupervisor(self.config, self.obs)
         self._placement_cache: Dict[Tuple[CallConfig, ...], PlacementData] = {}
+        #: Warm-start seeds shared by every provision of this controller —
+        #: day-N solutions seed day-N+1 and the autoscaler's rolling
+        #: refreshes, keyed by LP structure.  Only populated when the
+        #: config carries a portfolio with ``warm_start=True``.
+        self._warm_cache = (
+            WarmStartCache()
+            if self.config.portfolio is not None
+            and self.config.portfolio.warm_start else None
+        )
 
     # ------------------------------------------------------------------
     # config attribute shims (read-only views onto the frozen config)
@@ -179,7 +189,14 @@ class Switchboard(ProvisioningStrategy):
         return provision_with_ladder(
             placement, demand, self.config,
             with_backup=with_backup, supervisor=self._supervisor,
+            warm_cache=self._warm_cache,
         )
+
+    def warmstart_stats(self) -> Optional[Dict[str, int]]:
+        """Warm-start cache counters (``None`` when warm starts are off)."""
+        if self._warm_cache is None:
+            return None
+        return self._warm_cache.stats()
 
     def plan_without_backup(self, demand: Demand) -> CapacityPlan:
         return self.provision(demand, with_backup=False)
@@ -192,6 +209,7 @@ class Switchboard(ProvisioningStrategy):
                 placement, demand,
                 self.config.but(max_link_scenarios=max_link_scenarios),
                 with_backup=True, supervisor=self._supervisor,
+                warm_cache=self._warm_cache,
             )
         return self.provision(demand, with_backup=True)
 

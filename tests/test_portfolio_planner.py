@@ -1,0 +1,500 @@
+"""Planner decomposition + solver portfolio: the PR-10 test suite.
+
+Covers the four pillars of the decomposed planner:
+
+* warm starts — seeded re-solves match cold solves within LP tolerance
+  across randomized day-pair demand perturbations (property test);
+* arm racing — first-valid-wins-under-gap semantics, loss/win events,
+  exact fallback, infeasibility propagation;
+* structural dedup — identical down-sets solve once and fan back out;
+* decomposition — the bound-exchange loop certifies ``ub >= lb``.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import PortfolioConfig
+from repro.core.errors import InfeasibleError, SwitchboardError
+from repro.core.types import CallConfig, MediaType, make_slots
+from repro.obs import Observability
+from repro.provisioning.decomposition import DecompositionReport
+from repro.provisioning.demand import PlacementData
+from repro.provisioning.failures import (NO_FAILURE, FailureScenario,
+                                         dedupe_scenarios,
+                                         enumerate_scenarios)
+from repro.provisioning.formulation import ScenarioLP, ScenarioResult
+from repro.provisioning.lp import SolveStats, WarmStartCache
+from repro.provisioning.planner import CapacityPlanner
+from repro.provisioning.portfolio import (ArmOutcome, build_arms, run_race,
+                                          scenario_lower_bound)
+from repro.resilience import SolveSupervisor
+from repro.topology.builder import Topology
+from repro.workload.arrivals import Demand
+from repro.workload.media import MediaLoadModel
+
+_TOPOLOGY = Topology.small()
+_CONFIGS = [
+    CallConfig.build({"JP": 2}, MediaType.AUDIO),
+    CallConfig.build({"HK": 3}, MediaType.VIDEO),
+    CallConfig.build({"IN": 1, "JP": 2}, MediaType.SCREEN_SHARE),
+]
+_PLACEMENT = PlacementData(_TOPOLOGY, _CONFIGS, MediaLoadModel())
+
+# Strictly positive demand so the day-pair perturbation preserves the
+# activity mask (part of the warm-cache structural signature).
+_DAY_COUNTS = st.lists(
+    st.lists(st.floats(min_value=1.0, max_value=200.0),
+             min_size=len(_CONFIGS), max_size=len(_CONFIGS)),
+    min_size=1, max_size=3,
+)
+_PERTURBATIONS = st.lists(
+    st.lists(st.floats(min_value=0.5, max_value=1.5),
+             min_size=len(_CONFIGS), max_size=len(_CONFIGS)),
+    min_size=3, max_size=3,
+)
+
+
+def _demand(counts):
+    matrix = np.array(counts)
+    slots = make_slots(len(counts) * 1800.0, 1800.0)
+    return Demand(slots, _CONFIGS, matrix)
+
+
+def _perturbed(counts, factors):
+    return [
+        [value * factors[j % len(factors)][j] for j, value in enumerate(row)]
+        for row in counts
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Warm starts
+
+
+@settings(max_examples=20, deadline=None)
+@given(_DAY_COUNTS, _PERTURBATIONS)
+def test_warm_resolve_matches_cold_across_day_pairs(counts, factors):
+    """Day-N seeds day-N+1: the warm solve is still the LP optimum."""
+    cache = WarmStartCache()
+    day1 = _demand(counts)
+    day2 = _demand(_perturbed(counts, factors))
+
+    ScenarioLP(_PLACEMENT, day1).solve(warm_cache=cache)
+    assert len(cache) == 1
+
+    warm = ScenarioLP(_PLACEMENT, day2).solve(warm_cache=cache)
+    cold = ScenarioLP(_PLACEMENT, day2).solve()
+    assert warm.cost == pytest.approx(cold.cost, rel=1e-6, abs=1e-6)
+    for dc_id, cores in cold.cores.items():
+        assert warm.cores.get(dc_id, 0.0) == pytest.approx(
+            cores, rel=1e-5, abs=1e-5
+        )
+
+
+def test_warm_cache_hit_tagged_and_day_pair_reuses_seed():
+    counts = [[40.0, 10.0, 5.0], [80.0, 30.0, 10.0]]
+    cache = WarmStartCache()
+    first = ScenarioLP(_PLACEMENT, _demand(counts)).solve(warm_cache=cache)
+    assert first.stats.arm is None  # cold: nothing cached yet
+    assert cache.stats()["stores"] == 1
+
+    shifted = [[v * 1.2 for v in row] for row in counts]
+    second = ScenarioLP(_PLACEMENT, _demand(shifted)).solve(warm_cache=cache)
+    assert cache.stats()["hits"] >= 1
+    if second.stats.arm == "warm":  # certified seeded solve
+        exact = ScenarioLP(_PLACEMENT, _demand(shifted)).solve()
+        assert second.cost == pytest.approx(exact.cost, rel=1e-6)
+
+
+def test_warm_cache_eviction_and_snapshot():
+    cache = WarmStartCache(max_entries=2)
+    cache.put("a", ("x",))
+    cache.put("b", ("y",))
+    cache.put("a", ("x2",))  # update in place, no eviction
+    assert len(cache) == 2
+    cache.put("c", ("z",))  # evicts the FIFO head "a"
+    assert cache.get("a") is None
+    assert cache.get("c") == ("z",)
+    cache.put("d", ())  # empty seeds are never stored
+    assert len(cache) == 2
+    snapshot = cache.seeds_snapshot()
+    snapshot["c"] = ("mutated",)
+    assert cache.get("c") == ("z",)
+    stats = cache.stats()
+    assert stats["entries"] == 2
+    assert stats["misses"] >= 1 and stats["hits"] >= 1
+
+
+def test_warm_cache_rejects_bad_capacity():
+    with pytest.raises(SwitchboardError):
+        WarmStartCache(max_entries=0)
+
+
+# ---------------------------------------------------------------------------
+# Dual-certificate lower bounds
+
+
+def test_cached_duals_price_next_day_into_a_tight_floor():
+    """Day-N duals bound day-N+1's optimum: valid, and near-tight.
+
+    Dual feasibility depends only on the matrix and objective, which the
+    structural signature pins — so day 1's cached dual point prices
+    day 2's perturbed RHS into a lower bound with zero solver work.
+    """
+    counts = [[60.0, 20.0, 8.0], [120.0, 45.0, 16.0], [30.0, 10.0, 4.0]]
+    cache = WarmStartCache()
+    ScenarioLP(_PLACEMENT, _demand(counts)).solve(warm_cache=cache)
+
+    rng = np.random.default_rng(7)
+    for _ in range(5):
+        factors = rng.uniform(0.9, 1.1, (len(counts), len(_CONFIGS)))
+        day2 = _demand((np.array(counts) * factors).tolist())
+        lp = ScenarioLP(_PLACEMENT, day2)
+        floor = lp.dual_floor(cache)
+        exact = lp.solve()
+        assert floor is not None
+        assert floor <= exact.cost + 1e-6      # weak duality: never above
+        assert floor >= 0.5 * exact.cost       # and far from trivial
+    assert cache.stats()["dual_hits"] >= 5
+
+
+def test_dual_floor_unavailable_paths():
+    """No cache, no cached duals, or mismatched duals -> None, never a lie."""
+    demand = _demand([[50.0, 15.0, 6.0]])
+    lp = ScenarioLP(_PLACEMENT, demand)
+    assert lp.dual_floor(None) is None
+    cache = WarmStartCache()
+    assert lp.dual_floor(cache) is None        # empty cache
+    cache.put(lp.signature(), ("seed",))       # seed but no dual point
+    assert lp.dual_floor(cache) is None
+    assert cache.get_duals(lp.signature()) is None
+    assert cache.stats()["dual_hits"] == 0
+
+    # A dual point of the wrong shape must be rejected, not mis-priced.
+    _, instance, _ = lp.prepared()
+    assert instance.dual_bound((0.0,), None) is None
+
+
+def test_dual_bound_matches_objective_at_own_optimum():
+    """Strong duality sanity: an instance's own duals price it exactly."""
+    demand = _demand([[80.0, 30.0, 12.0], [40.0, 15.0, 6.0]])
+    lp = ScenarioLP(_PLACEMENT, demand)
+    _, instance, _ = lp.prepared()
+    solution = instance.solve()
+    bound = instance.dual_bound(solution.dual_ineq, solution.dual_eq)
+    assert bound == pytest.approx(solution.objective, rel=1e-6, abs=1e-6)
+
+
+def test_day_two_race_certifies_heuristic_wins():
+    """End to end: the shared cache turns day 2 into locality wins."""
+    counts = [[60.0, 20.0, 8.0], [120.0, 45.0, 16.0]]
+    scenarios = enumerate_scenarios(_TOPOLOGY)
+    gap = 0.05
+    portfolio = PortfolioConfig(gap=gap, arms=("locality", "exact"))
+    cache = WarmStartCache()
+
+    CapacityPlanner(_PLACEMENT, _demand(counts), portfolio=portfolio,
+                    warm_cache=cache).plan(scenarios, combine="max")
+    day2 = _demand([[v * 1.04 for v in row] for row in counts])
+    raced = CapacityPlanner(_PLACEMENT, day2, portfolio=portfolio,
+                            warm_cache=cache).plan(scenarios, combine="max")
+
+    wins = raced.arm_stats()
+    assert wins.get("locality") is not None and wins["locality"].n_solves > 0
+    exact_plan = CapacityPlanner(_PLACEMENT, day2).plan(
+        scenarios, combine="max"
+    )
+    for exact, fast in zip(exact_plan.scenario_results,
+                           raced.scenario_results):
+        assert fast.cost <= (1.0 + gap) * exact.cost + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Portfolio racing (real arms)
+
+
+def test_portfolio_plan_within_gap_of_exact_on_every_scenario():
+    """The parity pin: racing never changes the plan beyond the gap."""
+    counts = [[60.0, 20.0, 8.0], [120.0, 45.0, 16.0], [30.0, 10.0, 4.0]]
+    demand = _demand(counts)
+    scenarios = enumerate_scenarios(_TOPOLOGY)
+    gap = 0.02
+
+    exact_plan = CapacityPlanner(_PLACEMENT, demand).plan(
+        scenarios, combine="max"
+    )
+    portfolio = PortfolioConfig(gap=gap)
+    raced_plan = CapacityPlanner(_PLACEMENT, demand, portfolio=portfolio).plan(
+        scenarios, combine="max"
+    )
+
+    assert len(raced_plan.scenario_results) == len(exact_plan.scenario_results)
+    for exact, fast in zip(exact_plan.scenario_results,
+                           raced_plan.scenario_results):
+        assert exact.scenario.name == fast.scenario.name
+        assert fast.cost <= (1.0 + gap) * exact.cost + 1e-9
+        if fast.bound_gap is not None:
+            assert fast.bound_gap <= gap + 1e-9
+
+
+def test_exact_arm_results_carry_zero_gap():
+    demand = _demand([[50.0, 15.0, 6.0]])
+    portfolio = PortfolioConfig(arms=("exact",))
+    plan = CapacityPlanner(_PLACEMENT, demand, portfolio=portfolio).plan(
+        [NO_FAILURE], combine="max"
+    )
+    result = plan.scenario_results[0]
+    assert result.stats.arm == "exact"
+    assert result.bound_gap == 0.0
+
+
+def test_scenario_lower_bound_is_a_lower_bound():
+    demand = _demand([[70.0, 25.0, 9.0], [140.0, 50.0, 18.0]])
+    for scenario in enumerate_scenarios(_TOPOLOGY):
+        exact = ScenarioLP(_PLACEMENT, demand, scenario).solve()
+        bound = scenario_lower_bound(_PLACEMENT, demand, scenario)
+        assert bound <= exact.cost + 1e-6
+
+
+def test_heuristic_lineup_reports_honest_gap():
+    """Exact-less lineups fall back to the best UB with its true gap."""
+    demand = _demand([[60.0, 20.0, 8.0], [120.0, 45.0, 16.0]])
+    arms = build_arms(_PLACEMENT, demand, NO_FAILURE,
+                      arms=("locality", "lagrangean"))
+    result, trail = run_race(arms, gap=0.0)
+    exact = ScenarioLP(_PLACEMENT, demand).solve()
+    assert result.bound_gap is not None
+    assert result.cost <= (1.0 + result.bound_gap) * exact.cost + 1e-6
+    assert trail[-1][0] == "portfolio.arm.win"
+
+
+# ---------------------------------------------------------------------------
+# Race semantics (fake arms)
+
+
+def _fake_result(cost: float) -> ScenarioResult:
+    return ScenarioResult(
+        scenario=NO_FAILURE, cores={"dc": cost}, link_gbps={},
+        excess_cores={"dc": cost}, excess_links={}, shares={}, cost=cost,
+        stats=SolveStats(arm="locality"),
+    )
+
+
+def _arm(name, upper, lower, cost=None, exact=False):
+    outcome = ArmOutcome(
+        name, _fake_result(upper if cost is None else cost), upper, lower,
+        exact=exact,
+    )
+    return (name, lambda: outcome)
+
+
+def test_race_first_valid_under_gap_wins_without_running_later_arms():
+    def exploding_exact():
+        raise AssertionError("exact must not run when a heuristic wins")
+
+    arms = [_arm("locality", upper=101.0, lower=100.0),
+            ("exact", exploding_exact)]
+    result, trail = run_race(arms, gap=0.02)
+    assert result.cost == 101.0
+    assert result.bound_gap == pytest.approx(0.01)
+    assert [kind for kind, _ in trail] == ["portfolio.arm.win"]
+
+
+def test_race_heuristic_above_gap_loses_to_exact():
+    arms = [_arm("locality", upper=120.0, lower=100.0),
+            _arm("exact", upper=105.0, lower=105.0, exact=True)]
+    result, trail = run_race(arms, gap=0.02)
+    assert result.cost == 105.0
+    assert result.bound_gap == 0.0
+    assert [kind for kind, _ in trail] == [
+        "portfolio.arm.loss", "portfolio.arm.win",
+    ]
+
+
+def test_race_crashing_heuristic_is_a_loss_not_a_failure():
+    def crashing():
+        raise RuntimeError("numerics blew up")
+
+    arms = [("lagrangean", crashing),
+            _arm("exact", upper=50.0, lower=50.0, exact=True)]
+    result, trail = run_race(arms, gap=0.02)
+    assert result.cost == 50.0
+    assert trail[0][0] == "portfolio.arm.loss"
+    assert "numerics blew up" in str(trail[0][1]["error"])
+
+
+def test_race_propagates_infeasibility_and_exact_crashes():
+    def infeasible():
+        raise InfeasibleError("scenario has no surviving options")
+
+    with pytest.raises(InfeasibleError):
+        run_race([("locality", infeasible)], gap=0.02)
+
+    def broken_exact():
+        raise RuntimeError("solver died")
+
+    with pytest.raises(RuntimeError):
+        run_race([("exact", broken_exact)], gap=0.02)
+
+
+def test_race_exactless_fallback_flags_gap_exceeded():
+    arms = [_arm("locality", upper=150.0, lower=100.0),
+            _arm("lagrangean", upper=130.0, lower=90.0)]
+    result, trail = run_race(arms, gap=0.02)
+    assert result.cost == 130.0  # best upper bound of the lineup
+    assert result.bound_gap == pytest.approx(0.3)
+    kind, fields = trail[-1]
+    assert kind == "portfolio.arm.win"
+    assert fields["gap_exceeded"] is True
+    assert fields["arm"] == "lagrangean"
+
+
+def test_supervisor_race_records_events():
+    supervisor = SolveSupervisor(obs=Observability())
+    arms = [_arm("locality", upper=120.0, lower=100.0),
+            _arm("exact", upper=100.0, lower=100.0, exact=True)]
+    result = supervisor.race("provision.F0", arms, gap=0.01)
+    assert result.cost == 100.0
+    losses = supervisor.obs.events("portfolio.arm.loss")
+    wins = supervisor.obs.events("portfolio.arm.win")
+    assert len(losses) == 1 and len(wins) == 1
+    # Each arm also ran under the full run() policy: attempts were logged.
+    attempts = supervisor.obs.events("solve.attempt")
+    assert {e.detail.get("label", e.label) for e in attempts} == {
+        "provision.F0@locality", "provision.F0@exact",
+    }
+
+
+# ---------------------------------------------------------------------------
+# Structural dedup
+
+
+def test_dedupe_collapses_identical_down_sets():
+    duplicates = [
+        NO_FAILURE,
+        FailureScenario(name="F_dc:dc-pune", failed_dc="dc-pune"),
+        FailureScenario(name="F_dc2:dc-pune-again", failed_dcs=("dc-pune",)),
+    ]
+    demand = _demand([[40.0, 12.0, 5.0]])
+    unique, expansion = dedupe_scenarios(_PLACEMENT, demand, duplicates)
+    assert [s.name for s in unique] == [NO_FAILURE.name, "F_dc:dc-pune"]
+    assert expansion == [0, 1, 1]
+
+
+def test_dedup_fans_results_back_out_in_input_order():
+    duplicates = [
+        NO_FAILURE,
+        FailureScenario(name="F_dc:dc-pune", failed_dc="dc-pune"),
+        FailureScenario(name="F_dc2:dc-pune-again", failed_dcs=("dc-pune",)),
+    ]
+    demand = _demand([[40.0, 12.0, 5.0], [80.0, 24.0, 10.0]])
+    portfolio = PortfolioConfig(arms=("exact",))
+    plan = CapacityPlanner(_PLACEMENT, demand, portfolio=portfolio).plan(
+        duplicates, combine="max"
+    )
+    assert [r.scenario.name for r in plan.scenario_results] == [
+        s.name for s in duplicates
+    ]
+    solved, copy = plan.scenario_results[1], plan.scenario_results[2]
+    assert copy.stats.n_solves == 0 and copy.stats.arm == "dedup"
+    assert solved.stats.n_solves > 0
+    assert copy.cost == solved.cost
+    assert copy.cores == solved.cores
+    # Aggregate stats count the LP exactly once for the pair.
+    assert plan.aggregate_stats().n_solves == 2
+    assert set(plan.arm_stats()) == {"exact", "dedup"}
+
+
+# ---------------------------------------------------------------------------
+# Decomposition
+
+
+def test_decomposed_plan_carries_a_certified_bracket():
+    demand = _demand([[60.0, 20.0, 8.0], [120.0, 45.0, 16.0]])
+    portfolio = PortfolioConfig(decomposition_max_iterations=2)
+    planner = CapacityPlanner(_PLACEMENT, demand, portfolio=portfolio)
+    plan = planner.plan_with_backup(method="decomposed")
+
+    report = plan.gap_report
+    assert isinstance(report, DecompositionReport)
+    assert report.upper_bound >= report.lower_bound > 0
+    assert report.gap >= 0
+    assert report.history
+    assert report.subproblem_solves >= 1
+    payload = report.to_dict()
+    assert payload["upper_bound"] == report.upper_bound
+    assert payload["lower_bound"] == report.lower_bound
+
+    # The bracket is honest: the plan the sweep returned costs exactly
+    # the reported upper bound.
+    plan_cost = (
+        sum(_TOPOLOGY.dc_cost(dc) * v for dc, v in plan.cores.items())
+        + sum(_TOPOLOGY.wan_cost(l) * v for l, v in plan.link_gbps.items())
+    )
+    assert plan_cost == pytest.approx(report.upper_bound, rel=1e-6)
+
+
+def test_decomposition_report_gap_edge_cases():
+    zero = DecompositionReport(upper_bound=0.0, lower_bound=0.0,
+                               iterations=0, subproblem_solves=0, history=[])
+    assert zero.gap == 0.0
+    degenerate = dataclasses.replace(zero, upper_bound=5.0)
+    assert degenerate.gap == float("inf")
+    bracket = dataclasses.replace(zero, upper_bound=110.0, lower_bound=100.0)
+    assert bracket.gap == pytest.approx(0.1)
+
+
+# ---------------------------------------------------------------------------
+# Stats plumbing
+
+
+def test_solve_stats_merge_sums_work_and_maxes_sizes():
+    a = SolveStats(n_rows=100, n_cols=50, nnz=400, assembly_seconds=0.1,
+                   solver_seconds=0.2, n_solves=1, arm="exact")
+    b = SolveStats(n_rows=80, n_cols=70, nnz=300, assembly_seconds=0.3,
+                   solver_seconds=0.4, n_solves=2, arm="exact")
+    merged = a.merge(b)
+    assert merged.n_rows == 100 and merged.n_cols == 70
+    assert merged.nnz == 700 and merged.n_solves == 3
+    assert merged.assembly_seconds == pytest.approx(0.4)
+    assert merged.solver_seconds == pytest.approx(0.6)
+    assert merged.arm == "exact"
+    assert a.merge(SolveStats(arm="locality")).arm is None
+
+
+def test_solve_stats_combine_keeps_attribution():
+    records = [SolveStats(n_solves=1, arm="warm"),
+               SolveStats(n_solves=1, arm="warm")]
+    assert SolveStats.combine(records).arm == "warm"
+    assert SolveStats.combine([]).n_solves == 0
+
+
+# ---------------------------------------------------------------------------
+# Config
+
+
+def test_portfolio_config_validation():
+    with pytest.raises(SwitchboardError):
+        PortfolioConfig(arms=())
+    with pytest.raises(SwitchboardError):
+        PortfolioConfig(arms=("exact", "simplex-of-doom"))
+    with pytest.raises(SwitchboardError):
+        PortfolioConfig(gap=-0.1)
+    with pytest.raises(SwitchboardError):
+        PortfolioConfig(max_pricing_rounds=0)
+    with pytest.raises(SwitchboardError):
+        PortfolioConfig(decomposition_gap=-1.0)
+    with pytest.raises(SwitchboardError):
+        PortfolioConfig(decomposition_max_iterations=0)
+
+
+def test_portfolio_config_but_is_a_frozen_copy():
+    base = PortfolioConfig()
+    tightened = base.but(gap=0.001, dedupe=False)
+    assert tightened.gap == 0.001 and not tightened.dedupe
+    assert base.gap == 0.02 and base.dedupe
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        base.gap = 0.5

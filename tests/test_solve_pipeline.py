@@ -256,8 +256,12 @@ class TestSolveStats:
         assert all(r.stats.n_rows > 0 for r in plan.scenario_results)
         aggregate = plan.aggregate_stats()
         assert aggregate.n_solves == len(plan.scenario_results)
-        assert aggregate.n_rows == sum(
+        # Sizes take the max (the largest LP solved); work metrics sum.
+        assert aggregate.n_rows == max(
             r.stats.n_rows for r in plan.scenario_results
+        )
+        assert aggregate.nnz == sum(
+            r.stats.nnz for r in plan.scenario_results
         )
         assert aggregate.total_seconds == pytest.approx(
             sum(r.stats.total_seconds for r in plan.scenario_results)
